@@ -1,0 +1,88 @@
+"""Ablation: extensional (lifted) vs intensional (lineage + compile)
+probabilistic query evaluation, and the Prop. 3.1 reduction end to end.
+
+The reduction Shapley <= PQE makes n+1 oracle calls; with the lifted
+oracle on a hierarchical query the whole pipeline is polynomial.  This
+bench measures both oracles on a hierarchical query over growing data,
+plus the full reduction against Algorithm 1 on the same instance.
+
+Expected shape: lifted PQE scales linearly-ish and beats the lineage
+route as data grows; the reduction (n+1 oracle calls + interpolation)
+is far slower than Algorithm 1 for the same answer — which is exactly
+why the paper treats the reduction as theory and compiles circuits in
+practice.
+"""
+
+import time
+from fractions import Fraction
+
+from repro.bench import format_table, write_csv
+from repro.core import shapley_via_pqe
+from repro.db import Database, RelationSchema, Schema, cq
+from repro.probdb import TupleIndependentDatabase, pqe_lifted, pqe_lineage
+
+HEADERS = ["facts", "lifted PQE [s]", "lineage PQE [s]", "agree"]
+
+
+def _chain_db(size):
+    schema = Schema.of(
+        RelationSchema.of("R", "a"), RelationSchema.of("S", "a", "b")
+    )
+    db = Database(schema)
+    probs = {}
+    for i in range(size):
+        probs[db.add("R", i)] = Fraction(1, 2)
+        probs[db.add("S", i, i + 100)] = Fraction(1, 3)
+        probs[db.add("S", i, i + 200)] = Fraction(1, 4)
+    return db, TupleIndependentDatabase(db, probs)
+
+
+def test_ablation_pqe_oracles(results_dir, capsys, benchmark):
+    query = cq(None, "R(x)", "S(x, y)")
+    rows = []
+    for size in (4, 8, 16, 32):
+        db, tid = _chain_db(size)
+        start = time.perf_counter()
+        lifted = pqe_lifted(query, tid)
+        t_lifted = time.perf_counter() - start
+        start = time.perf_counter()
+        lineage_prob = pqe_lineage(query, tid)
+        t_lineage = time.perf_counter() - start
+        rows.append([3 * size, t_lifted, t_lineage, lifted == lineage_prob])
+        assert lifted == lineage_prob
+
+    write_csv(results_dir / "ablation_pqe.csv", HEADERS, rows)
+    with capsys.disabled():
+        print("\nAblation — PQE oracles on a hierarchical query")
+        print(format_table(HEADERS, rows))
+
+    db, tid = _chain_db(8)
+    benchmark(pqe_lifted, query, tid)
+
+
+def test_ablation_reduction_vs_algorithm1(results_dir, capsys, benchmark):
+    from repro.core import exact_shapley_of_circuit
+    from repro.db import lineage as lineage_of
+
+    query = cq(None, "R(x)", "S(x, y)")
+    db, _ = _chain_db(3)
+    fact = db.endogenous_facts()[0]
+
+    start = time.perf_counter()
+    via_reduction = shapley_via_pqe(query, db, fact, oracle=pqe_lifted)
+    t_reduction = time.perf_counter() - start
+
+    plan = query.to_algebra(db.schema)
+    start = time.perf_counter()
+    circuit = lineage_of(plan, db, endogenous_only=True).lineage_of(())
+    values = exact_shapley_of_circuit(circuit, db.endogenous_facts())
+    t_alg1 = time.perf_counter() - start
+
+    assert values[fact] == via_reduction
+    rows = [["Prop 3.1 reduction", t_reduction], ["Algorithm 1", t_alg1]]
+    write_csv(results_dir / "ablation_reduction.csv", ["route", "seconds"], rows)
+    with capsys.disabled():
+        print("\nAblation — Prop 3.1 reduction vs Algorithm 1 (one fact)")
+        print(format_table(["route", "seconds"], rows))
+
+    benchmark(shapley_via_pqe, query, db, fact, oracle=pqe_lifted)

@@ -1,0 +1,92 @@
+"""Figure 4: KC time and Algorithm 1 time as functions of provenance
+features (number of distinct facts, CNF clauses, d-DNNF size).
+
+The paper plots per-output scatter; we report per-bucket medians of the
+same series (a/c/e: KC time, b/d/f: Algorithm 1 time) and persist the
+raw points so they can be re-plotted.
+
+Expected shape: both times grow with each size measure, with Algorithm 1
+time tracking d-DNNF size most tightly (its complexity is
+O(|C| * n^2)).
+"""
+
+from repro.bench import format_table, group_by_bucket, median, write_csv
+from repro.circuits import count_models_by_size
+
+HEADERS = ["bucket", "n", "KC p50 [s]", "Alg1 p50 [s]"]
+
+
+def _series(records, key):
+    pairs_kc = [(key(r), r.compile_seconds) for r in records if r.ok]
+    pairs_a1 = [(key(r), r.shapley_seconds) for r in records if r.ok]
+    kc = group_by_bucket(pairs_kc)
+    a1 = group_by_bucket(pairs_a1)
+    rows = []
+    for bucket in sorted(kc, key=lambda b: int(b.strip(">").split("-")[0])):
+        rows.append(
+            [bucket, len(kc[bucket]), median(kc[bucket]), median(a1.get(bucket, []))]
+        )
+    return rows
+
+
+def test_fig4_times_by_n_facts(all_records, results_dir, capsys, benchmark):
+    """Figures 4a/4b: time vs number of distinct facts."""
+    rows = _series(all_records, lambda r: r.n_facts)
+    write_csv(results_dir / "fig4_by_facts.csv", HEADERS, rows)
+    with capsys.disabled():
+        print("\nFig 4a/4b — time vs #facts")
+        print(format_table(HEADERS, rows))
+
+    raw = [
+        [r.dataset, r.query, r.n_facts, r.cnf_clauses, r.ddnnf_size,
+         r.compile_seconds, r.shapley_seconds, r.status]
+        for r in all_records
+    ]
+    write_csv(
+        results_dir / "fig4_raw_points.csv",
+        ["dataset", "query", "n_facts", "cnf_clauses", "ddnnf_size",
+         "kc_seconds", "alg1_seconds", "status"],
+        raw,
+    )
+
+    # Kernel: the #SAT_k dynamic program on the largest compiled circuit.
+    from repro.circuits import eliminate_auxiliary, tseytin_transform
+    from repro.compiler import compile_cnf
+
+    ok = [r for r in all_records if r.ok and r.circuit is not None]
+    big = max(ok, key=lambda r: r.ddnnf_size)
+    cnf = tseytin_transform(big.circuit)
+    ddnnf = eliminate_auxiliary(
+        compile_cnf(cnf).circuit, set(cnf.labels.values())
+    )
+    benchmark(count_models_by_size, ddnnf)
+    assert rows
+
+
+def test_fig4_times_by_cnf_clauses(all_records, results_dir, capsys, benchmark):
+    """Figures 4c/4d: time vs CNF clause count (buckets reuse the fact
+    buckets scaled by the typical clauses-per-fact ratio)."""
+    rows = _series(all_records, lambda r: max(1, r.cnf_clauses // 4))
+    write_csv(results_dir / "fig4_by_clauses.csv", HEADERS, rows)
+    with capsys.disabled():
+        print("\nFig 4c/4d — time vs #CNF clauses (bucket unit = 4 clauses)")
+        print(format_table(HEADERS, rows))
+    benchmark(lambda: _series(all_records, lambda r: r.cnf_clauses // 4))
+    assert rows
+
+
+def test_fig4_times_by_ddnnf_size(all_records, results_dir, capsys, benchmark):
+    """Figures 4e/4f: time vs d-DNNF size (bucket unit = 16 gates)."""
+    ok = [r for r in all_records if r.ok]
+    rows = _series(ok, lambda r: max(1, r.ddnnf_size // 16))
+    write_csv(results_dir / "fig4_by_ddnnf.csv", HEADERS, rows)
+    with capsys.disabled():
+        print("\nFig 4e/4f — time vs d-DNNF size (bucket unit = 16 gates)")
+        print(format_table(HEADERS, rows))
+    benchmark(lambda: _series(ok, lambda r: r.ddnnf_size // 16))
+
+    # Shape check: Algorithm 1 median time is monotone-ish in d-DNNF
+    # size — the largest bucket is slower than the smallest.
+    medians = [row[3] for row in rows if row[3] == row[3]]
+    if len(medians) >= 2:
+        assert medians[-1] >= medians[0]

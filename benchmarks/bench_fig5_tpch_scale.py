@@ -1,0 +1,70 @@
+"""Figure 5: Algorithm 1 runtime as a function of TPC-H scale.
+
+The paper scales the lineitem table and tracks the runtime of the exact
+computation for representative query outputs: easy outputs stay in the
+milliseconds (5a) while difficult outputs grow steeply and eventually
+fail on the full data (5b).  We sweep the generator's scale factor and
+measure the mean per-output exact time for an easy query (Q3) and a
+hard one (Q5's projection onto the nation).
+
+Expected shape: Q3's per-output time is flat-ish in scale (per-answer
+lineage stays small); Q5's grows superlinearly and hits the budget at
+the largest scale.
+"""
+
+from repro.bench import format_table, run_query, write_csv
+from repro.compiler import CompilationBudget
+from repro.workloads import TpchConfig, generate_tpch, tpch_query
+
+SCALES = [0.0002, 0.0004, 0.0006, 0.0008]
+HEADERS = [
+    "scale", "lineitems",
+    "Q3 outputs", "Q3 mean exact [s]", "Q3 success",
+    "Q5 outputs", "Q5 mean exact [s]", "Q5 success",
+]
+
+
+def test_fig5_scaling(results_dir, capsys, benchmark):
+    budget = CompilationBudget(max_nodes=400_000, max_seconds=2.5)
+    rows = []
+    keep = None
+    for scale in SCALES:
+        db = generate_tpch(TpchConfig(scale_factor=scale))
+        lineitems = len(db.relation("lineitem"))
+        q3 = run_query(db, tpch_query("Q3"), "TPC-H", budget=budget,
+                       max_outputs=25, keep_values=True)
+        q5 = run_query(db, tpch_query("Q5"), "TPC-H", budget=budget,
+                       keep_values=True)
+        rows.append(
+            [
+                scale, lineitems,
+                len(q3.records),
+                _mean_total(q3), f"{q3.success_rate:.0%}",
+                len(q5.records),
+                _mean_total(q5), f"{q5.success_rate:.0%}",
+            ]
+        )
+        if scale == SCALES[1]:
+            keep = next((r for r in q3.records if r.ok and r.circuit), None)
+
+    write_csv(results_dir / "fig5_tpch_scale.csv", HEADERS, rows)
+    with capsys.disabled():
+        print("\nFig 5 — exact runtime vs lineitem scale")
+        print(format_table(HEADERS, rows))
+
+    # Kernel: exact pipeline at the second scale point.
+    from repro.core import run_exact
+
+    assert keep is not None
+    players = sorted(keep.circuit.reachable_vars())
+    benchmark(run_exact, keep.circuit, players)
+
+    # Shape: data grows monotonically with scale.
+    assert rows[-1][1] > rows[0][1]
+
+
+def _mean_total(run):
+    ok = run.ok_records()
+    if not ok:
+        return float("nan")
+    return sum(r.total_seconds for r in ok) / len(ok)

@@ -1,0 +1,89 @@
+"""Figure 6: inexact-method quality and cost vs the sampling budget.
+
+Sweeps m in {10n, 20n, 30n, 40n, 50n} for Monte Carlo and Kernel SHAP
+and reports execution time (6a), nDCG (6b) and Precision@10 (6c); CNF
+Proxy does not sample, so its row is constant across budgets.
+
+Expected shape: both sampling methods improve monotonically-ish with
+budget; Kernel SHAP dominates Monte Carlo at equal budget; CNF Proxy
+matches or beats both at a tiny fraction of their cost.
+"""
+
+import random
+import time
+
+from repro.bench import format_table, mean, write_csv
+from repro.core import (
+    cnf_proxy_from_circuit,
+    kernel_shap_values,
+    monte_carlo_shapley,
+    ndcg,
+    precision_at_k,
+)
+
+BUDGETS = [10, 20, 30, 40, 50]
+HEADERS = ["method", "budget/fact", "mean time [s]", "mean nDCG", "mean P@10"]
+
+
+def test_fig6_budget_sweep(ground_truth_records, results_dir, capsys, benchmark):
+    records = ground_truth_records[:60]
+    rows = []
+
+    for budget in BUDGETS:
+        for name in ("Monte Carlo", "Kernel SHAP"):
+            times, ndcgs, precisions = [], [], []
+            for index, record in enumerate(records):
+                truth = {f: float(v) for f, v in record.values.items()}
+                players = sorted(record.values)
+                rng = random.Random(1000 * budget + index)
+                start = time.perf_counter()
+                if name == "Monte Carlo":
+                    estimate = monte_carlo_shapley(
+                        record.circuit, players, samples_per_fact=budget, rng=rng
+                    )
+                else:
+                    estimate = kernel_shap_values(
+                        record.circuit, players, samples_per_fact=budget, rng=rng
+                    )
+                times.append(time.perf_counter() - start)
+                ndcgs.append(ndcg(truth, estimate))
+                precisions.append(precision_at_k(truth, estimate, 10))
+            rows.append([name, budget, mean(times), mean(ndcgs), mean(precisions)])
+
+    # CNF Proxy: constant across budgets.
+    times, ndcgs, precisions = [], [], []
+    for record in records:
+        truth = {f: float(v) for f, v in record.values.items()}
+        players = sorted(record.values)
+        start = time.perf_counter()
+        estimate = {
+            f: float(v)
+            for f, v in cnf_proxy_from_circuit(record.circuit, players).items()
+        }
+        times.append(time.perf_counter() - start)
+        ndcgs.append(ndcg(truth, estimate))
+        precisions.append(precision_at_k(truth, estimate, 10))
+    rows.append(["CNF Proxy", "-", mean(times), mean(ndcgs), mean(precisions)])
+
+    write_csv(results_dir / "fig6_budget_sweep.csv", HEADERS, rows)
+    with capsys.disabled():
+        print(f"\nFig 6 — budget sweep over {len(records)} outputs")
+        print(format_table(HEADERS, rows))
+
+    # Kernel: Monte Carlo at the middle budget on a mid-size record.
+    mid = sorted(records, key=lambda r: r.n_facts)[len(records) // 2]
+    players = sorted(mid.values)
+    benchmark(
+        monte_carlo_shapley, mid.circuit, players,
+        samples_per_fact=20, rng=random.Random(0),
+    )
+
+    # Shape: Monte Carlo nDCG at 50/fact beats its 10/fact value.
+    mc = {row[1]: row[3] for row in rows if row[0] == "Monte Carlo"}
+    assert mc[50] >= mc[10] - 0.01
+    # CNF Proxy is cheaper than Kernel SHAP at every budget (our
+    # bit-parallel Monte Carlo is faster than the paper's baseline, so
+    # it is excluded from the strict time comparison at micro scale).
+    proxy_time = rows[-1][2]
+    ks_times = [row[2] for row in rows if row[0] == "Kernel SHAP"]
+    assert proxy_time <= min(ks_times)

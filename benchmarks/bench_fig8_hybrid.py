@@ -1,0 +1,62 @@
+"""Figure 8: the hybrid strategy vs its timeout parameter.
+
+Sweeps the hybrid timeout and reports (a) the exact-computation success
+rate and (b) the mean execution time of the hybrid, per dataset —
+justifying the paper's choice of 2.5 s.
+
+Expected shape: success rate saturates quickly in the timeout (most
+outputs either finish fast or essentially never), while the mean
+execution time keeps growing with the timeout on the dataset with more
+hard cases (TPC-H in the paper).
+"""
+
+from repro.bench import format_table, mean, write_csv
+from repro.core import hybrid_shapley
+
+TIMEOUTS = [0.05, 0.2, 0.5, 1.0, 2.5]
+HEADERS = ["dataset", "timeout [s]", "outputs", "exact rate", "mean time [s]"]
+
+
+def _sweep(records, dataset):
+    rows = []
+    usable = [r for r in records if r.circuit is not None]
+    for timeout in TIMEOUTS:
+        kinds = []
+        times = []
+        for record in usable:
+            players = sorted(record.circuit.reachable_vars())
+            result = hybrid_shapley(record.circuit, players, timeout=timeout)
+            kinds.append(result.is_exact)
+            times.append(result.seconds)
+        rows.append(
+            [
+                dataset, timeout, len(usable),
+                f"{sum(kinds) / len(kinds):.2%}", mean(times),
+            ]
+        )
+    return rows
+
+
+def test_fig8_hybrid_timeout_sweep(
+    tpch_runs, imdb_runs, results_dir, capsys, benchmark
+):
+    tpch_records = [r for run in tpch_runs for r in run.records][:40]
+    imdb_records = [r for run in imdb_runs for r in run.records][:60]
+    rows = _sweep(tpch_records, "TPC-H") + _sweep(imdb_records, "IMDB")
+
+    write_csv(results_dir / "fig8_hybrid.csv", HEADERS, rows)
+    with capsys.disabled():
+        print("\nFig 8 — hybrid success rate and mean time vs timeout")
+        print(format_table(HEADERS, rows))
+
+    # Kernel: one hybrid call at the recommended timeout.
+    record = next(r for r in imdb_records if r.circuit is not None)
+    players = sorted(record.circuit.reachable_vars())
+    benchmark(hybrid_shapley, record.circuit, players, timeout=2.5)
+
+    # Shape: success rate is non-decreasing in the timeout per dataset.
+    for dataset in ("TPC-H", "IMDB"):
+        rates = [
+            float(row[3].strip("%")) for row in rows if row[0] == dataset
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,105 @@
+"""Table 2: median (mean) performance of the inexact methods at the
+largest sampling budget (50 samples per fact).
+
+For every ground-truth record (exact computation succeeded) we run
+Monte Carlo, Kernel SHAP and CNF Proxy and report execution time, L1,
+L2, nDCG, Precision@5 and Precision@10 against the exact values.
+
+Expected shape (paper's Table 2): CNF Proxy is orders of magnitude
+faster than both sampling methods with equal-or-better ranking quality
+(nDCG, P@k); Kernel SHAP achieves the best L1/L2 (it approximates the
+*values*, which CNF Proxy does not even attempt).
+"""
+
+import random
+import time
+
+from repro.bench import format_table, write_csv
+from repro.core import (
+    cnf_proxy_from_circuit,
+    kernel_shap_values,
+    l1_error,
+    l2_error,
+    monte_carlo_shapley,
+    ndcg,
+    precision_at_k,
+    summarize,
+)
+
+SAMPLES_PER_FACT = 50
+METRICS = ["time", "L1", "L2", "nDCG", "P@5", "P@10"]
+HEADERS = ["metric"] + ["Monte Carlo", "Kernel SHAP", "CNF Proxy"]
+
+
+def _evaluate_method(records, method, seed=0):
+    stats = {metric: [] for metric in METRICS}
+    for index, record in enumerate(records):
+        truth = {f: float(v) for f, v in record.values.items()}
+        players = sorted(record.values)
+        start = time.perf_counter()
+        estimate = method(record.circuit, players, random.Random(seed + index))
+        elapsed = time.perf_counter() - start
+        estimate = {f: float(v) for f, v in estimate.items()}
+        stats["time"].append(elapsed)
+        stats["L1"].append(l1_error(truth, estimate))
+        stats["L2"].append(l2_error(truth, estimate))
+        stats["nDCG"].append(ndcg(truth, estimate))
+        stats["P@5"].append(precision_at_k(truth, estimate, 5))
+        stats["P@10"].append(precision_at_k(truth, estimate, 10))
+    return stats
+
+
+def _monte_carlo(circuit, players, rng):
+    return monte_carlo_shapley(
+        circuit, players, samples_per_fact=SAMPLES_PER_FACT, rng=rng
+    )
+
+
+def _kernel_shap(circuit, players, rng):
+    return kernel_shap_values(
+        circuit, players, samples_per_fact=SAMPLES_PER_FACT, rng=rng
+    )
+
+
+def _proxy(circuit, players, rng):
+    return cnf_proxy_from_circuit(circuit, players)
+
+
+def test_table2(ground_truth_records, results_dir, capsys, benchmark):
+    records = ground_truth_records
+    by_method = {
+        "Monte Carlo": _evaluate_method(records, _monte_carlo),
+        "Kernel SHAP": _evaluate_method(records, _kernel_shap),
+        "CNF Proxy": _evaluate_method(records, _proxy),
+    }
+
+    rows = []
+    for metric in METRICS:
+        row = [metric]
+        for name in ("Monte Carlo", "Kernel SHAP", "CNF Proxy"):
+            stats = summarize(by_method[name][metric])
+            row.append(f"{stats['median']:.4g} ({stats['mean']:.4g})")
+        rows.append(row)
+    write_csv(results_dir / "table2_inexact.csv", HEADERS, rows)
+    with capsys.disabled():
+        print(f"\nTable 2 — inexact methods at {SAMPLES_PER_FACT} samples/fact "
+              f"over {len(records)} ground-truth outputs; median (mean)")
+        print(format_table(HEADERS, rows))
+
+    # Benchmark kernel: CNF Proxy on the largest ground-truth circuit.
+    big = max(records, key=lambda r: r.n_facts)
+    players = sorted(big.values)
+    benchmark(cnf_proxy_from_circuit, big.circuit, players)
+
+    # Paper-shape assertions.  Note: our Monte Carlo evaluates all
+    # permutation prefixes bit-parallel, so it is much faster than the
+    # paper's baseline; the robust time comparison at micro scale is
+    # against Kernel SHAP (regression-based, like the paper's).
+    proxy_time = summarize(by_method["CNF Proxy"]["time"])["median"]
+    ks_time = summarize(by_method["Kernel SHAP"]["time"])["median"]
+    assert proxy_time < ks_time, "CNF Proxy must be faster than Kernel SHAP"
+    proxy_ndcg = summarize(by_method["CNF Proxy"]["nDCG"])["mean"]
+    assert proxy_ndcg > 0.9, "CNF Proxy ranking quality should be high"
+    ks_l2 = summarize(by_method["Kernel SHAP"]["L2"])["mean"]
+    proxy_l2 = summarize(by_method["CNF Proxy"]["L2"])["mean"]
+    assert ks_l2 < proxy_l2, "Kernel SHAP should win on value error (L2)"

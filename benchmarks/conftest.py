@@ -1,0 +1,95 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench module reproduces one table or figure of the paper (see
+DESIGN.md's per-experiment index).  The fixtures here generate the two
+datasets once per session and run the exact pipeline over the full
+query suites, so individual benches only aggregate.
+
+Results are printed live (``capsys.disabled``) and written as CSV under
+``benchmarks/results/``.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench import run_suite  # noqa: E402
+from repro.compiler import CompilationBudget  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    IMDB_QUERIES,
+    TPCH_QUERIES,
+    ImdbConfig,
+    TpchConfig,
+    generate_imdb,
+    generate_tpch,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper's recommended hybrid timeout; doubles as the per-output
+#: budget of the exact pipeline in all benches.
+EXACT_BUDGET = CompilationBudget(max_nodes=400_000, max_seconds=2.5)
+
+TPCH_CONFIG = TpchConfig(scale_factor=0.0005)
+IMDB_CONFIG = ImdbConfig()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    return generate_tpch(TPCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def imdb_db():
+    return generate_imdb(IMDB_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tpch_runs(tpch_db):
+    """Exact pipeline over every output tuple of the TPC-H suite."""
+    return run_suite(
+        tpch_db, TPCH_QUERIES, "TPC-H", budget=EXACT_BUDGET, keep_values=True
+    )
+
+
+@pytest.fixture(scope="session")
+def imdb_runs(imdb_db):
+    """Exact pipeline over every output tuple of the IMDB suite (the
+    largest-output queries are capped to keep the session short)."""
+    return run_suite(
+        imdb_db, IMDB_QUERIES, "IMDB", budget=EXACT_BUDGET,
+        keep_values=True, max_outputs=40,
+    )
+
+
+@pytest.fixture(scope="session")
+def all_records(tpch_runs, imdb_runs):
+    """Every per-output record across both datasets."""
+    records = []
+    for run in tpch_runs + imdb_runs:
+        records.extend(run.records)
+    return records
+
+
+@pytest.fixture(scope="session")
+def ground_truth_records(all_records):
+    """Records where exact computation succeeded (the ground truth used
+    by the inexact-method experiments), sampled deterministically."""
+    import random
+
+    ok = [r for r in all_records if r.ok and r.values and r.n_facts >= 2]
+    rng = random.Random(1234)
+    rng.shuffle(ok)
+    return ok[:120]

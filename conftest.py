@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make `src/` importable even without installation.
+
+The CI environment for this reproduction is offline and lacks the
+`wheel` package, so `pip install -e .` cannot complete; a `.pth` file or
+this conftest provides the equivalent sys.path entry.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

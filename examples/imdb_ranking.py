@@ -1,0 +1,85 @@
+"""Ranking influential facts on IMDB-style join queries.
+
+Runs the JOB-style query 16a (cast of US title-character movies) over
+the synthetic IMDB database and compares three ways of ranking the
+facts behind one answer: exact Shapley values, CNF Proxy, and Monte
+Carlo sampling — reporting the nDCG/Precision@10 of the inexact
+rankings against the exact one, as in the paper's Section 6.2.
+
+Run:  python examples/imdb_ranking.py
+"""
+
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import (
+    cnf_proxy_from_circuit,
+    exact_shapley_of_circuit,
+    monte_carlo_shapley,
+    ndcg,
+    precision_at_k,
+    ranking,
+)
+from repro.db import lineage
+from repro.workloads import generate_imdb, imdb_query
+
+
+def main() -> None:
+    db = generate_imdb()
+    spec = imdb_query("16a")
+    print(f"Generated {db}")
+    print(f"Query 16a: {spec.description}\n")
+
+    result = lineage(spec.plan(db), db, endogenous_only=True)
+    answers = sorted(
+        result.tuples(), key=lambda t: len(result.facts_of(t)), reverse=True
+    )
+    # Pick a medium-difficulty answer: large provenance, still exact-able.
+    answer = next(
+        t for t in answers if 15 <= len(result.facts_of(t)) <= 60
+    )
+    circuit = result.lineage_of(answer)
+    players = sorted(circuit.reachable_vars())
+    print(f"Explaining answer person={answer[0]} "
+          f"({len(players)} facts in its provenance)\n")
+
+    start = time.perf_counter()
+    exact = exact_shapley_of_circuit(circuit, players)
+    t_exact = time.perf_counter() - start
+    truth = {f: float(v) for f, v in exact.items()}
+
+    start = time.perf_counter()
+    proxy = cnf_proxy_from_circuit(circuit, players)
+    t_proxy = time.perf_counter() - start
+
+    start = time.perf_counter()
+    monte = monte_carlo_shapley(
+        circuit, players, samples_per_fact=20, rng=random.Random(0)
+    )
+    t_monte = time.perf_counter() - start
+
+    print("Top-5 facts by exact Shapley value:")
+    for fact in ranking(truth)[:5]:
+        print(f"  {float(truth[fact]):.4f}  {fact}")
+
+    print("\nRanking quality against the exact order:")
+    for name, estimate, seconds in (
+        ("CNF Proxy", proxy, t_proxy),
+        ("Monte Carlo (20/fact)", monte, t_monte),
+    ):
+        floats = {f: float(v) for f, v in estimate.items()}
+        print(f"  {name:22s} nDCG={ndcg(truth, floats):.4f} "
+              f"P@10={precision_at_k(truth, floats, 10):.2f} "
+              f"time={seconds * 1000:.1f} ms "
+              f"(exact took {t_exact * 1000:.1f} ms)")
+
+    print("\nThe proxy reproduces the exact ranking almost perfectly at a")
+    print("fraction of the cost — the paper's headline practical result.")
+
+
+if __name__ == "__main__":
+    main()

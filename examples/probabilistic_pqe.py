@@ -1,0 +1,73 @@
+"""Probabilistic query evaluation and the Shapley <= PQE reduction.
+
+Demonstrates the theory side of the paper (Section 3):
+
+1. a tuple-independent database evaluated with three PQE strategies
+   (possible-world enumeration, lifted inference, lineage + d-DNNF);
+2. the Proposition 3.1 reduction computing an exact Shapley value from
+   nothing but a PQE oracle (n + 1 calls + Vandermonde interpolation).
+
+Run:  python examples/probabilistic_pqe.py
+"""
+
+import os
+import sys
+from fractions import Fraction
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import count_slices, shapley_naive_query, shapley_via_pqe
+from repro.db import Database, RelationSchema, Schema, cq
+from repro.probdb import (
+    TupleIndependentDatabase,
+    pqe_lifted,
+    pqe_lineage,
+    pqe_naive,
+)
+
+
+def main() -> None:
+    schema = Schema.of(
+        RelationSchema.of("Customer", "name"),
+        RelationSchema.of("Order", "name", "item"),
+    )
+    db = Database(schema)
+    probabilities = {}
+    probabilities[db.add("Customer", "ann")] = Fraction(1, 2)
+    probabilities[db.add("Customer", "bob")] = Fraction(2, 3)
+    probabilities[db.add("Order", "ann", "book")] = Fraction(1, 4)
+    probabilities[db.add("Order", "bob", "mug")] = Fraction(1, 5)
+    probabilities[db.add("Order", "bob", "pen")] = Fraction(1, 2)
+    tid = TupleIndependentDatabase(db, probabilities)
+
+    query = cq(None, "Customer(x)", "Order(x, y)")
+    print(f"Query: {query}")
+    print(f"Hierarchical: {query.is_hierarchical()} "
+          f"(safe => PQE in polynomial time)\n")
+
+    naive = pqe_naive(query, tid)
+    lifted = pqe_lifted(query, tid)
+    intensional = pqe_lineage(query, tid)
+    print("P(query) by possible-world enumeration:", naive)
+    print("P(query) by lifted (extensional) plan: ", lifted)
+    print("P(query) by lineage + d-DNNF (WMC):    ", intensional)
+    assert naive == lifted == intensional
+
+    # --- Proposition 3.1: Shapley value from the PQE oracle ----------
+    print("\n#Slices(q, Dx, Dn, k) via n+1 PQE calls + interpolation:")
+    slices = count_slices(query, db, oracle=pqe_lifted)
+    for k, count in enumerate(slices):
+        print(f"  size {k}: {count} satisfying endogenous subsets")
+
+    fact = db.relation("Customer")[0]
+    via_pqe = shapley_via_pqe(query, db, fact, oracle=pqe_lifted)
+    ground_truth = shapley_naive_query(query.to_algebra(schema), db)[fact]
+    print(f"\nShapley({fact}) via the PQE reduction: {via_pqe}")
+    print(f"Shapley({fact}) via Equation (1):      {ground_truth}")
+    assert via_pqe == ground_truth
+    print("\nThe reduction is exact — Shapley computation is no harder "
+          "than PQE (Prop. 3.1).")
+
+
+if __name__ == "__main__":
+    main()

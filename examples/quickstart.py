@@ -1,0 +1,65 @@
+"""Quickstart: Shapley values of facts on the paper's running example.
+
+The database (Figure 1 of the paper) has endogenous Flights facts and
+exogenous Airports facts; the query asks whether a "USA" airport can
+reach a "FR" airport with at most one connection.  We compute the exact
+Shapley value of every flight with each of the library's methods.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import attribute
+from repro.workloads.flights import flights_database, flights_query
+
+
+def main() -> None:
+    db = flights_database()
+    query = flights_query()
+    print(f"Database: {db}")
+    print(f"Query: {query}\n")
+
+    # Exact Shapley values via knowledge compilation (Algorithm 1).
+    exact = attribute(db, query, answer=(), method="exact")
+    print("Exact Shapley values (Algorithm 1):")
+    for fact, value in exact.top(10):
+        print(f"  {str(fact):30s} {str(value):>8s}  ≈ {float(value):.4f}")
+    print(f"  computed in {exact.seconds * 1000:.1f} ms\n")
+
+    # The recommended default: exact-with-timeout, CNF Proxy fallback.
+    hybrid = attribute(db, query, answer=(), method="hybrid", timeout=2.5)
+    print(f"Hybrid method returned kind={hybrid.detail.kind} "
+          f"(exact={hybrid.exact})\n")
+
+    # Fast inexact ranking via CNF Proxy (Algorithm 2).
+    proxy = attribute(db, query, answer=(), method="proxy")
+    print("CNF Proxy ranking (scores are NOT Shapley values; "
+          "trust the order):")
+    for fact in proxy.ranking():
+        print(f"  {str(fact):30s} {float(proxy.values[fact]):+.5f}")
+    print("  (note how the direct JFK->CDG flight lands at the bottom: this")
+    print("  tiny query is the paper's Example 5.4, the documented case")
+    print("  where the proxy misranks — on the benchmarks it rarely does)")
+    print()
+
+    # Sampling baselines.
+    for method in ("monte_carlo", "kernel_shap"):
+        estimate = attribute(
+            db, query, answer=(), method=method, samples_per_fact=50, seed=0
+        )
+        top_fact, top_value = estimate.top(1)[0]
+        print(f"{method:12s}: top fact {top_fact} "
+              f"(estimate {float(top_value):.3f}) "
+              f"in {estimate.seconds * 1000:.1f} ms")
+
+    print("\nExpected (paper, Example 2.1): Flights('JFK','CDG') = 43/105,")
+    print("middle-leg flights = 23/210, LAX/MUC legs = 8/105, "
+          "Flights('LHR','MUC') = 0.")
+
+
+if __name__ == "__main__":
+    main()

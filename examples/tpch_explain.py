@@ -1,0 +1,66 @@
+"""Explaining TPC-H query answers: who made this order ship late?
+
+Generates a micro-scale TPC-H database, runs the suite's Q3 (shipping
+priority) and Q5 (local supplier volume), and attributes selected
+answers to the underlying facts — exactly the workflow of the paper's
+Section 6.1, including a budget-bounded exact computation and the
+hybrid fallback for hard answers.
+
+Run:  python examples/tpch_explain.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import ShapleyExplainer, hybrid_shapley
+from repro.compiler import CompilationBudget
+from repro.db import lineage
+from repro.workloads import TpchConfig, generate_tpch, tpch_query
+
+
+def main() -> None:
+    db = generate_tpch(TpchConfig(scale_factor=0.0005))
+    print(f"Generated {db}\n")
+
+    # --- Q3: small per-answer provenance, exact is instantaneous -----
+    spec = tpch_query("Q3")
+    explainer = ShapleyExplainer(
+        db, budget=CompilationBudget(max_seconds=2.5)
+    )
+    explanations = explainer.explain(spec.sql)
+    print(f"Q3 ({spec.description.splitlines()[0]})")
+    print(f"  {len(explanations)} answers; explaining the first three:")
+    for answer in list(explanations)[:3]:
+        explanation = explanations[answer]
+        if not explanation.outcome.ok:
+            print(f"  order {answer[0]}: exact failed "
+                  f"({explanation.outcome.status})")
+            continue
+        top_fact, top_value = explanation.top(1)[0]
+        print(f"  order {answer[0]}: {len(explanation.values())} facts, "
+              f"top contributor {top_fact} "
+              f"with Shapley value {float(top_value):.4f}")
+    print()
+
+    # --- Q5: large per-answer provenance; use the hybrid -------------
+    spec = tpch_query("Q5")
+    result = lineage(spec.plan(db), db, endogenous_only=True)
+    print(f"Q5 ({spec.description.splitlines()[0]})")
+    for answer in result.tuples():
+        circuit = result.lineage_of(answer)
+        players = sorted(circuit.reachable_vars())
+        outcome = hybrid_shapley(circuit, players, timeout=2.5)
+        marker = "exact values" if outcome.is_exact else "proxy ranking"
+        print(f"  nation {answer[0]}: {len(players)} facts -> {marker} "
+              f"in {outcome.seconds:.3f}s")
+        for fact in outcome.ranking()[:3]:
+            print(f"      {fact}")
+    print("\nInterpretation: the top facts are the lineitem/order/customer")
+    print("rows whose removal would hurt the answer most — the paper's")
+    print("notion of fact responsibility.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Experiment harness shared by the ``benchmarks/`` scripts."""
+
+from .reporting import (
+    TABLE1_HEADERS,
+    format_table,
+    render_csv,
+    table1_rows,
+    write_csv,
+)
+from .runner import OutputRecord, QueryRun, run_output, run_query, run_suite
+from .stats import (
+    SIZE_BUCKETS,
+    bucket_of,
+    group_by_bucket,
+    mean,
+    median,
+    percentile,
+    timing_row,
+)
+
+__all__ = [
+    "TABLE1_HEADERS", "format_table", "render_csv", "table1_rows",
+    "write_csv",
+    "OutputRecord", "QueryRun", "run_output", "run_query", "run_suite",
+    "SIZE_BUCKETS", "bucket_of", "group_by_bucket", "mean", "median",
+    "percentile", "timing_row",
+]

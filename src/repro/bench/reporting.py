@@ -1,0 +1,90 @@
+"""Rendering of paper-style tables.
+
+The benchmark scripts print their tables with these helpers and also
+write them under ``benchmarks/results/`` so EXPERIMENTS.md can link to
+stable artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from .runner import QueryRun
+from .stats import timing_row
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain ASCII table with right-padded columns."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def table1_rows(runs: Sequence[QueryRun], dataset: str) -> list[list[object]]:
+    """Rows in the format of the paper's Table 1."""
+    rows: list[list[object]] = []
+    for run in runs:
+        ok = run.ok_records()
+        kc = timing_row([r.compile_seconds for r in ok])
+        alg1 = timing_row([r.shapley_seconds for r in ok])
+        rows.append(
+            [
+                dataset,
+                run.spec.name,
+                run.shape.joined_tables,
+                run.shape.filter_conditions,
+                run.eval_seconds,
+                len(run.records),
+                f"{100 * run.success_rate:.1f}%" if run.records else "-",
+                kc["mean"], kc["p25"], kc["p50"], kc["p75"], kc["p99"],
+                alg1["mean"], alg1["p25"], alg1["p50"], alg1["p75"], alg1["p99"],
+            ]
+        )
+    return rows
+
+
+TABLE1_HEADERS = [
+    "Dataset", "Query", "#Joined", "#Filters", "Eval[s]", "#Outputs",
+    "Success",
+    "KC mean", "KC p25", "KC p50", "KC p75", "KC p99",
+    "A1 mean", "A1 p25", "A1 p50", "A1 p75", "A1 p99",
+]
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Write a results CSV (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def render_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """The CSV text itself (used in tests)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()

@@ -1,0 +1,82 @@
+"""Statistics helpers for the experiment harness.
+
+The paper reports latency percentiles (mean/p25/p50/p75/p99 in Table 1)
+and aggregates quality metrics into buckets by provenance size
+(Figure 7); this module provides those primitives without any third-
+party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1])."""
+    if not samples:
+        return float("nan")
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean (NaN on empty input)."""
+    if not samples:
+        return float("nan")
+    return sum(samples) / len(samples)
+
+
+def median(samples: Sequence[float]) -> float:
+    """Median (NaN on empty input)."""
+    return percentile(samples, 0.5)
+
+
+def timing_row(samples: Sequence[float]) -> dict[str, float]:
+    """The mean/p25/p50/p75/p99 cells of one Table 1 row."""
+    return {
+        "mean": mean(samples),
+        "p25": percentile(samples, 0.25),
+        "p50": percentile(samples, 0.50),
+        "p75": percentile(samples, 0.75),
+        "p99": percentile(samples, 0.99),
+    }
+
+
+#: Figure 7's provenance-size buckets.
+SIZE_BUCKETS: tuple[tuple[int, int], ...] = (
+    (1, 10), (11, 25), (26, 50), (51, 100), (101, 200), (201, 400),
+)
+
+
+def bucket_label(low: int, high: int) -> str:
+    return f"{low}-{high}"
+
+
+def bucket_of(n_facts: int) -> str | None:
+    """The Figure 7 bucket containing ``n_facts`` (None if outside)."""
+    for low, high in SIZE_BUCKETS:
+        if low <= n_facts <= high:
+            return bucket_label(low, high)
+    if n_facts > SIZE_BUCKETS[-1][1]:
+        return f">{SIZE_BUCKETS[-1][1]}"
+    return None
+
+
+def group_by_bucket(
+    pairs: Iterable[tuple[int, float]]
+) -> dict[str, list[float]]:
+    """Group (n_facts, metric) pairs into Figure 7's buckets."""
+    grouped: dict[str, list[float]] = {}
+    for n_facts, value in pairs:
+        label = bucket_of(n_facts)
+        if label is not None:
+            grouped.setdefault(label, []).append(value)
+    return grouped

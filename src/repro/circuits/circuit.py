@@ -1,0 +1,559 @@
+"""Boolean circuits over named variables.
+
+This module provides the :class:`Circuit` data structure used everywhere in
+the library: query lineage (data provenance) is a Boolean circuit whose
+variables are database facts, the knowledge compiler emits circuits in
+d-DNNF form, and the Shapley algorithms consume them.
+
+Design notes
+------------
+Gates are plain integers.  A circuit owns parallel arrays (kind, children,
+label) indexed by gate id, with the invariant that children always have
+smaller ids than their parents.  Bottom-up passes are therefore simple
+loops over ``range(len(circuit))`` and never need an explicit topological
+sort.  Structurally identical gates are hash-consed, so building the same
+sub-circuit twice yields the same gate id.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Hashable, Iterable, Iterator, Mapping
+
+
+class GateKind(IntEnum):
+    """The kind of a circuit gate."""
+
+    VAR = 0
+    TRUE = 1
+    FALSE = 2
+    AND = 3
+    OR = 4
+    NOT = 5
+
+
+# Short aliases used pervasively in hot loops.
+VAR = GateKind.VAR
+TRUE = GateKind.TRUE
+FALSE = GateKind.FALSE
+AND = GateKind.AND
+OR = GateKind.OR
+NOT = GateKind.NOT
+
+
+class CircuitError(ValueError):
+    """Raised on structurally invalid circuit operations."""
+
+
+class Circuit:
+    """A Boolean circuit DAG over hashable variable labels.
+
+    Variables are identified by arbitrary hashable *labels* (in this
+    library, usually :class:`repro.db.database.Fact` objects or strings).
+    Constructor methods (:meth:`var`, :meth:`and_`, :meth:`or_`,
+    :meth:`not_`, :meth:`true`, :meth:`false`) return gate ids; the root is
+    designated through :attr:`output`.
+
+    Constant simplification is applied during construction (e.g. an AND
+    with a FALSE child collapses to FALSE), so circuits built through this
+    API never contain constant gates except possibly at the root or where
+    a caller explicitly keeps them.
+    """
+
+    __slots__ = ("_kinds", "_children", "_labels", "_var_gates", "_cache", "output")
+
+    def __init__(self) -> None:
+        self._kinds: list[int] = []
+        self._children: list[tuple[int, ...]] = []
+        self._labels: list[Hashable | None] = []
+        self._var_gates: dict[Hashable, int] = {}
+        self._cache: dict[tuple, int] = {}
+        self.output: int | None = None
+
+    # ------------------------------------------------------------------
+    # Gate construction
+    # ------------------------------------------------------------------
+
+    def _add(self, kind: int, children: tuple[int, ...], label: Hashable | None = None) -> int:
+        key = (kind, children, label)
+        gate = self._cache.get(key)
+        if gate is not None:
+            return gate
+        gate = len(self._kinds)
+        self._kinds.append(kind)
+        self._children.append(children)
+        self._labels.append(label)
+        self._cache[key] = gate
+        return gate
+
+    def var(self, label: Hashable) -> int:
+        """Return the gate for variable ``label``, creating it if needed."""
+        gate = self._var_gates.get(label)
+        if gate is None:
+            gate = self._add(VAR, (), label)
+            self._var_gates[label] = gate
+        return gate
+
+    def true(self) -> int:
+        """Return the constant-TRUE gate."""
+        return self._add(TRUE, ())
+
+    def false(self) -> int:
+        """Return the constant-FALSE gate."""
+        return self._add(FALSE, ())
+
+    def not_(self, child: int) -> int:
+        """Return a gate computing the negation of ``child``."""
+        kind = self._kinds[child]
+        if kind == TRUE:
+            return self.false()
+        if kind == FALSE:
+            return self.true()
+        if kind == NOT:
+            return self._children[child][0]
+        return self._add(NOT, (child,))
+
+    def and_(self, children: Iterable[int]) -> int:
+        """Return a gate computing the conjunction of ``children``.
+
+        TRUE children are dropped; a FALSE child collapses the gate to
+        FALSE; duplicate children are merged; an empty conjunction is TRUE
+        and a singleton conjunction is the child itself.
+        """
+        kept: list[int] = []
+        seen: set[int] = set()
+        for child in children:
+            kind = self._kinds[child]
+            if kind == TRUE:
+                continue
+            if kind == FALSE:
+                return self.false()
+            if child not in seen:
+                seen.add(child)
+                kept.append(child)
+        if not kept:
+            return self.true()
+        if len(kept) == 1:
+            return kept[0]
+        return self._add(AND, tuple(kept))
+
+    def or_(self, children: Iterable[int]) -> int:
+        """Return a gate computing the disjunction of ``children``.
+
+        Dual simplifications of :meth:`and_`.
+        """
+        kept: list[int] = []
+        seen: set[int] = set()
+        for child in children:
+            kind = self._kinds[child]
+            if kind == FALSE:
+                continue
+            if kind == TRUE:
+                return self.true()
+            if child not in seen:
+                seen.add(child)
+                kept.append(child)
+        if not kept:
+            return self.false()
+        if len(kept) == 1:
+            return kept[0]
+        return self._add(OR, tuple(kept))
+
+    def literal(self, label: Hashable, positive: bool) -> int:
+        """Return the gate for the literal ``label`` / ``not label``."""
+        gate = self.var(label)
+        return gate if positive else self.not_(gate)
+
+    # Raw constructors used by the knowledge compiler, which must keep
+    # gates it knows to be deterministic/decomposable even when the
+    # generic simplifier would restructure them.
+
+    def raw_and(self, children: tuple[int, ...]) -> int:
+        """Add an AND gate without simplification (children preserved)."""
+        return self._add(AND, children)
+
+    def raw_or(self, children: tuple[int, ...]) -> int:
+        """Add an OR gate without simplification (children preserved)."""
+        return self._add(OR, children)
+
+    # ------------------------------------------------------------------
+    # Structural accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    @property
+    def size(self) -> int:
+        """Number of gates in the circuit (including unreachable ones)."""
+        return len(self._kinds)
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of wires (child references)."""
+        return sum(len(ch) for ch in self._children)
+
+    def kind(self, gate: int) -> GateKind:
+        """Return the :class:`GateKind` of ``gate``."""
+        return GateKind(self._kinds[gate])
+
+    def children(self, gate: int) -> tuple[int, ...]:
+        """Return the child gate ids of ``gate``."""
+        return self._children[gate]
+
+    def label(self, gate: int) -> Hashable:
+        """Return the variable label of a VAR gate."""
+        if self._kinds[gate] != VAR:
+            raise CircuitError(f"gate {gate} is not a variable gate")
+        return self._labels[gate]
+
+    def gates(self) -> Iterator[int]:
+        """Iterate over all gate ids in topological (bottom-up) order."""
+        return iter(range(len(self._kinds)))
+
+    def variables(self) -> set[Hashable]:
+        """Return the set of all variable labels present in the circuit."""
+        return set(self._var_gates)
+
+    def var_gate(self, label: Hashable) -> int | None:
+        """Return the gate id of variable ``label``, or None if absent."""
+        return self._var_gates.get(label)
+
+    def output_gate(self) -> int:
+        """Return the output gate id, raising if it was never set."""
+        if self.output is None:
+            raise CircuitError("circuit has no output gate")
+        return self.output
+
+    def gate_counts(self) -> dict[GateKind, int]:
+        """Return a histogram of gate kinds (useful in benchmarks)."""
+        counts: dict[GateKind, int] = {kind: 0 for kind in GateKind}
+        for kind in self._kinds:
+            counts[GateKind(kind)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Reachability and variable sets
+    # ------------------------------------------------------------------
+
+    def reachable(self, root: int | None = None) -> list[bool]:
+        """Return a flag per gate: is it reachable from ``root``?"""
+        if root is None:
+            root = self.output_gate()
+        flags = [False] * len(self._kinds)
+        stack = [root]
+        flags[root] = True
+        while stack:
+            gate = stack.pop()
+            for child in self._children[gate]:
+                if not flags[child]:
+                    flags[child] = True
+                    stack.append(child)
+        return flags
+
+    def reachable_vars(self, root: int | None = None) -> set[Hashable]:
+        """Return the labels of variables reachable from ``root``."""
+        flags = self.reachable(root)
+        return {
+            self._labels[gate]
+            for gate, kind in enumerate(self._kinds)
+            if kind == VAR and flags[gate]
+        }
+
+    def gate_var_sets(self, root: int | None = None) -> dict[int, frozenset[int]]:
+        """Compute ``Vars(g)`` for every gate reachable from ``root``.
+
+        Variable sets are represented as frozensets of VAR *gate ids* (not
+        labels), which is both faster and unambiguous.
+        """
+        if root is None:
+            root = self.output_gate()
+        flags = self.reachable(root)
+        empty: frozenset[int] = frozenset()
+        sets: dict[int, frozenset[int]] = {}
+        for gate in range(root + 1):
+            if not flags[gate]:
+                continue
+            kind = self._kinds[gate]
+            if kind == VAR:
+                sets[gate] = frozenset((gate,))
+            elif kind in (TRUE, FALSE):
+                sets[gate] = empty
+            else:
+                children = self._children[gate]
+                if len(children) == 1:
+                    sets[gate] = sets[children[0]]
+                else:
+                    union: frozenset[int] = sets[children[0]]
+                    for child in children[1:]:
+                        union = union | sets[child]
+                    sets[gate] = union
+        return sets
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, true_vars: Iterable[Hashable], root: int | None = None) -> bool:
+        """Evaluate the circuit on the assignment where exactly the
+        variables in ``true_vars`` are true.
+
+        ``true_vars`` may be any iterable of labels; labels not appearing
+        in the circuit are ignored.
+        """
+        if root is None:
+            root = self.output_gate()
+        true_set = true_vars if isinstance(true_vars, (set, frozenset)) else set(true_vars)
+        values = [False] * (root + 1)
+        kinds = self._kinds
+        childs = self._children
+        labels = self._labels
+        for gate in range(root + 1):
+            kind = kinds[gate]
+            if kind == VAR:
+                values[gate] = labels[gate] in true_set
+            elif kind == TRUE:
+                values[gate] = True
+            elif kind == FALSE:
+                values[gate] = False
+            elif kind == AND:
+                values[gate] = all(values[c] for c in childs[gate])
+            elif kind == OR:
+                values[gate] = any(values[c] for c in childs[gate])
+            else:  # NOT
+                values[gate] = not values[childs[gate][0]]
+        return values[root]
+
+    def evaluate_batch(
+        self,
+        assignments: Mapping[Hashable, int],
+        width: int,
+        root: int | None = None,
+    ) -> int:
+        """Evaluate ``width`` assignments simultaneously using bit-parallel
+        integer arithmetic.
+
+        ``assignments[label]`` is an integer whose bit *i* gives the value
+        of the variable in assignment *i*.  Returns an integer whose bit
+        *i* is the circuit output on assignment *i*.  Missing labels are
+        treated as all-false.  This is the workhorse of the Monte Carlo
+        and Kernel SHAP baselines.
+        """
+        if root is None:
+            root = self.output_gate()
+        mask = (1 << width) - 1
+        values = [0] * (root + 1)
+        kinds = self._kinds
+        childs = self._children
+        labels = self._labels
+        for gate in range(root + 1):
+            kind = kinds[gate]
+            if kind == VAR:
+                values[gate] = assignments.get(labels[gate], 0) & mask
+            elif kind == TRUE:
+                values[gate] = mask
+            elif kind == FALSE:
+                values[gate] = 0
+            elif kind == AND:
+                acc = mask
+                for child in childs[gate]:
+                    acc &= values[child]
+                    if not acc:
+                        break
+                values[gate] = acc
+            elif kind == OR:
+                acc = 0
+                for child in childs[gate]:
+                    acc |= values[child]
+                    if acc == mask:
+                        break
+                values[gate] = acc
+            else:  # NOT
+                values[gate] = ~values[childs[gate][0]] & mask
+        return values[root]
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def condition(self, assignment: Mapping[Hashable, bool]) -> "Circuit":
+        """Return a new circuit with the given variables fixed.
+
+        This is the partial evaluation ``C[f -> 0/1]`` used by Algorithm 1
+        and by the exogenous-variable elimination of the pipeline
+        (``ELin`` is ``Lin`` with all exogenous facts set to 1).  Constant
+        propagation happens on the fly, so the result is simplified.
+        """
+        result = Circuit()
+        root = self.output_gate()
+        flags = self.reachable(root)
+        mapping: dict[int, int] = {}
+        for gate in range(root + 1):
+            if not flags[gate]:
+                continue
+            kind = self._kinds[gate]
+            if kind == VAR:
+                lbl = self._labels[gate]
+                if lbl in assignment:
+                    mapping[gate] = result.true() if assignment[lbl] else result.false()
+                else:
+                    mapping[gate] = result.var(lbl)
+            elif kind == TRUE:
+                mapping[gate] = result.true()
+            elif kind == FALSE:
+                mapping[gate] = result.false()
+            elif kind == AND:
+                mapping[gate] = result.and_(mapping[c] for c in self._children[gate])
+            elif kind == OR:
+                mapping[gate] = result.or_(mapping[c] for c in self._children[gate])
+            else:  # NOT
+                mapping[gate] = result.not_(mapping[self._children[gate][0]])
+        result.output = mapping[root]
+        return result
+
+    def prune(self) -> "Circuit":
+        """Return a copy containing only gates reachable from the output."""
+        return self.condition({})
+
+    def flatten(self) -> "Circuit":
+        """Return an equivalent circuit with nested same-kind AND/OR
+        gates inlined into their parents.
+
+        ``or(or(a, b), c)`` becomes ``or(a, b, c)``.  Lineage circuits
+        built by the evaluation engine chain binary ORs; flattening them
+        recovers the flat DNF/CNF shape assumed by the paper's worked
+        examples and shrinks the Tseytin CNF.
+        """
+        result = Circuit()
+        root = self.output_gate()
+        flags = self.reachable(root)
+        mapping: dict[int, int] = {}
+        for gate in range(root + 1):
+            if not flags[gate]:
+                continue
+            kind = self._kinds[gate]
+            if kind == VAR:
+                mapping[gate] = result.var(self._labels[gate])
+            elif kind == TRUE:
+                mapping[gate] = result.true()
+            elif kind == FALSE:
+                mapping[gate] = result.false()
+            elif kind == NOT:
+                mapping[gate] = result.not_(mapping[self._children[gate][0]])
+            else:
+                merged: list[int] = []
+                for child in self._children[gate]:
+                    mapped = mapping[child]
+                    if result._kinds[mapped] == kind:
+                        merged.extend(result._children[mapped])
+                    else:
+                        merged.append(mapped)
+                if kind == AND:
+                    mapping[gate] = result.and_(merged)
+                else:
+                    mapping[gate] = result.or_(merged)
+        result.output = mapping[root]
+        # Flattening leaves the superseded nested gates behind; prune
+        # them so downstream passes (e.g. Tseytin) never see them.
+        return result.prune()
+
+    def rename(self, mapping: Mapping[Hashable, Hashable]) -> "Circuit":
+        """Return a copy with variable labels renamed through ``mapping``.
+
+        Labels not present in ``mapping`` are kept unchanged.
+        """
+        result = Circuit()
+        root = self.output_gate()
+        flags = self.reachable(root)
+        gates: dict[int, int] = {}
+        for gate in range(root + 1):
+            if not flags[gate]:
+                continue
+            kind = self._kinds[gate]
+            if kind == VAR:
+                lbl = self._labels[gate]
+                gates[gate] = result.var(mapping.get(lbl, lbl))
+            elif kind == TRUE:
+                gates[gate] = result.true()
+            elif kind == FALSE:
+                gates[gate] = result.false()
+            elif kind == AND:
+                gates[gate] = result.and_(gates[c] for c in self._children[gate])
+            elif kind == OR:
+                gates[gate] = result.or_(gates[c] for c in self._children[gate])
+            else:
+                gates[gate] = result.not_(gates[self._children[gate][0]])
+        result.output = gates[root]
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection / debugging
+    # ------------------------------------------------------------------
+
+    def to_nested(self, gate: int | None = None) -> object:
+        """Return a nested-tuple rendering of the circuit (for tests and
+        debugging of small circuits only)."""
+        if gate is None:
+            gate = self.output_gate()
+        kind = self._kinds[gate]
+        if kind == VAR:
+            return self._labels[gate]
+        if kind == TRUE:
+            return True
+        if kind == FALSE:
+            return False
+        name = {AND: "and", OR: "or", NOT: "not"}[kind]
+        return (name, *[self.to_nested(c) for c in self._children[gate]])
+
+    def to_dot(self, root: int | None = None) -> str:
+        """Render the circuit in Graphviz DOT format."""
+        if root is None:
+            root = self.output_gate()
+        flags = self.reachable(root)
+        lines = ["digraph circuit {", "  rankdir=BT;"]
+        symbols = {AND: "∧", OR: "∨", NOT: "¬", TRUE: "1", FALSE: "0"}
+        for gate in range(root + 1):
+            if not flags[gate]:
+                continue
+            kind = self._kinds[gate]
+            if kind == VAR:
+                text = str(self._labels[gate])
+                lines.append(f'  g{gate} [label="{text}" shape=box];')
+            else:
+                lines.append(f'  g{gate} [label="{symbols[kind]}"];')
+            for child in self._children[gate]:
+                lines.append(f"  g{child} -> g{gate};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        out = self.output if self.output is not None else "?"
+        return f"Circuit(gates={len(self)}, vars={len(self._var_gates)}, output={out})"
+
+
+def circuit_from_nested(expr: object) -> Circuit:
+    """Build a circuit from a nested-tuple expression.
+
+    The inverse of :meth:`Circuit.to_nested`; handy in tests:
+    ``("or", "a", ("and", "b", "c"))``.
+    """
+    circuit = Circuit()
+
+    def build(node: object) -> int:
+        if node is True:
+            return circuit.true()
+        if node is False:
+            return circuit.false()
+        if isinstance(node, tuple) and node and node[0] in ("and", "or", "not"):
+            op, *args = node
+            if op == "and":
+                return circuit.and_([build(a) for a in args])
+            if op == "or":
+                return circuit.or_([build(a) for a in args])
+            if len(args) != 1:
+                raise CircuitError("'not' takes exactly one argument")
+            return circuit.not_(build(args[0]))
+        return circuit.var(node)
+
+    circuit.output = build(expr)
+    return circuit

@@ -1,0 +1,233 @@
+"""CNF formulas with DIMACS-style literals and label bookkeeping.
+
+A :class:`Cnf` stores clauses as tuples of signed integers (positive =
+positive literal), exactly like the DIMACS format, together with a
+bidirectional mapping between integer variables and the original circuit
+variable labels.  The knowledge compiler (:mod:`repro.compiler`) and the
+CNF Proxy heuristic (:mod:`repro.core.cnf_proxy`) both consume this
+representation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+
+class CnfError(ValueError):
+    """Raised on malformed CNF input."""
+
+
+class Cnf:
+    """A formula in conjunctive normal form.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of variables; variables are ``1..num_vars``.
+    clauses:
+        Iterable of clauses, each a sequence of non-zero signed ints.
+    labels:
+        Optional mapping from variable index to an external label (e.g. a
+        database fact).  Variables without a label are *auxiliary* (for
+        instance, introduced by the Tseytin transformation).
+    """
+
+    __slots__ = ("num_vars", "clauses", "labels", "_by_label")
+
+    def __init__(
+        self,
+        num_vars: int,
+        clauses: Iterable[Sequence[int]] = (),
+        labels: Mapping[int, Hashable] | None = None,
+    ) -> None:
+        self.num_vars = num_vars
+        self.clauses: list[tuple[int, ...]] = []
+        for clause in clauses:
+            self.add_clause(clause)
+        self.labels: dict[int, Hashable] = dict(labels) if labels else {}
+        self._by_label: dict[Hashable, int] = {lbl: v for v, lbl in self.labels.items()}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_clause(self, clause: Sequence[int]) -> None:
+        """Append a clause, validating its literals."""
+        lits = tuple(clause)
+        for lit in lits:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise CnfError(f"literal {lit} out of range 1..{self.num_vars}")
+        self.clauses.append(lits)
+
+    def new_var(self, label: Hashable | None = None) -> int:
+        """Allocate a fresh variable, optionally labelled."""
+        self.num_vars += 1
+        var = self.num_vars
+        if label is not None:
+            self.labels[var] = label
+            self._by_label[label] = var
+        return var
+
+    def set_label(self, var: int, label: Hashable) -> None:
+        """Attach an external label to variable ``var``."""
+        self.labels[var] = label
+        self._by_label[label] = var
+
+    def var_for_label(self, label: Hashable) -> int | None:
+        """Return the variable carrying ``label``, or None."""
+        return self._by_label.get(label)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    def auxiliary_vars(self) -> set[int]:
+        """Variables without an external label (e.g. Tseytin variables)."""
+        return {v for v in range(1, self.num_vars + 1) if v not in self.labels}
+
+    def labelled_vars(self) -> set[int]:
+        """Variables carrying an external label."""
+        return set(self.labels)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(self, true_vars: Iterable[int]) -> bool:
+        """Evaluate under the assignment where ``true_vars`` are true."""
+        truth = true_vars if isinstance(true_vars, (set, frozenset)) else set(true_vars)
+        for clause in self.clauses:
+            satisfied = False
+            for lit in clause:
+                if (lit > 0) == (abs(lit) in truth):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def evaluate_labelled(self, true_labels: Iterable[Hashable]) -> bool:
+        """Evaluate a label assignment, existentially checking auxiliary
+        variables by brute force (only sensible for small formulas)."""
+        base = {self._by_label[lbl] for lbl in true_labels if lbl in self._by_label}
+        aux = sorted(self.auxiliary_vars())
+        if not aux:
+            return self.evaluate(base)
+        for mask in range(1 << len(aux)):
+            chosen = base | {aux[i] for i in range(len(aux)) if mask >> i & 1}
+            if self.evaluate(chosen):
+                return True
+        return False
+
+    def condition(self, assignment: Mapping[int, bool]) -> "Cnf":
+        """Return a copy with some variables fixed (clauses simplified).
+
+        Satisfied clauses are dropped, false literals removed.  The
+        variable numbering is preserved.
+        """
+        result = Cnf(self.num_vars, labels=self.labels)
+        for clause in self.clauses:
+            kept: list[int] = []
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    kept.append(lit)
+            if not satisfied:
+                result.add_clause(kept)
+        return result
+
+    def unit_propagate(self) -> tuple[dict[int, bool], list[tuple[int, ...]], bool]:
+        """Run unit propagation to fixpoint.
+
+        Returns ``(forced, residual_clauses, conflict)`` where ``forced``
+        maps variables to their implied values, ``residual_clauses`` are
+        the simplified remaining clauses and ``conflict`` is True if an
+        empty clause was derived.
+        """
+        forced: dict[int, bool] = {}
+        clauses = list(self.clauses)
+        changed = True
+        while changed:
+            changed = False
+            remaining: list[tuple[int, ...]] = []
+            for clause in clauses:
+                kept: list[int] = []
+                satisfied = False
+                for lit in clause:
+                    var = abs(lit)
+                    if var in forced:
+                        if forced[var] == (lit > 0):
+                            satisfied = True
+                            break
+                    else:
+                        kept.append(lit)
+                if satisfied:
+                    changed = True
+                    continue
+                if not kept:
+                    return forced, [], True
+                if len(kept) == 1:
+                    lit = kept[0]
+                    var = abs(lit)
+                    value = lit > 0
+                    if var in forced:
+                        if forced[var] != value:
+                            return forced, [], True
+                    else:
+                        forced[var] = value
+                    changed = True
+                    continue
+                if len(kept) != len(clause):
+                    changed = True
+                remaining.append(tuple(kept))
+            clauses = remaining
+        return forced, clauses, False
+
+    # ------------------------------------------------------------------
+    # DIMACS I/O
+    # ------------------------------------------------------------------
+
+    def to_dimacs(self) -> str:
+        """Serialize to DIMACS CNF text."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "Cnf":
+        """Parse DIMACS CNF text."""
+        num_vars = None
+        clauses: list[list[int]] = []
+        current: list[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise CnfError(f"bad problem line: {line!r}")
+                num_vars = int(parts[2])
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    clauses.append(current)
+                    current = []
+                else:
+                    current.append(lit)
+        if current:
+            clauses.append(current)
+        if num_vars is None:
+            raise CnfError("missing 'p cnf' problem line")
+        return cls(num_vars, clauses)
+
+    def __repr__(self) -> str:
+        return f"Cnf(vars={self.num_vars}, clauses={len(self.clauses)})"

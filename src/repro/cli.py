@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Generate a benchmark database (tpch / imdb / flights) and save it as
+    a CSV directory.
+``queries``
+    List the benchmark suite queries for a workload.
+``explain``
+    Run a query over a saved or generated database and print the
+    top-contributing facts for an answer, with any method of the paper.
+``bench``
+    A quick smoke benchmark: exact pipeline over one suite query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .compiler import CompilationBudget
+from .core import run_exact, to_plan
+from .core.attribution import METHODS, attribute
+from .db import lineage
+from .db.database import Database
+from .db.io import load_database, save_database
+from .workloads import (
+    IMDB_ALL_QUERIES,
+    TPCH_QUERIES,
+    ImdbConfig,
+    TpchConfig,
+    generate_imdb,
+    generate_tpch,
+    imdb_query,
+    tpch_query,
+)
+from .workloads.flights import flights_database, flights_query
+
+
+def _build_db(args: argparse.Namespace) -> Database:
+    if getattr(args, "data", None):
+        return load_database(args.data)
+    workload = args.workload
+    if workload == "tpch":
+        return generate_tpch(TpchConfig(scale_factor=args.scale, seed=args.seed))
+    if workload == "imdb":
+        return generate_imdb(ImdbConfig(seed=args.seed))
+    if workload == "flights":
+        return flights_database()
+    raise SystemExit(f"unknown workload {workload!r}")
+
+
+def _resolve_query(args: argparse.Namespace, db: Database):
+    if args.sql:
+        return args.sql
+    if args.query:
+        if args.workload == "tpch":
+            return tpch_query(args.query).sql
+        if args.workload == "imdb":
+            return imdb_query(args.query).sql
+        raise SystemExit("--query needs --workload tpch or imdb")
+    if args.workload == "flights":
+        return flights_query()
+    raise SystemExit("pass --sql or --query")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    db = _build_db(args)
+    save_database(db, args.out)
+    print(f"wrote {db} to {args.out}")
+    return 0
+
+
+def cmd_queries(args: argparse.Namespace) -> int:
+    suite = TPCH_QUERIES if args.workload == "tpch" else IMDB_ALL_QUERIES
+    for spec in suite:
+        description = spec.description.split(".")[0]
+        print(f"{spec.name:6s} {description}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = _build_db(args)
+    query = _resolve_query(args, db)
+    answer = tuple(args.answer) if args.answer else None
+    if answer is not None:
+        # try to coerce numeric components so they match stored values
+        answer = tuple(_coerce(part) for part in answer)
+    try:
+        result = attribute(
+            db, query,
+            answer=answer,
+            method=args.method,
+            timeout=args.timeout,
+            samples_per_fact=args.samples,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        available = lineage(to_plan(query, db), db).tuples()
+        preview = ", ".join(str(t) for t in available[:8])
+        print(f"available answers ({len(available)}): {preview} ...",
+              file=sys.stderr)
+        return 2
+    kind = "exact Shapley values" if result.exact else f"{result.method} scores"
+    print(f"answer {result.answer}: {kind} "
+          f"({len(result.values)} facts, {result.seconds:.3f}s)")
+    for fact, value in result.top(args.top):
+        print(f"  {float(value):+.6f}  {fact}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    db = _build_db(args)
+    query = _resolve_query(args, db)
+    plan_result = lineage(to_plan(query, db), db, endogenous_only=True)
+    budget = CompilationBudget(max_seconds=args.timeout)
+    start = time.perf_counter()
+    ok = total = 0
+    for answer in plan_result.tuples():
+        circuit = plan_result.lineage_of(answer)
+        players = sorted(circuit.reachable_vars())
+        outcome = run_exact(circuit, players, budget=budget)
+        total += 1
+        ok += outcome.ok
+    elapsed = time.perf_counter() - start
+    print(f"{total} outputs, {ok} exact successes "
+          f"({ok / total:.1%}) in {elapsed:.2f}s")
+    return 0
+
+
+def _coerce(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shapley values of database facts in query answering",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", choices=("tpch", "imdb", "flights"),
+                       default="flights")
+        p.add_argument("--data", help="CSV directory written by 'generate'")
+        p.add_argument("--scale", type=float, default=0.0005,
+                       help="TPC-H scale factor")
+        p.add_argument("--seed", type=int, default=7)
+
+    g = sub.add_parser("generate", help="generate and save a database")
+    common(g)
+    g.add_argument("--out", required=True, help="output CSV directory")
+    g.set_defaults(func=cmd_generate)
+
+    q = sub.add_parser("queries", help="list suite queries")
+    q.add_argument("--workload", choices=("tpch", "imdb"), default="tpch")
+    q.set_defaults(func=cmd_queries)
+
+    e = sub.add_parser("explain", help="attribute a query answer to facts")
+    common(e)
+    e.add_argument("--sql", help="SQL text to run")
+    e.add_argument("--query", help="suite query name (e.g. Q3, 8d)")
+    e.add_argument("--answer", nargs="*", help="the answer tuple to explain")
+    e.add_argument("--method", choices=METHODS, default="hybrid")
+    e.add_argument("--timeout", type=float, default=2.5)
+    e.add_argument("--samples", type=int, default=20,
+                   help="samples per fact for the sampling methods")
+    e.add_argument("--top", type=int, default=10)
+    e.set_defaults(func=cmd_explain)
+
+    b = sub.add_parser("bench", help="quick exact-pipeline smoke benchmark")
+    common(b)
+    b.add_argument("--sql")
+    b.add_argument("--query")
+    b.add_argument("--timeout", type=float, default=2.5)
+    b.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Knowledge compilation: CNF/circuit -> d-DNNF, plus an OBDD backend."""
+
+from .knowledge import (
+    BudgetExceeded,
+    CompilationBudget,
+    CompilationResult,
+    CompilationStats,
+    compile_circuit,
+    compile_cnf,
+)
+from .obdd import Obdd, ObddStats, compile_circuit_obdd, default_order
+
+__all__ = [
+    "BudgetExceeded",
+    "CompilationBudget",
+    "CompilationResult",
+    "CompilationStats",
+    "compile_circuit",
+    "compile_cnf",
+    "Obdd",
+    "ObddStats",
+    "compile_circuit_obdd",
+    "default_order",
+]

@@ -1,0 +1,389 @@
+"""Top-down knowledge compiler: CNF -> decision-DNNF.
+
+This is the library's stand-in for the c2d compiler used in the paper.
+It performs exhaustive DPLL search with the three classic ingredients of
+model-counting compilers (c2d, Dsharp, sharpSAT):
+
+* unit propagation at every node;
+* decomposition into connected components, compiled independently and
+  conjoined (such AND gates are decomposable by construction);
+* caching of residual components so shared subproblems compile once.
+
+Branching on a variable ``v`` produces the gate
+``(v AND C|v=1) OR (not v AND C|v=0)``, which is deterministic by
+construction.  The output is therefore a d-DNNF — exactly the circuit
+class required by Algorithm 1 of the paper.
+
+Compilation of an arbitrary CNF into d-DNNF is FP^#P-hard, so the
+compiler supports *budgets* (node count and wall clock).  Exceeding a
+budget raises :class:`BudgetExceeded`; the benchmark harness records
+those events as the paper's out-of-memory / timeout failures.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from ..circuits.circuit import Circuit
+from ..circuits.cnf import Cnf
+
+Clause = tuple[int, ...]
+ClauseSet = tuple[Clause, ...]
+
+
+class BudgetExceeded(RuntimeError):
+    """The compilation exceeded its node or time budget.
+
+    Plays the role of the OOM/timeout failures reported in the paper's
+    experiments (Section 6.1).
+    """
+
+
+@dataclass
+class CompilationBudget:
+    """Resource limits for a compilation run.
+
+    ``max_nodes`` bounds the number of circuit gates created (a memory
+    proxy); ``max_seconds`` bounds wall-clock time.  ``None`` disables a
+    limit.
+    """
+
+    max_nodes: int | None = None
+    max_seconds: float | None = None
+
+
+@dataclass
+class CompilationStats:
+    """Counters reported after a compilation."""
+
+    decisions: int = 0
+    cache_hits: int = 0
+    cache_entries: int = 0
+    components_split: int = 0
+    seconds: float = 0.0
+    nodes: int = 0
+
+
+@dataclass
+class CompilationResult:
+    """A compiled d-DNNF circuit together with run statistics."""
+
+    circuit: Circuit
+    stats: CompilationStats = field(default_factory=CompilationStats)
+
+
+def _select_widest(clauses: ClauseSet) -> int:
+    """Branch on a variable of the widest clause.
+
+    Crucial for lineage-shaped CNFs: a projected answer yields one wide
+    disjunction clause over per-derivation auxiliaries.  Branching
+    inside that clause either satisfies it (decomposing the residual
+    into independent derivation blocks) or shrinks it deterministically,
+    keeping the number of distinct cached residuals linear.  Generic
+    SAT heuristics (MOMS & co.) branch elsewhere and generate
+    exponentially many long-clause remnants.
+
+    Among the widest clause's variables, the globally most frequent one
+    is chosen (stable on ties), which also favours decomposition.
+    """
+    widest = max(clauses, key=len)
+    if len(widest) <= 2:
+        return _select_moms(clauses)
+    frequency: dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            var = abs(lit)
+            frequency[var] = frequency.get(var, 0) + 1
+    return max((abs(lit) for lit in widest), key=lambda v: (frequency[v], -v))
+
+
+def _select_moms(clauses: ClauseSet) -> int:
+    """MOMS heuristic: most occurrences in minimum-size clauses."""
+    min_len = min(len(c) for c in clauses)
+    scores: dict[int, int] = {}
+    for clause in clauses:
+        if len(clause) == min_len:
+            for lit in clause:
+                var = abs(lit)
+                scores[var] = scores.get(var, 0) + 1
+    return max(scores.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+
+def _select_freq(clauses: ClauseSet) -> int:
+    """Most frequent variable overall."""
+    scores: dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            var = abs(lit)
+            scores[var] = scores.get(var, 0) + 1
+    return max(scores.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+
+def _select_jw(clauses: ClauseSet) -> int:
+    """Two-sided Jeroslow-Wang: weight 2^-|clause| per occurrence."""
+    scores: dict[int, float] = {}
+    for clause in clauses:
+        weight = 2.0 ** -len(clause)
+        for lit in clause:
+            var = abs(lit)
+            scores[var] = scores.get(var, 0.0) + weight
+    return max(scores.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+
+HEURISTICS: dict[str, Callable[[ClauseSet], int]] = {
+    "widest": _select_widest,
+    "moms": _select_moms,
+    "freq": _select_freq,
+    "jw": _select_jw,
+}
+
+
+class _Compiler:
+    """One compilation run (internal)."""
+
+    def __init__(
+        self,
+        cnf: Cnf,
+        budget: CompilationBudget | None,
+        heuristic: str,
+    ) -> None:
+        self.cnf = cnf
+        self.budget = budget or CompilationBudget()
+        try:
+            self.select = HEURISTICS[heuristic]
+        except KeyError:
+            raise ValueError(
+                f"unknown heuristic {heuristic!r}; choose from {sorted(HEURISTICS)}"
+            ) from None
+        self.circuit = Circuit()
+        self.cache: dict[ClauseSet, int] = {}
+        self.stats = CompilationStats()
+        self.start = time.perf_counter()
+        self.deadline = (
+            self.start + self.budget.max_seconds
+            if self.budget.max_seconds is not None
+            else None
+        )
+        self._tick = 0
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _check_budget(self) -> None:
+        self._tick += 1
+        if self.budget.max_nodes is not None and len(self.circuit) > self.budget.max_nodes:
+            raise BudgetExceeded(
+                f"node budget exceeded ({len(self.circuit)} > {self.budget.max_nodes})"
+            )
+        if self.deadline is not None and self._tick % 64 == 0:
+            if time.perf_counter() > self.deadline:
+                raise BudgetExceeded(
+                    f"time budget exceeded ({self.budget.max_seconds}s)"
+                )
+
+    def _lit_gate(self, lit: int) -> int:
+        label = self.cnf.labels.get(abs(lit), ("z", abs(lit)))
+        return self.circuit.literal(label, lit > 0)
+
+    # -- core recursion ------------------------------------------------
+
+    def run(self) -> int:
+        forced, residual, conflict = _propagate(tuple(self.cnf.clauses), {})
+        if conflict:
+            return self.circuit.false()
+        gates = [self._lit_gate(v if val else -v) for v, val in forced.items()]
+        if residual:
+            gates.extend(self._components(residual))
+        return self.circuit.and_(gates)
+
+    def _components(self, clauses: ClauseSet) -> list[int]:
+        """Split into connected components and compile each."""
+        comps = _connected_components(clauses)
+        if len(comps) > 1:
+            self.stats.components_split += 1
+        return [self._compile_component(comp) for comp in comps]
+
+    def _compile_component(self, clauses: ClauseSet) -> int:
+        self._check_budget()
+        key = _canonical(clauses)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+
+        var = self.select(clauses)
+        self.stats.decisions += 1
+        branches = []
+        for value in (True, False):
+            forced, residual, conflict = _propagate(clauses, {var: value})
+            if conflict:
+                continue
+            gates = [self._lit_gate(v if val else -v) for v, val in forced.items()]
+            gates.append(self._lit_gate(var if value else -var))
+            if residual:
+                gates.extend(self._components(residual))
+            branches.append(self.circuit.and_(gates))
+        # A branch gate always conjoins its decision literal, so it is
+        # never constant-TRUE; or_ only strips impossible (FALSE)
+        # branches, which preserves determinism.
+        gate = self.circuit.or_(branches)
+        self.cache[key] = gate
+        self.stats.cache_entries += 1
+        return gate
+
+
+def _propagate(
+    clauses: Iterable[Clause], assignment: dict[int, bool]
+) -> tuple[dict[int, bool], ClauseSet, bool]:
+    """Unit-propagate ``clauses`` under ``assignment``.
+
+    Returns ``(newly_forced, residual, conflict)``.  The decision
+    variables in ``assignment`` are *not* included in ``newly_forced``.
+    """
+    forced: dict[int, bool] = {}
+
+    def value(var: int) -> bool | None:
+        if var in assignment:
+            return assignment[var]
+        return forced.get(var)
+
+    work = list(clauses)
+    while True:
+        changed = False
+        residual: list[Clause] = []
+        for clause in work:
+            kept: list[int] = []
+            satisfied = False
+            for lit in clause:
+                val = value(abs(lit))
+                if val is None:
+                    kept.append(lit)
+                elif val == (lit > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                changed = True
+                continue
+            if not kept:
+                return forced, (), True
+            if len(kept) == 1:
+                lit = kept[0]
+                var, val = abs(lit), lit > 0
+                existing = value(var)
+                if existing is None:
+                    forced[var] = val
+                    changed = True
+                    continue
+                if existing != val:
+                    return forced, (), True
+                changed = True
+                continue
+            if len(kept) != len(clause):
+                changed = True
+            residual.append(tuple(kept))
+        work = residual
+        if not changed:
+            return forced, tuple(work), False
+
+
+def _connected_components(clauses: ClauseSet) -> list[ClauseSet]:
+    """Partition clauses into variable-connected components."""
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for clause in clauses:
+        first = abs(clause[0])
+        for lit in clause:
+            var = abs(lit)
+            if var not in parent:
+                parent[var] = var
+        if first not in parent:
+            parent[first] = first
+        for lit in clause[1:]:
+            union(first, abs(lit))
+
+    groups: dict[int, list[Clause]] = {}
+    for clause in clauses:
+        root = find(abs(clause[0]))
+        groups.setdefault(root, []).append(clause)
+    return [tuple(group) for group in groups.values()]
+
+
+def _canonical(clauses: ClauseSet) -> ClauseSet:
+    """Canonical cache key: sorted clauses of sorted literals."""
+    return tuple(sorted(tuple(sorted(c, key=abs)) for c in clauses))
+
+
+def compile_cnf(
+    cnf: Cnf,
+    budget: CompilationBudget | None = None,
+    heuristic: str = "widest",
+) -> CompilationResult:
+    """Compile a CNF into a d-DNNF circuit.
+
+    Parameters
+    ----------
+    cnf:
+        The input formula.  Variable labels are carried over to circuit
+        variable labels; unlabelled variables become ``("z", index)``.
+    budget:
+        Optional :class:`CompilationBudget`; raises
+        :class:`BudgetExceeded` when exhausted.
+    heuristic:
+        Branching heuristic: ``"widest"`` (default; see
+        :func:`_select_widest`), ``"moms"``, ``"freq"`` or ``"jw"``.
+
+    Returns a :class:`CompilationResult` whose circuit is deterministic
+    and decomposable by construction.
+    """
+    limit = max(10_000, 4 * cnf.num_vars + 1000)
+    old_limit = sys.getrecursionlimit()
+    if old_limit < limit:
+        sys.setrecursionlimit(limit)
+    try:
+        run = _Compiler(cnf, budget, heuristic)
+        run.circuit.output = run.run()
+        run.stats.seconds = time.perf_counter() - run.start
+        run.stats.nodes = len(run.circuit)
+        return CompilationResult(run.circuit, run.stats)
+    finally:
+        if old_limit < limit:
+            sys.setrecursionlimit(old_limit)
+
+
+def compile_circuit(
+    circuit: Circuit,
+    budget: CompilationBudget | None = None,
+    heuristic: str = "widest",
+) -> CompilationResult:
+    """Compile an arbitrary Boolean circuit into a d-DNNF over the *same*
+    variables.
+
+    Implements the full middle path of the paper's Figure 3: Tseytin
+    transformation, CNF compilation, then elimination of the auxiliary
+    variables with Lemma 4.6.
+    """
+    from ..circuits.dnnf import eliminate_auxiliary
+    from ..circuits.tseytin import tseytin_transform
+
+    cnf = tseytin_transform(circuit)
+    result = compile_cnf(cnf, budget=budget, heuristic=heuristic)
+    keep = set(cnf.labels.values())
+    cleaned = eliminate_auxiliary(result.circuit, keep)
+    result_stats = result.stats
+    result_stats.nodes = len(cleaned)
+    return CompilationResult(cleaned, result_stats)

@@ -1,0 +1,259 @@
+"""Reduced ordered binary decision diagrams (OBDDs).
+
+OBDDs are a classical knowledge-compilation target that is *also*
+deterministic and decomposable when unfolded into a circuit: every
+internal node ``ite(v, hi, lo)`` becomes ``(v AND hi) OR (not v AND lo)``
+— a decision gate.  The paper compiles to d-DNNF with c2d; this module
+provides an alternative backend so the benchmark suite can ablate the
+choice of compilation target (DESIGN.md, ablations).
+
+The implementation is a standard apply-based package with hash-consed
+nodes and memoized binary operations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..circuits.circuit import AND, FALSE, NOT, OR, TRUE, VAR, Circuit, CircuitError
+from .knowledge import BudgetExceeded, CompilationBudget
+
+# Terminal pseudo-ids.
+_FALSE = 0
+_TRUE = 1
+
+
+@dataclass
+class ObddStats:
+    """Counters reported after an OBDD build."""
+
+    nodes: int = 0
+    apply_calls: int = 0
+    seconds: float = 0.0
+
+
+class Obdd:
+    """A reduced, ordered BDD manager over a fixed variable order."""
+
+    def __init__(
+        self,
+        order: Sequence[Hashable],
+        budget: CompilationBudget | None = None,
+    ) -> None:
+        self.order: list[Hashable] = list(order)
+        if len(set(self.order)) != len(self.order):
+            raise ValueError("variable order contains duplicates")
+        self.level: dict[Hashable, int] = {v: i for i, v in enumerate(self.order)}
+        # node id -> (level, lo, hi); ids 0/1 are the terminals.
+        self.nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
+        self.budget = budget or CompilationBudget()
+        self.stats = ObddStats()
+        self._deadline = (
+            time.perf_counter() + self.budget.max_seconds
+            if self.budget.max_seconds is not None
+            else None
+        )
+
+    # -- node management -------------------------------------------------
+
+    def _mk(self, level: int, lo: int, hi: int) -> int:
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self.nodes)
+            self.nodes.append(key)
+            self._unique[key] = node
+            if (
+                self.budget.max_nodes is not None
+                and len(self.nodes) > self.budget.max_nodes
+            ):
+                raise BudgetExceeded(
+                    f"OBDD node budget exceeded ({len(self.nodes)})"
+                )
+            if self._deadline is not None and len(self.nodes) % 256 == 0:
+                if time.perf_counter() > self._deadline:
+                    raise BudgetExceeded("OBDD time budget exceeded")
+        return node
+
+    def var(self, label: Hashable) -> int:
+        """Return the BDD for a single positive variable."""
+        return self._mk(self.level[label], _FALSE, _TRUE)
+
+    @property
+    def true(self) -> int:
+        return _TRUE
+
+    @property
+    def false(self) -> int:
+        return _FALSE
+
+    def _level(self, node: int) -> int:
+        if node in (_FALSE, _TRUE):
+            return len(self.order)
+        return self.nodes[node][0]
+
+    # -- operations --------------------------------------------------------
+
+    def neg(self, node: int) -> int:
+        """Negation."""
+        if node == _FALSE:
+            return _TRUE
+        if node == _TRUE:
+            return _FALSE
+        cached = self._not_cache.get(node)
+        if cached is None:
+            level, lo, hi = self.nodes[node]
+            cached = self._mk(level, self.neg(lo), self.neg(hi))
+            self._not_cache[node] = cached
+        return cached
+
+    def apply(self, op: str, a: int, b: int) -> int:
+        """Binary operation ``op`` in {"and", "or"}."""
+        self.stats.apply_calls += 1
+        if op == "and":
+            if a == _FALSE or b == _FALSE:
+                return _FALSE
+            if a == _TRUE:
+                return b
+            if b == _TRUE:
+                return a
+            if a == b:
+                return a
+        elif op == "or":
+            if a == _TRUE or b == _TRUE:
+                return _TRUE
+            if a == _FALSE:
+                return b
+            if b == _FALSE:
+                return a
+            if a == b:
+                return a
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        if a > b:
+            a, b = b, a
+        key = (op, a, b)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        la, lb = self._level(a), self._level(b)
+        level = min(la, lb)
+        a_lo, a_hi = (self.nodes[a][1], self.nodes[a][2]) if la == level else (a, a)
+        b_lo, b_hi = (self.nodes[b][1], self.nodes[b][2]) if lb == level else (b, b)
+        result = self._mk(
+            level, self.apply(op, a_lo, b_lo), self.apply(op, a_hi, b_hi)
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        acc = _TRUE
+        for node in nodes:
+            acc = self.apply("and", acc, node)
+        return acc
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        acc = _FALSE
+        for node in nodes:
+            acc = self.apply("or", acc, node)
+        return acc
+
+    # -- export --------------------------------------------------------
+
+    def to_circuit(self, root: int) -> Circuit:
+        """Unfold the BDD rooted at ``root`` into a d-D decision circuit."""
+        circuit = Circuit()
+        memo: dict[int, int] = {
+            _FALSE: circuit.false(),
+            _TRUE: circuit.true(),
+        }
+
+        order = self.order
+
+        def build(node: int) -> int:
+            gate = memo.get(node)
+            if gate is not None:
+                return gate
+            level, lo, hi = self.nodes[node]
+            label = order[level]
+            var_gate = circuit.var(label)
+            lo_gate = build(lo)
+            hi_gate = build(hi)
+            pos = circuit.and_((var_gate, hi_gate))
+            neg = circuit.and_((circuit.not_(var_gate), lo_gate))
+            gate = circuit.or_((pos, neg))
+            memo[node] = gate
+            return gate
+
+        circuit.output = build(root)
+        return circuit
+
+
+def default_order(circuit: Circuit) -> list[Hashable]:
+    """Variable order by decreasing occurrence count (then repr)."""
+    counts: dict[Hashable, int] = {}
+    root = circuit.output_gate()
+    flags = circuit.reachable(root)
+    parents_of_var: dict[Hashable, int] = {}
+    for gate in range(root + 1):
+        if not flags[gate]:
+            continue
+        for child in circuit.children(gate):
+            if circuit.kind(child) == VAR:
+                lbl = circuit.label(child)
+                counts[lbl] = counts.get(lbl, 0) + 1
+    for gate in range(root + 1):
+        if flags[gate] and circuit.kind(gate) == VAR:
+            counts.setdefault(circuit.label(gate), 0)
+    return sorted(counts, key=lambda lbl: (-counts[lbl], repr(lbl)))
+
+
+def compile_circuit_obdd(
+    circuit: Circuit,
+    order: Sequence[Hashable] | None = None,
+    budget: CompilationBudget | None = None,
+) -> tuple[Circuit, ObddStats]:
+    """Compile an arbitrary circuit into a d-D circuit via an OBDD.
+
+    Returns ``(dD_circuit, stats)``.  Unlike the CNF compiler this path
+    needs no Tseytin variables: the apply operations build the BDD
+    directly bottom-up over the circuit structure.
+    """
+    start = time.perf_counter()
+    simplified = circuit.condition({})
+    if order is None:
+        order = default_order(simplified)
+    manager = Obdd(order, budget=budget)
+    root = simplified.output_gate()
+    values: dict[int, int] = {}
+    for gate in range(root + 1):
+        kind = simplified.kind(gate)
+        if kind == VAR:
+            values[gate] = manager.var(simplified.label(gate))
+        elif kind == TRUE:
+            values[gate] = manager.true
+        elif kind == FALSE:
+            values[gate] = manager.false
+        elif kind == NOT:
+            child = simplified.children(gate)[0]
+            if child in values:
+                values[gate] = manager.neg(values[child])
+        elif kind == AND:
+            kids = [values[c] for c in simplified.children(gate) if c in values]
+            if len(kids) == len(simplified.children(gate)):
+                values[gate] = manager.conjoin(kids)
+        else:  # OR
+            kids = [values[c] for c in simplified.children(gate) if c in values]
+            if len(kids) == len(simplified.children(gate)):
+                values[gate] = manager.disjoin(kids)
+    result = manager.to_circuit(values[root])
+    manager.stats.nodes = len(manager.nodes)
+    manager.stats.seconds = time.perf_counter() - start
+    return result, manager.stats

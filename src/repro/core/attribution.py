@@ -1,0 +1,138 @@
+"""The single-call user API: attribute a query answer to facts.
+
+:func:`attribute` runs any of the paper's five methods on one query
+answer and returns an :class:`Attribution` with values and a ranking:
+
+>>> result = attribute(db, "SELECT country FROM ...", answer=("FR",),
+...                    method="hybrid")
+>>> result.top(5)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..compiler.knowledge import CompilationBudget
+from ..db.database import Database
+from ..db.evaluate import lineage
+from .cnf_proxy import cnf_proxy_from_circuit
+from .hybrid import hybrid_shapley
+from .kernel_shap import kernel_shap_values
+from .metrics import ranking as _ranking
+from .monte_carlo import monte_carlo_shapley
+from .pipeline import QueryLike, run_exact, to_plan
+
+METHODS = ("exact", "hybrid", "proxy", "monte_carlo", "kernel_shap")
+
+
+@dataclass
+class Attribution:
+    """Attribution of one query answer to the endogenous facts.
+
+    ``exact`` tells whether ``values`` are true Shapley values or
+    heuristic/sampled scores; ``seconds`` is the wall-clock cost.
+    """
+
+    answer: tuple
+    method: str
+    values: dict[Hashable, object]
+    exact: bool
+    seconds: float
+    detail: object = field(default=None, repr=False)
+
+    def ranking(self) -> list[Hashable]:
+        """Facts by decreasing contribution."""
+        return _ranking(self.values)
+
+    def top(self, k: int = 10) -> list[tuple[Hashable, object]]:
+        """The ``k`` most contributing facts with their scores."""
+        return [(fact, self.values[fact]) for fact in self.ranking()[:k]]
+
+
+def attribute(
+    database: Database,
+    query: QueryLike,
+    answer: tuple | None = None,
+    method: str = "hybrid",
+    timeout: float = 2.5,
+    samples_per_fact: int = 20,
+    seed: int | None = None,
+) -> Attribution:
+    """Compute fact contributions for one answer of ``query``.
+
+    Parameters
+    ----------
+    database:
+        The database with its endogenous/exogenous partition.
+    query:
+        SQL text, a (U)CQ, or a relational-algebra plan.
+    answer:
+        The output tuple to explain.  May be omitted for Boolean queries
+        (empty answer tuple) or queries with exactly one answer.
+    method:
+        One of ``exact`` (Algorithm 1; may be slow), ``hybrid``
+        (exact-with-timeout then CNF Proxy — the paper's recommendation),
+        ``proxy`` (CNF Proxy only), ``monte_carlo``, ``kernel_shap``.
+    timeout:
+        Budget in seconds for the exact/hybrid paths.
+    samples_per_fact:
+        Budget for the sampling baselines (the paper sweeps 10..50).
+    seed:
+        RNG seed for the sampling baselines.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    plan = to_plan(query, database)
+    result = lineage(plan, database, endogenous_only=True)
+    answers = result.tuples()
+    if answer is None:
+        if len(answers) == 1:
+            answer = answers[0]
+        else:
+            raise ValueError(
+                f"query has {len(answers)} answers; pass `answer=` to pick one"
+            )
+    elif answer not in result.relation.rows:
+        raise ValueError(f"{answer!r} is not an answer of the query")
+
+    circuit = result.lineage_of(answer)
+    endo = sorted(circuit.reachable_vars())
+    start = time.perf_counter()
+
+    if method == "exact":
+        budget = CompilationBudget(max_seconds=timeout) if timeout else None
+        outcome = run_exact(circuit, endo, budget=budget)
+        seconds = time.perf_counter() - start
+        if not outcome.ok:
+            raise RuntimeError(
+                f"exact computation failed ({outcome.status}): {outcome.error}; "
+                "try method='hybrid'"
+            )
+        return Attribution(answer, method, outcome.values, True, seconds, outcome)
+
+    if method == "hybrid":
+        hybrid = hybrid_shapley(circuit, endo, timeout=timeout)
+        seconds = time.perf_counter() - start
+        return Attribution(
+            answer, method, hybrid.values, hybrid.is_exact, seconds, hybrid
+        )
+
+    if method == "proxy":
+        values = cnf_proxy_from_circuit(circuit, endo)
+        seconds = time.perf_counter() - start
+        return Attribution(answer, method, values, False, seconds)
+
+    rng = random.Random(seed)
+    if method == "monte_carlo":
+        values = monte_carlo_shapley(
+            circuit, endo, samples_per_fact=samples_per_fact, rng=rng
+        )
+    else:  # kernel_shap
+        values = kernel_shap_values(
+            circuit, endo, samples_per_fact=samples_per_fact, rng=rng
+        )
+    seconds = time.perf_counter() - start
+    return Attribution(answer, method, values, False, seconds)

@@ -1,0 +1,109 @@
+"""Alternative responsibility measures from the paper's related work.
+
+Besides the Shapley value, the paper cites two quantitative measures of
+a fact's contribution to a query answer:
+
+* the **causal effect** of Salimi et al. [30]: the difference of the
+  answer's expected value when the fact is forced in vs. forced out,
+  under independent inclusion of the other endogenous facts with
+  probability 1/2.  Over a lineage circuit this is exactly the
+  (normalized) **Banzhaf value**:
+
+      CE(f) = ( #SAT(C[f->1]) - #SAT(C[f->0]) ) / 2^(n-1)
+
+* the **counterfactual responsibility** of Meliou et al. [24]:
+  ``1 / (1 + m)`` where ``m`` is the size of a smallest contingency set
+  ``Γ`` such that removing ``Γ`` makes ``f`` counterfactual for the
+  answer (0 if no such set exists).
+
+Both are computed exactly here from the endogenous lineage; the test
+suite compares their rankings against Shapley's.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Hashable, Iterable
+
+from ..circuits.circuit import FALSE, TRUE, Circuit
+from ..circuits.dnnf import count_models_by_size
+
+
+def _model_count_over(circuit: Circuit, n_players: int) -> int:
+    """Model count of a conditioned d-D circuit, completed to the full
+    player set (free players double the count)."""
+    root = circuit.output_gate()
+    kind = circuit.kind(root)
+    if kind == TRUE:
+        return 1 << n_players
+    if kind == FALSE:
+        return 0
+    counts, nvars = count_models_by_size(circuit)
+    return sum(counts) << (n_players - nvars)
+
+
+def causal_effects(
+    ddnnf: Circuit, endogenous_facts: Iterable[Hashable]
+) -> dict[Hashable, Fraction]:
+    """Causal effect (= Banzhaf value) of every endogenous fact.
+
+    ``ddnnf`` must be a deterministic and decomposable circuit for the
+    endogenous lineage (compile it with
+    :func:`repro.compiler.compile_circuit`).
+    """
+    players = list(endogenous_facts)
+    n = len(players)
+    present = ddnnf.condition({}).reachable_vars()
+    denominator = 1 << (n - 1) if n else 1
+    effects: dict[Hashable, Fraction] = {}
+    for fact in players:
+        if fact not in present:
+            effects[fact] = Fraction(0)
+            continue
+        on = _model_count_over(ddnnf.condition({fact: True}), n - 1)
+        off = _model_count_over(ddnnf.condition({fact: False}), n - 1)
+        effects[fact] = Fraction(on - off, denominator)
+    return effects
+
+
+def responsibility(
+    circuit: Circuit,
+    endogenous_facts: Iterable[Hashable],
+    fact: Hashable,
+    max_contingency: int | None = None,
+) -> Fraction:
+    """Counterfactual responsibility of ``fact`` (Meliou et al.).
+
+    Searches contingency sets by increasing size (exponential in the
+    worst case — the measure is NP-hard; ``max_contingency`` bounds the
+    search).  The lineage is evaluated with all endogenous facts
+    present, contingency facts removed.
+    """
+    players = [f for f in endogenous_facts if f != fact]
+    if max_contingency is None:
+        max_contingency = len(players)
+    base = set(players) | {fact}
+    if not circuit.evaluate(base):
+        # The answer does not hold on the full database: responsibility
+        # for a non-answer is out of scope here.
+        return Fraction(0)
+    for size in range(0, max_contingency + 1):
+        for contingency in combinations(players, size):
+            world = base - set(contingency)
+            if circuit.evaluate(world) and not circuit.evaluate(world - {fact}):
+                return Fraction(1, 1 + size)
+    return Fraction(0)
+
+
+def responsibilities(
+    circuit: Circuit,
+    endogenous_facts: Iterable[Hashable],
+    max_contingency: int | None = None,
+) -> dict[Hashable, Fraction]:
+    """Counterfactual responsibility of every endogenous fact."""
+    players = list(endogenous_facts)
+    return {
+        fact: responsibility(circuit, players, fact, max_contingency)
+        for fact in players
+    }

@@ -1,0 +1,114 @@
+"""Ranking-quality and error metrics used in the paper's evaluation.
+
+All metrics compare an *estimated* attribution map against the *ground
+truth* (exact Shapley values): nDCG (optionally @k), Precision@k, and
+the L1/L2 errors of Table 2, plus Kendall's tau as an extra.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping, Sequence
+
+Values = Mapping[Hashable, object]
+
+
+def ranking(values: Values) -> list[Hashable]:
+    """Keys ordered by decreasing value; ties broken deterministically
+    by the key's repr so results are stable across runs."""
+    return sorted(values, key=lambda k: (-float(values[k]), repr(k)))
+
+
+def ndcg(truth: Values, estimate: Values, k: int | None = None) -> float:
+    """Normalized discounted cumulative gain of the estimated ranking.
+
+    Gains are the (non-negative part of the) true Shapley values; the
+    discount is the standard ``1 / log2(rank + 1)``.  A degenerate
+    ground truth with no positive mass yields 1.0 (any order is ideal).
+    """
+    if set(truth) != set(estimate):
+        raise ValueError("truth and estimate must cover the same facts")
+    gains = {key: max(float(truth[key]), 0.0) for key in truth}
+    predicted_order = ranking(estimate)
+    ideal_order = ranking(truth)
+    if k is not None:
+        predicted_order = predicted_order[:k]
+        ideal_order = ideal_order[:k]
+    dcg = sum(
+        gains[key] / math.log2(rank + 2)
+        for rank, key in enumerate(predicted_order)
+    )
+    ideal = sum(
+        gains[key] / math.log2(rank + 2)
+        for rank, key in enumerate(ideal_order)
+    )
+    if ideal == 0.0:
+        return 1.0
+    return dcg / ideal
+
+
+def precision_at_k(truth: Values, estimate: Values, k: int) -> float:
+    """Fraction of the true top-k facts recovered in the estimated
+    top-k (Section 6.2).  ``k`` is capped at the number of facts."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if set(truth) != set(estimate):
+        raise ValueError("truth and estimate must cover the same facts")
+    k = min(k, len(truth))
+    if k == 0:
+        return 1.0
+    top_truth = set(ranking(truth)[:k])
+    top_estimate = set(ranking(estimate)[:k])
+    return len(top_truth & top_estimate) / k
+
+
+def l1_error(truth: Values, estimate: Values) -> float:
+    """Mean absolute error between estimated and true values."""
+    if not truth:
+        return 0.0
+    return sum(
+        abs(float(estimate[key]) - float(truth[key])) for key in truth
+    ) / len(truth)
+
+
+def l2_error(truth: Values, estimate: Values) -> float:
+    """Mean squared error between estimated and true values."""
+    if not truth:
+        return 0.0
+    return sum(
+        (float(estimate[key]) - float(truth[key])) ** 2 for key in truth
+    ) / len(truth)
+
+
+def kendall_tau(truth: Values, estimate: Values) -> float:
+    """Kendall rank correlation between the two orderings (ties counted
+    as agreements when tied in both)."""
+    keys = list(truth)
+    if len(keys) < 2:
+        return 1.0
+    concordant = 0
+    discordant = 0
+    for i in range(len(keys)):
+        for j in range(i + 1, len(keys)):
+            a = float(truth[keys[i]]) - float(truth[keys[j]])
+            b = float(estimate[keys[i]]) - float(estimate[keys[j]])
+            product = a * b
+            if product > 0 or (a == 0 and b == 0):
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    pairs = len(keys) * (len(keys) - 1) // 2
+    return (concordant - discordant) / pairs
+
+
+def summarize(samples: Sequence[float]) -> dict[str, float]:
+    """Median/mean summary used by Table 2's "median (mean)" cells."""
+    if not samples:
+        return {"median": float("nan"), "mean": float("nan")}
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = (ordered[mid - 1] + ordered[mid]) / 2
+    return {"median": median, "mean": sum(ordered) / len(ordered)}

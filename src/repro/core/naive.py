@@ -1,0 +1,119 @@
+"""Brute-force Shapley values, straight from Equation (1).
+
+Exponential in the number of players — these functions exist to provide
+ground truth for the test suite (e.g. the paper's Example 2.1) and for
+tiny interactive explorations, never for benchmarks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import permutations
+from math import factorial
+from typing import Callable, Hashable, Iterable, Sequence
+
+from ..circuits.circuit import Circuit
+from ..db.algebra import Operator
+from ..db.database import Database
+from ..db.evaluate import boolean_answer
+
+# A cooperative game: a value function over coalitions (sets of players).
+Game = Callable[[frozenset], object]
+
+MAX_NAIVE_PLAYERS = 22
+
+
+def shapley_naive(
+    game: Game, players: Sequence[Hashable]
+) -> dict[Hashable, Fraction]:
+    """Shapley values of all players by subset enumeration.
+
+    Evaluates the game once per coalition (``2^n`` evaluations), then
+    assembles every player's value from Equation (1).  The game may be
+    real-valued (used to test the CNF-proxy lemma) or Boolean.
+    """
+    players = list(players)
+    n = len(players)
+    if n > MAX_NAIVE_PLAYERS:
+        raise ValueError(f"{n} players is too many for the naive algorithm")
+    index = {p: i for i, p in enumerate(players)}
+
+    values_cache: list[object] = [None] * (1 << n)
+    for mask in range(1 << n):
+        coalition = frozenset(players[i] for i in range(n) if mask >> i & 1)
+        values_cache[mask] = game(coalition)
+
+    n_fact = factorial(n)
+    weights = [
+        Fraction(factorial(size) * factorial(n - size - 1), n_fact)
+        for size in range(n)
+    ]
+    result: dict[Hashable, Fraction] = {}
+    for player in players:
+        bit = 1 << index[player]
+        total = Fraction(0)
+        for mask in range(1 << n):
+            if mask & bit:
+                continue
+            size = mask.bit_count()
+            diff = values_cache[mask | bit] - values_cache[mask]
+            if diff:
+                total += weights[size] * Fraction(diff)
+        result[player] = total
+    return result
+
+
+def shapley_naive_permutations(
+    game: Game, players: Sequence[Hashable]
+) -> dict[Hashable, Fraction]:
+    """Shapley values by full permutation enumeration (n! evaluations).
+
+    An independent second oracle for cross-checking the subset form on
+    very small instances.
+    """
+    players = list(players)
+    n = len(players)
+    if n > 8:
+        raise ValueError(f"{n}! permutations is too many")
+    totals = {p: Fraction(0) for p in players}
+    count = 0
+    for order in permutations(players):
+        count += 1
+        coalition: frozenset = frozenset()
+        previous = game(coalition)
+        for player in order:
+            coalition = coalition | {player}
+            current = game(coalition)
+            totals[player] += Fraction(current - previous)
+            previous = current
+    return {p: totals[p] / count for p in players}
+
+
+def game_from_circuit(circuit: Circuit) -> Game:
+    """The game ``E -> ELin(E)`` induced by an endogenous-lineage
+    circuit: 1 if the coalition satisfies the circuit else 0."""
+
+    def game(coalition: frozenset) -> int:
+        return 1 if circuit.evaluate(coalition) else 0
+
+    return game
+
+
+def game_from_query(plan: Operator, db: Database) -> Game:
+    """The game ``E -> q(Dx u E)`` of Equation (1), evaluated by running
+    the actual query on the restricted database each time."""
+
+    def game(coalition: frozenset) -> int:
+        world = db.restrict_endogenous(coalition)
+        return 1 if boolean_answer(plan, world) else 0
+
+    return game
+
+
+def shapley_naive_query(
+    plan: Operator, db: Database, players: Iterable[Hashable] | None = None
+) -> dict[Hashable, Fraction]:
+    """Ground-truth Shapley values of a Boolean query by evaluating the
+    query over every endogenous sub-database."""
+    facts = list(players) if players is not None else db.endogenous_facts()
+    return shapley_naive(game_from_query(plan, db), facts)

@@ -1,0 +1,145 @@
+"""Proposition 3.1: Shapley values via a PQE oracle.
+
+The paper's theoretical headline: for *every* Boolean query ``q``,
+``Shapley(q)`` polynomial-time Turing-reduces to ``PQE(q)``.  The proof
+constructs, for each rational ``z``, the TID ``D_z`` that gives each
+endogenous fact probability ``z / (1 + z)`` (exogenous facts get 1);
+then
+
+    (1 + z)^n  *  Pr(q, D_z)  =  sum_i  z^i  *  #Slices(q, Dx, Dn, i),
+
+so ``n + 1`` oracle calls at distinct points determine the coefficients
+``#Slices`` (the number of size-``i`` endogenous subsets satisfying the
+query) through a Vandermonde system, solved here by exact Lagrange
+interpolation over Fractions.  Equation (2) then assembles the Shapley
+value from slice counts.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import factorial
+from typing import Callable, Hashable, Sequence
+
+from ..db.database import Database, Fact
+from ..probdb.pqe import Query, pqe
+from ..probdb.tid import TupleIndependentDatabase
+
+# A PQE oracle: (query, tid) -> probability (exact Fraction preferred).
+PqeOracle = Callable[[Query, TupleIndependentDatabase], Fraction]
+
+
+def interpolate_coefficients(
+    points: Sequence[tuple[Fraction, Fraction]]
+) -> list[Fraction]:
+    """Coefficients of the degree-(m-1) polynomial through ``points``.
+
+    Exact Lagrange interpolation over Fractions: with ``m`` distinct
+    abscissae this inverts the Vandermonde system of the proposition's
+    proof.  Returns coefficients in increasing degree order.
+    """
+    m = len(points)
+    coefficients = [Fraction(0)] * m
+    for i, (x_i, y_i) in enumerate(points):
+        # Basis polynomial L_i expanded into coefficients.
+        basis = [Fraction(1)]
+        denominator = Fraction(1)
+        for j, (x_j, _) in enumerate(points):
+            if j == i:
+                continue
+            # basis *= (x - x_j)
+            shifted = [Fraction(0)] + basis
+            for k in range(len(basis)):
+                shifted[k] -= x_j * basis[k]
+            basis = shifted
+            denominator *= x_i - x_j
+        scale = y_i / denominator
+        for k in range(len(basis)):
+            coefficients[k] += scale * basis[k]
+    return coefficients
+
+
+def count_slices(
+    query: Query,
+    db: Database,
+    endogenous: Sequence[Fact] | None = None,
+    oracle: PqeOracle = pqe,
+) -> list[int]:
+    """``#Slices(q, Dx, Dn, k)`` for every ``k`` via ``n + 1`` PQE calls.
+
+    ``endogenous`` overrides the database's endogenous set (used by the
+    reduction itself, which needs slices with ``f`` moved to the
+    exogenous side or deleted).
+    """
+    endo = list(endogenous) if endogenous is not None else db.endogenous_facts()
+    n = len(endo)
+    endo_set = set(endo)
+
+    points: list[tuple[Fraction, Fraction]] = []
+    for j in range(n + 1):
+        z = Fraction(j + 1)
+        prob_endo = z / (1 + z)
+        probabilities = {fact: prob_endo for fact in endo_set}
+        tid = TupleIndependentDatabase(db, probabilities)
+        pr = oracle(query, tid)
+        points.append((z, (1 + z) ** n * Fraction(pr)))
+
+    coefficients = interpolate_coefficients(points)
+    slices: list[int] = []
+    for k in range(n + 1):
+        value = coefficients[k] if k < len(coefficients) else Fraction(0)
+        if value.denominator != 1:
+            raise ArithmeticError(
+                f"slice count #{k} is not an integer ({value}); "
+                "the PQE oracle is not exact"
+            )
+        slices.append(int(value))
+    return slices
+
+
+def shapley_via_pqe(
+    query: Query,
+    db: Database,
+    fact: Fact,
+    oracle: PqeOracle = pqe,
+) -> Fraction:
+    """Shapley value of ``fact`` using only a PQE oracle (Prop. 3.1).
+
+    Implements Equation (2): slice counts are computed twice, once with
+    ``f`` forced present (moved to the exogenous side) and once with
+    ``f`` deleted, over the remaining ``n - 1`` endogenous facts.
+    """
+    endo = db.endogenous_facts()
+    if fact not in set(endo):
+        raise ValueError(f"{fact!r} is not an endogenous fact")
+    n = len(endo)
+    others = [f for f in endo if f != fact]
+
+    # #Slices(q, Dx u {f}, Dn \ {f}, k): f certain (probability 1).
+    with_fact = db.copy()
+    with_fact.set_endogenous(fact, False)
+    slices_with = count_slices(query, with_fact, others, oracle)
+
+    # #Slices(q, Dx, Dn \ {f}, k): f absent.
+    without_fact = db.copy()
+    without_fact.remove(fact)
+    slices_without = count_slices(query, without_fact, others, oracle)
+
+    n_fact = factorial(n)
+    total = Fraction(0)
+    for k in range(n):
+        weight = Fraction(factorial(k) * factorial(n - k - 1), n_fact)
+        total += weight * (slices_with[k] - slices_without[k])
+    return total
+
+
+def shapley_all_via_pqe(
+    query: Query,
+    db: Database,
+    oracle: PqeOracle = pqe,
+) -> dict[Fact, Fraction]:
+    """Shapley value of every endogenous fact through the PQE reduction."""
+    return {
+        fact: shapley_via_pqe(query, db, fact, oracle)
+        for fact in db.endogenous_facts()
+    }

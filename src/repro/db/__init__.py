@@ -1,0 +1,71 @@
+"""Relational engine with semiring provenance (the ProvSQL substitute)."""
+
+from .algebra import (
+    AlgebraError,
+    And,
+    Between,
+    Col,
+    Comparison,
+    Const,
+    InList,
+    Join,
+    Like,
+    Not,
+    Operator,
+    Or,
+    Predicate,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    conjunction,
+    conjuncts,
+    count_filters,
+    count_joins,
+)
+from .conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    Var,
+    cq,
+    parse_atom,
+)
+from .database import Database, Fact
+from .evaluate import (
+    AnnotatedRelation,
+    LineageResult,
+    boolean_answer,
+    evaluate,
+    lineage,
+)
+from .schema import Attribute, RelationSchema, Schema, SchemaError
+from .semiring import (
+    BooleanSemiring,
+    CircuitSemiring,
+    CountingSemiring,
+    PolynomialSemiring,
+    ProbabilitySemiring,
+    Semiring,
+    TropicalSemiring,
+    WhySemiring,
+)
+from .sql import ParsedQuery, SqlError, parse_sql, plan_sql
+
+__all__ = [
+    "AlgebraError", "And", "Between", "Col", "Comparison", "Const", "InList",
+    "Join", "Like", "Not", "Operator", "Or", "Predicate", "Project", "Rename",
+    "Scan", "Select", "Union", "conjunction", "conjuncts", "count_filters",
+    "count_joins",
+    "Atom", "ConjunctiveQuery", "UnionOfConjunctiveQueries", "Var", "cq",
+    "parse_atom",
+    "Database", "Fact",
+    "AnnotatedRelation", "LineageResult", "boolean_answer", "evaluate",
+    "lineage",
+    "Attribute", "RelationSchema", "Schema", "SchemaError",
+    "BooleanSemiring", "CircuitSemiring", "CountingSemiring",
+    "PolynomialSemiring", "ProbabilitySemiring", "Semiring",
+    "TropicalSemiring", "WhySemiring",
+    "ParsedQuery", "SqlError", "parse_sql", "plan_sql",
+]

@@ -1,0 +1,342 @@
+"""Relational algebra: expressions, predicates and operators.
+
+Operators form a tree evaluated by :mod:`repro.db.evaluate`.  Columns
+are referred to by *qualified names* ``alias.attribute`` (the alias
+defaults to the relation name), which keeps self-joins unambiguous —
+important because several paper queries (e.g. TPC-H Q7) self-join.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+class AlgebraError(ValueError):
+    """Raised on malformed algebra trees (unknown columns, arity...)."""
+
+
+# ----------------------------------------------------------------------
+# Scalar expressions
+# ----------------------------------------------------------------------
+
+class Expression:
+    """Base class of scalar expressions appearing in predicates."""
+
+    def columns(self) -> set[str]:
+        """Qualified column names referenced by the expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Col(Expression):
+    """A column reference; ``name`` may be qualified or bare."""
+
+    name: str
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A literal constant."""
+
+    value: object
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+
+class Predicate:
+    """Base class of Boolean conditions on a single tuple."""
+
+    def columns(self) -> set[str]:
+        raise NotImplementedError
+
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``left op right`` for op in =, !=, <>, <, <=, >, >=."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise AlgebraError(f"unknown comparison operator {self.op!r}")
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Like(Predicate):
+    """SQL LIKE with ``%`` and ``_`` wildcards."""
+
+    expr: Expression
+    pattern: str
+    negated: bool = False
+
+    def columns(self) -> set[str]:
+        return self.expr.columns()
+
+    def regex(self) -> re.Pattern:
+        parts: list[str] = []
+        for ch in self.pattern:
+            if ch == "%":
+                parts.append(".*")
+            elif ch == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(ch))
+        return re.compile("^" + "".join(parts) + "$", re.DOTALL)
+
+    def __repr__(self) -> str:
+        neg = " NOT" if self.negated else ""
+        return f"({self.expr!r}{neg} LIKE {self.pattern!r})"
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``expr IN (v1, ..., vk)``."""
+
+    expr: Expression
+    values: tuple
+    negated: bool = False
+
+    def columns(self) -> set[str]:
+        return self.expr.columns()
+
+    def __repr__(self) -> str:
+        neg = " NOT" if self.negated else ""
+        return f"({self.expr!r}{neg} IN {self.values!r})"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``expr BETWEEN lo AND hi`` (inclusive, as in SQL)."""
+
+    expr: Expression
+    low: Expression
+    high: Expression
+
+    def columns(self) -> set[str]:
+        return self.expr.columns() | self.low.columns() | self.high.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.expr!r} BETWEEN {self.low!r} AND {self.high!r})"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    def columns(self) -> set[str]:
+        return set().union(*(p.columns() for p in self.parts)) if self.parts else set()
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    def columns(self) -> set[str]:
+        return set().union(*(p.columns() for p in self.parts)) if self.parts else set()
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negated predicate (on attribute values only — facts themselves
+    are never negated, keeping provenance monotone)."""
+
+    part: Predicate
+
+    def columns(self) -> set[str]:
+        return self.part.columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.part!r})"
+
+
+def conjuncts(predicate: Predicate | None) -> list[Predicate]:
+    """Flatten nested :class:`And` into a list of conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        result: list[Predicate] = []
+        for part in predicate.parts:
+            result.extend(conjuncts(part))
+        return result
+    return [predicate]
+
+
+def conjunction(parts: Sequence[Predicate]) -> Predicate | None:
+    """Combine predicates into an :class:`And` (None if empty)."""
+    parts = [p for p in parts if p is not None]
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
+
+class Operator:
+    """Base class of relational-algebra operators."""
+
+    def default_name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Scan(Operator):
+    """Read a base relation; columns are qualified as ``alias.attr``."""
+
+    relation: str
+    alias: str | None = None
+
+    @property
+    def prefix(self) -> str:
+        return self.alias or self.relation
+
+    def __repr__(self) -> str:
+        if self.alias and self.alias != self.relation:
+            return f"Scan({self.relation} AS {self.alias})"
+        return f"Scan({self.relation})"
+
+
+@dataclass(frozen=True)
+class Select(Operator):
+    """Filter rows by a predicate."""
+
+    child: Operator
+    predicate: Predicate
+
+    def __repr__(self) -> str:
+        return f"Select({self.predicate!r}, {self.child!r})"
+
+
+@dataclass(frozen=True)
+class Project(Operator):
+    """Project onto the given qualified columns (set semantics: duplicate
+    rows are merged, their annotations combined with semiring plus)."""
+
+    child: Operator
+    columns: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"Project([{', '.join(self.columns)}], {self.child!r})"
+
+
+@dataclass(frozen=True)
+class Rename(Operator):
+    """Rename output columns through a mapping old -> new."""
+
+    child: Operator
+    mapping: tuple[tuple[str, str], ...]
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{o}->{n}" for o, n in self.mapping)
+        return f"Rename({pairs}, {self.child!r})"
+
+
+@dataclass(frozen=True)
+class Join(Operator):
+    """Equi-join on pairs of qualified columns; with no pairs this is a
+    cross product."""
+
+    left: Operator
+    right: Operator
+    pairs: tuple[tuple[str, str], ...] = ()
+
+    def __repr__(self) -> str:
+        cond = " AND ".join(f"{l}={r}" for l, r in self.pairs) or "TRUE"
+        return f"Join({cond}, {self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Union(Operator):
+    """Set union of children with compatible arity; columns are taken
+    from the first child."""
+
+    children: tuple[Operator, ...]
+
+    def __repr__(self) -> str:
+        return "Union(" + ", ".join(repr(c) for c in self.children) + ")"
+
+
+def walk(operator: Operator):
+    """Yield every operator in the tree (pre-order)."""
+    yield operator
+    if isinstance(operator, (Select, Project, Rename)):
+        yield from walk(operator.child)
+    elif isinstance(operator, Join):
+        yield from walk(operator.left)
+        yield from walk(operator.right)
+    elif isinstance(operator, Union):
+        for child in operator.children:
+            yield from walk(child)
+
+
+def count_joins(operator: Operator) -> int:
+    """Number of Join operators (used in Table 1's '#Joined tables'-style
+    reporting)."""
+    return sum(1 for op in walk(operator) if isinstance(op, Join))
+
+
+def count_filters(operator: Operator) -> int:
+    """Number of atomic filter conditions in the tree."""
+    total = 0
+    for op in walk(operator):
+        if isinstance(op, Select):
+            total += _count_atoms(op.predicate)
+        elif isinstance(op, Join):
+            total += len(op.pairs)
+    return total
+
+
+def _count_atoms(predicate: Predicate) -> int:
+    if isinstance(predicate, (And, Or)):
+        return sum(_count_atoms(p) for p in predicate.parts)
+    if isinstance(predicate, Not):
+        return _count_atoms(predicate.part)
+    return 1

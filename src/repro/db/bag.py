@@ -1,0 +1,104 @@
+"""Bag semantics via copy identifiers (the paper's Section 7 remark).
+
+The framework is defined for set semantics, but the paper observes that
+bag databases are handled *as-is* by differentiating each copy of a
+tuple with an identifier attribute.  This module implements exactly
+that encoding: :func:`bag_schema` appends a hidden copy-id attribute to
+selected relations and :class:`BagTable` inserts multiplicities as
+distinguishable facts, each of which is then an independent player in
+the Shapley game.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .database import Database, Fact
+from .schema import Attribute, RelationSchema, Schema
+
+#: Name of the hidden copy-id attribute appended to bag relations.
+COPY_ATTRIBUTE = "__copy"
+
+
+def bag_relation(relation: RelationSchema) -> RelationSchema:
+    """A copy of ``relation`` with the hidden copy-id attribute."""
+    if relation.attribute_names and relation.attribute_names[-1] == COPY_ATTRIBUTE:
+        return relation
+    return RelationSchema(
+        relation.name, relation.attributes + (Attribute(COPY_ATTRIBUTE, int),)
+    )
+
+
+def bag_schema(schema: Schema, relations: Iterable[str] | None = None) -> Schema:
+    """A schema where the chosen relations carry copy identifiers.
+
+    ``relations=None`` converts every relation.
+    """
+    chosen = set(relations) if relations is not None else set(schema.names())
+    out = Schema()
+    for name in schema.names():
+        relation = schema.relation(name)
+        out.add(bag_relation(relation) if name in chosen else relation)
+    return out
+
+
+class BagTable:
+    """Insert facts with multiplicities into a bag-encoded relation.
+
+    Each inserted copy becomes its own :class:`~repro.db.database.Fact`
+    (distinguished by the hidden copy id), so Shapley values attribute
+    contribution *per copy* — summing a tuple's copies gives the
+    tuple-level contribution.
+    """
+
+    def __init__(self, database: Database, relation: str) -> None:
+        self.database = database
+        self.relation = relation
+        rel_schema = database.schema.relation(relation)
+        if rel_schema.attribute_names[-1] != COPY_ATTRIBUTE:
+            raise ValueError(
+                f"relation {relation!r} is not bag-encoded; build the "
+                "database with bag_schema()"
+            )
+        self._next_copy: dict[tuple, int] = {}
+
+    def add(
+        self,
+        *values: object,
+        multiplicity: int = 1,
+        endogenous: bool = True,
+    ) -> list[Fact]:
+        """Insert ``multiplicity`` distinguishable copies of a tuple."""
+        if multiplicity < 1:
+            raise ValueError("multiplicity must be at least 1")
+        key = tuple(values)
+        start = self._next_copy.get(key, 0)
+        facts = []
+        for copy in range(start, start + multiplicity):
+            facts.append(
+                self.database.add(
+                    self.relation, *values, copy, endogenous=endogenous
+                )
+            )
+        self._next_copy[key] = start + multiplicity
+        return facts
+
+    def copies_of(self, *values: object) -> list[Fact]:
+        """All currently inserted copies of a tuple."""
+        key = tuple(values)
+        count = self._next_copy.get(key, 0)
+        facts = []
+        for copy in range(count):
+            fact = Fact(self.relation, key + (copy,))
+            if fact in self.database:
+                facts.append(fact)
+        return facts
+
+
+def tuple_contribution(values_by_fact, copies: Sequence[Fact]):
+    """Aggregate per-copy Shapley values into a tuple-level score."""
+    total = None
+    for fact in copies:
+        value = values_by_fact.get(fact, 0)
+        total = value if total is None else total + value
+    return total if total is not None else 0

@@ -1,0 +1,285 @@
+"""Conjunctive queries and unions of conjunctive queries.
+
+This layer mirrors the logical view of queries used throughout the
+paper's theory sections: Boolean (U)CQs with constants, the
+self-join-free test, and the *hierarchical* property that characterizes
+tractability for both probabilistic query evaluation and Shapley
+computation on sjf-CQs (Dalvi & Suciu; Livshits et al.).
+
+Queries convert to relational algebra (:meth:`ConjunctiveQuery.to_algebra`)
+for evaluation by the provenance engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from .algebra import (
+    Col,
+    Comparison,
+    Const,
+    Join,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    Union,
+    conjunction,
+)
+from .schema import Schema
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = object  # Var, or any constant value
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(t1, ..., tk)`` with variables/constants."""
+
+    relation: str
+    terms: tuple
+
+    def variables(self) -> list[Var]:
+        return [t for t in self.terms if isinstance(t, Var)]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``q(head) :- atom1, ..., atomk``.
+
+    ``head`` lists the free variables (empty for a Boolean query).
+    """
+
+    head: tuple
+    atoms: tuple[Atom, ...]
+
+    @classmethod
+    def of(
+        cls, head: Sequence[Var] | None, atoms: Iterable[Atom]
+    ) -> "ConjunctiveQuery":
+        return cls(tuple(head or ()), tuple(atoms))
+
+    # -- basic structure ------------------------------------------------
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for atom in self.atoms:
+            out.update(atom.variables())
+        return out
+
+    def existential_variables(self) -> set[Var]:
+        return self.variables() - set(self.head)
+
+    def is_self_join_free(self) -> bool:
+        """No relation name occurs in two different atoms."""
+        names = [a.relation for a in self.atoms]
+        return len(names) == len(set(names))
+
+    # -- the hierarchical property --------------------------------------
+
+    def is_hierarchical(self) -> bool:
+        """Test the hierarchical property over *existential* variables.
+
+        ``at(x)`` is the set of atoms containing variable ``x``; the
+        query is hierarchical iff for every two existential variables
+        the sets ``at(x)`` and ``at(y)`` are comparable or disjoint.
+        For self-join-free CQs this characterizes both PQE tractability
+        (Dalvi & Suciu) and Shapley tractability (Livshits et al.).
+        """
+        exist = self.existential_variables()
+        at: dict[Var, set[int]] = {v: set() for v in exist}
+        for index, atom in enumerate(self.atoms):
+            for var in atom.variables():
+                if var in at:
+                    at[var].add(index)
+        for x, y in combinations(sorted(exist, key=lambda v: v.name), 2):
+            ax, ay = at[x], at[y]
+            if ax & ay and not (ax <= ay or ay <= ax):
+                return False
+        return True
+
+    # -- compilation to algebra -----------------------------------------
+
+    def to_algebra(self, schema: Schema) -> Operator:
+        """Translate into relational algebra over qualified columns.
+
+        Each atom ``i`` scans its relation under alias ``a{i}``;
+        constants and repeated variables within an atom become
+        selections, shared variables across atoms become equi-join
+        pairs.  Atoms are joined greedily along shared variables to
+        avoid cross products wherever possible.
+        """
+        if not self.atoms:
+            raise ValueError("conjunctive query needs at least one atom")
+
+        plans: list[Operator] = []
+        var_columns: list[dict[Var, str]] = []
+        for index, atom in enumerate(self.atoms):
+            alias = f"a{index}"
+            rel_schema = schema.relation(atom.relation)
+            if len(atom.terms) != rel_schema.arity:
+                raise ValueError(
+                    f"atom {atom!r} has arity {len(atom.terms)}, "
+                    f"relation has {rel_schema.arity}"
+                )
+            plan: Operator = Scan(atom.relation, alias)
+            predicates = []
+            columns: dict[Var, str] = {}
+            for position, term in enumerate(atom.terms):
+                qualified = f"{alias}.{rel_schema.attribute_names[position]}"
+                if isinstance(term, Var):
+                    if term in columns:
+                        predicates.append(
+                            Comparison("=", Col(columns[term]), Col(qualified))
+                        )
+                    else:
+                        columns[term] = qualified
+                else:
+                    predicates.append(Comparison("=", Col(qualified), Const(term)))
+            pred = conjunction(predicates)
+            if pred is not None:
+                plan = Select(plan, pred)
+            plans.append(plan)
+            var_columns.append(columns)
+
+        # Greedy join order along shared variables.
+        remaining = list(range(len(self.atoms)))
+        current = remaining.pop(0)
+        plan = plans[current]
+        bound: dict[Var, str] = dict(var_columns[current])
+        while remaining:
+            chosen = None
+            for candidate in remaining:
+                if set(var_columns[candidate]) & set(bound):
+                    chosen = candidate
+                    break
+            if chosen is None:
+                chosen = remaining[0]  # unavoidable cross product
+            remaining.remove(chosen)
+            pairs = tuple(
+                (bound[v], col)
+                for v, col in var_columns[chosen].items()
+                if v in bound
+            )
+            plan = Join(plan, plans[chosen], pairs)
+            for v, col in var_columns[chosen].items():
+                bound.setdefault(v, col)
+
+        head_columns = []
+        for var in self.head:
+            if var not in bound:
+                raise ValueError(f"head variable {var!r} not bound by any atom")
+            head_columns.append(bound[var])
+        return Project(plan, tuple(head_columns))
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(v) for v in self.head)
+        body = ", ".join(repr(a) for a in self.atoms)
+        return f"q({head}) :- {body}"
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """A UCQ: disjuncts with heads of equal arity."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    @classmethod
+    def of(cls, *disjuncts: ConjunctiveQuery) -> "UnionOfConjunctiveQueries":
+        if not disjuncts:
+            raise ValueError("UCQ needs at least one disjunct")
+        arities = {len(d.head) for d in disjuncts}
+        if len(arities) != 1:
+            raise ValueError(f"disjuncts have different head arities: {arities}")
+        return cls(tuple(disjuncts))
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.disjuncts[0].is_boolean
+
+    def to_algebra(self, schema: Schema) -> Operator:
+        plans = tuple(d.to_algebra(schema) for d in self.disjuncts)
+        if len(plans) == 1:
+            return plans[0]
+        return Union(plans)
+
+    def __repr__(self) -> str:
+        return " ∨ ".join(repr(d) for d in self.disjuncts)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse ``R(x, 'const', 3)`` — variables are bare lowercase
+    identifiers, quoted strings and numbers are constants."""
+    text = text.strip()
+    open_paren = text.index("(")
+    if not text.endswith(")"):
+        raise ValueError(f"malformed atom {text!r}")
+    relation = text[:open_paren].strip()
+    body = text[open_paren + 1 : -1]
+    terms: list[object] = []
+    for raw in _split_terms(body):
+        token = raw.strip()
+        if not token:
+            raise ValueError(f"empty term in atom {text!r}")
+        if token.startswith("'") and token.endswith("'"):
+            terms.append(token[1:-1])
+        elif token.lstrip("+-").replace(".", "", 1).isdigit():
+            terms.append(float(token) if "." in token else int(token))
+        else:
+            terms.append(Var(token))
+    return Atom(relation, tuple(terms))
+
+
+def _split_terms(body: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    in_string = False
+    current: list[str] = []
+    for ch in body:
+        if ch == "'":
+            in_string = not in_string
+            current.append(ch)
+        elif ch == "," and depth == 0 and not in_string:
+            parts.append("".join(current))
+            current = []
+        else:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            current.append(ch)
+    if current or not parts:
+        parts.append("".join(current))
+    return [p for p in parts if p.strip()]
+
+
+def cq(head: Sequence[str] | str | None, *atom_texts: str) -> ConjunctiveQuery:
+    """Convenience constructor:
+    ``cq(["x"], "R(x, y)", "S(y, 'paris')")``."""
+    if head is None:
+        head_vars: tuple = ()
+    elif isinstance(head, str):
+        head_vars = (Var(head),)
+    else:
+        head_vars = tuple(Var(h) for h in head)
+    return ConjunctiveQuery(head_vars, tuple(parse_atom(t) for t in atom_texts))

@@ -1,0 +1,113 @@
+"""Loading and saving databases as CSV directories.
+
+A database is stored as one CSV per relation plus a ``_schema.json``
+manifest recording attribute names/types and each relation's default
+endogenous status.  This is the interchange format used by the CLI
+(``python -m repro generate/explain``) and the natural way to run the
+library on your own data.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .database import Database
+from .schema import Attribute, RelationSchema, Schema
+
+_TYPES: dict[str, type] = {"int": int, "float": float, "str": str, "bool": bool}
+_TYPE_NAMES = {t: n for n, t in _TYPES.items()}
+
+
+def save_database(database: Database, directory: str | Path) -> None:
+    """Write ``database`` into ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, object] = {"relations": {}}
+    for name in database.schema.names():
+        relation = database.schema.relation(name)
+        attrs = []
+        for attribute in relation.attributes:
+            attrs.append(
+                {
+                    "name": attribute.name,
+                    "type": _TYPE_NAMES.get(attribute.dtype, "str")
+                    if attribute.dtype is not None
+                    else None,
+                }
+            )
+        facts = database.relation(name)
+        endogenous = [database.is_endogenous(f) for f in facts]
+        manifest["relations"][name] = {
+            "attributes": attrs,
+            # a relation is recorded endogenous iff all its facts are;
+            # mixed relations store the per-row flag in the CSV
+            "mixed": len(set(endogenous)) > 1,
+            "endogenous": bool(endogenous) and all(endogenous),
+        }
+        with (directory / f"{name}.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            header = [a.name for a in relation.attributes]
+            if manifest["relations"][name]["mixed"]:
+                header.append("__endogenous")
+            writer.writerow(header)
+            for fact, endo in zip(facts, endogenous):
+                row = list(fact.values)
+                if manifest["relations"][name]["mixed"]:
+                    row.append(int(endo))
+                writer.writerow(row)
+    with (directory / "_schema.json").open("w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_database(directory: str | Path) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    directory = Path(directory)
+    manifest_path = directory / "_schema.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no _schema.json manifest in {directory}")
+    with manifest_path.open() as handle:
+        manifest = json.load(handle)
+
+    schema = Schema()
+    converters: dict[str, list] = {}
+    for name, info in manifest["relations"].items():
+        attrs = []
+        conv = []
+        for spec in info["attributes"]:
+            dtype = _TYPES.get(spec["type"]) if spec["type"] else None
+            attrs.append(Attribute(spec["name"], dtype))
+            conv.append(dtype or str)
+        schema.add(RelationSchema(name, tuple(attrs)))
+        converters[name] = conv
+
+    database = Database(schema)
+    for name, info in manifest["relations"].items():
+        path = directory / f"{name}.csv"
+        if not path.exists():
+            continue
+        conv = converters[name]
+        mixed = info.get("mixed", False)
+        default_endo = info.get("endogenous", True)
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                continue
+            for row in reader:
+                if mixed:
+                    *values, endo_flag = row
+                    endogenous = bool(int(endo_flag))
+                else:
+                    values = row
+                    endogenous = default_endo
+                typed = [_convert(c, v) for c, v in zip(conv, values)]
+                database.add(name, *typed, endogenous=endogenous)
+    return database
+
+
+def _convert(dtype: type, text: str):
+    if dtype is bool:
+        return text in ("1", "True", "true")
+    return dtype(text)

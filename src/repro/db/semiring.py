@@ -1,0 +1,229 @@
+"""Provenance semirings.
+
+Query evaluation (:mod:`repro.db.evaluate`) is parameterized by a
+commutative semiring in the style of Green, Karvounarakis & Tannen's
+provenance-semiring framework — the same design as ProvSQL, which the
+paper uses to capture lineage.  The semiring used by the Shapley
+pipeline is :class:`CircuitSemiring`, which annotates each output tuple
+with a gate of a shared Boolean circuit; the other semirings are useful
+in their own right (and for testing the engine against independent
+semantics).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Generic, Hashable, Mapping, TypeVar
+
+from ..circuits.circuit import Circuit
+from .database import Fact
+
+T = TypeVar("T")
+
+
+class Semiring(Generic[T]):
+    """A commutative semiring with a valuation of database facts.
+
+    Subclasses provide ``zero``, ``one``, ``plus``, ``times`` and
+    ``var`` (the annotation of a base fact).  ``plus`` aggregates
+    alternative derivations (projection/union); ``times`` combines joint
+    derivations (join).
+    """
+
+    def zero(self) -> T:
+        raise NotImplementedError
+
+    def one(self) -> T:
+        raise NotImplementedError
+
+    def plus(self, a: T, b: T) -> T:
+        raise NotImplementedError
+
+    def times(self, a: T, b: T) -> T:
+        raise NotImplementedError
+
+    def var(self, fact: Fact) -> T:
+        raise NotImplementedError
+
+
+class BooleanSemiring(Semiring[bool]):
+    """Plain query evaluation: annotations are just truth values."""
+
+    def zero(self) -> bool:
+        return False
+
+    def one(self) -> bool:
+        return True
+
+    def plus(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def times(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def var(self, fact: Fact) -> bool:
+        return True
+
+
+class CountingSemiring(Semiring[int]):
+    """Number of distinct derivations of each output tuple (N, +, x)."""
+
+    def zero(self) -> int:
+        return 0
+
+    def one(self) -> int:
+        return 1
+
+    def plus(self, a: int, b: int) -> int:
+        return a + b
+
+    def times(self, a: int, b: int) -> int:
+        return a * b
+
+    def var(self, fact: Fact) -> int:
+        return 1
+
+
+class WhySemiring(Semiring[frozenset]):
+    """Why-provenance: sets of witness fact-sets (Buneman et al.)."""
+
+    def zero(self) -> frozenset:
+        return frozenset()
+
+    def one(self) -> frozenset:
+        return frozenset((frozenset(),))
+
+    def plus(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def times(self, a: frozenset, b: frozenset) -> frozenset:
+        return frozenset(x | y for x in a for y in b)
+
+    def var(self, fact: Fact) -> frozenset:
+        return frozenset((frozenset((fact,)),))
+
+
+class TropicalSemiring(Semiring[float]):
+    """Min-plus semiring: cheapest derivation under per-fact weights."""
+
+    INF = float("inf")
+
+    def __init__(self, weights: Mapping[Fact, float] | None = None, default: float = 1.0):
+        self.weights = dict(weights) if weights else {}
+        self.default = default
+
+    def zero(self) -> float:
+        return self.INF
+
+    def one(self) -> float:
+        return 0.0
+
+    def plus(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return a + b
+
+    def var(self, fact: Fact) -> float:
+        return self.weights.get(fact, self.default)
+
+
+# A provenance polynomial is a mapping monomial -> coefficient, where a
+# monomial maps each fact to its exponent.
+Monomial = tuple  # tuple of (fact, exponent) pairs, sorted by repr
+Polynomial = Mapping[Monomial, int]
+
+
+class PolynomialSemiring(Semiring[dict]):
+    """Full provenance polynomials N[X] (most informative semiring)."""
+
+    def zero(self) -> dict:
+        return {}
+
+    def one(self) -> dict:
+        return {(): 1}
+
+    def plus(self, a: dict, b: dict) -> dict:
+        out = dict(a)
+        for mono, coeff in b.items():
+            out[mono] = out.get(mono, 0) + coeff
+        return out
+
+    def times(self, a: dict, b: dict) -> dict:
+        out: dict[Monomial, int] = {}
+        for mono_a, coeff_a in a.items():
+            for mono_b, coeff_b in b.items():
+                merged: dict[Fact, int] = dict(mono_a)
+                for fact, exp in mono_b:
+                    merged[fact] = merged.get(fact, 0) + exp
+                key = tuple(sorted(merged.items(), key=lambda kv: repr(kv[0])))
+                out[key] = out.get(key, 0) + coeff_a * coeff_b
+        return out
+
+    def var(self, fact: Fact) -> dict:
+        return {((fact, 1),): 1}
+
+
+class CircuitSemiring(Semiring[int]):
+    """Boolean-circuit provenance (lineage), the paper's workhorse.
+
+    Annotations are gate ids of a shared :class:`Circuit`.  When
+    ``endogenous_only`` is true, exogenous facts are annotated with the
+    constant TRUE gate, so the resulting lineage is directly the
+    *endogenous lineage* ``ELin(q, Dx, Dn)`` of Section 4 (equivalently:
+    ``Lin`` conditioned on ``Dx -> 1``).
+    """
+
+    def __init__(self, database=None, endogenous_only: bool = False) -> None:
+        self.circuit = Circuit()
+        self.database = database
+        self.endogenous_only = endogenous_only
+
+    def zero(self) -> int:
+        return self.circuit.false()
+
+    def one(self) -> int:
+        return self.circuit.true()
+
+    def plus(self, a: int, b: int) -> int:
+        return self.circuit.or_((a, b))
+
+    def times(self, a: int, b: int) -> int:
+        return self.circuit.and_((a, b))
+
+    def var(self, fact: Fact) -> int:
+        if (
+            self.endogenous_only
+            and self.database is not None
+            and not self.database.is_endogenous(fact)
+        ):
+            return self.circuit.true()
+        return self.circuit.var(fact)
+
+
+class ProbabilitySemiring(Semiring[Fraction]):
+    """Naive "probability semiring" (only correct on one-occurrence
+    provenance; kept for pedagogy and tests of *in*correctness).
+
+    Probabilistic query evaluation is **not** semiring-compatible in
+    general — that is precisely why the paper goes through knowledge
+    compilation.  :mod:`repro.probdb` implements the correct approaches.
+    """
+
+    def __init__(self, probabilities: Mapping[Fact, Fraction]):
+        self.probabilities = dict(probabilities)
+
+    def zero(self) -> Fraction:
+        return Fraction(0)
+
+    def one(self) -> Fraction:
+        return Fraction(1)
+
+    def plus(self, a: Fraction, b: Fraction) -> Fraction:
+        return a + b - a * b
+
+    def times(self, a: Fraction, b: Fraction) -> Fraction:
+        return a * b
+
+    def var(self, fact: Fact) -> Fraction:
+        return Fraction(self.probabilities.get(fact, 1))

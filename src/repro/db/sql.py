@@ -1,0 +1,449 @@
+"""A small SQL front-end for SPJU queries.
+
+Supports exactly the query class the paper's implementation handles
+(the SPJU fragment of ProvSQL):
+
+.. code-block:: sql
+
+    SELECT [DISTINCT] cols FROM t1 [AS a1], t2 ... [WHERE cond]
+    [UNION SELECT ...]
+
+with conditions built from comparisons (=, <>, !=, <, <=, >, >=),
+AND/OR/NOT, LIKE, IN and BETWEEN.  The planner pushes single-table
+predicates to scans and turns cross-table equalities into equi-joins
+with a greedy connected join order, so benchmark queries never
+materialize a full cross product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .algebra import (
+    AlgebraError,
+    And,
+    Between,
+    Col,
+    Comparison,
+    Const,
+    Expression,
+    InList,
+    Join,
+    Like,
+    Not,
+    Operator,
+    Or,
+    Predicate,
+    Project,
+    Scan,
+    Select,
+    Union,
+    conjunction,
+    conjuncts,
+)
+from .schema import Schema
+
+
+class SqlError(ValueError):
+    """Raised on syntax or resolution errors."""
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT", "UNION",
+    "AS", "LIKE", "IN", "BETWEEN",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", ".")
+
+
+@dataclass
+class Token:
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            chunks: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlError(f"unterminated string at {i}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(text[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(chunks), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        matched = False
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token("SYMBOL", sym, i))
+                i += len(sym)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        raise SqlError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+@dataclass
+class SelectStatement:
+    """One parsed SELECT block."""
+
+    columns: list[str]  # empty means '*'
+    tables: list[tuple[str, str]]  # (relation, alias)
+    predicate: Predicate | None
+    distinct: bool = False
+
+
+@dataclass
+class ParsedQuery:
+    """A parsed query: one or more SELECT blocks combined by UNION."""
+
+    selects: list[SelectStatement] = field(default_factory=list)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise SqlError(
+                f"expected {value or kind} at position {token.position}, "
+                f"got {token.value!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_query(self) -> ParsedQuery:
+        query = ParsedQuery()
+        query.selects.append(self.parse_select())
+        while self.accept("KEYWORD", "UNION"):
+            query.selects.append(self.parse_select())
+        self.expect("EOF")
+        return query
+
+    def parse_select(self) -> SelectStatement:
+        self.expect("KEYWORD", "SELECT")
+        distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+        columns: list[str] = []
+        if self.accept("SYMBOL", "*"):
+            pass
+        else:
+            columns.append(self.parse_column_ref())
+            while self.accept("SYMBOL", ","):
+                columns.append(self.parse_column_ref())
+        self.expect("KEYWORD", "FROM")
+        tables = [self.parse_table()]
+        while self.accept("SYMBOL", ","):
+            tables.append(self.parse_table())
+        predicate = None
+        if self.accept("KEYWORD", "WHERE"):
+            predicate = self.parse_or()
+        return SelectStatement(columns, tables, predicate, distinct)
+
+    def parse_column_ref(self) -> str:
+        name = self.expect("IDENT").value
+        if self.accept("SYMBOL", "."):
+            name = f"{name}.{self.expect('IDENT').value}"
+        if self.accept("KEYWORD", "AS"):
+            self.expect("IDENT")  # output names are cosmetic; ignored
+        return name
+
+    def parse_table(self) -> tuple[str, str]:
+        name = self.expect("IDENT").value
+        alias = name
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect("IDENT").value
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().value
+        return name, alias
+
+    def parse_or(self) -> Predicate:
+        parts = [self.parse_and()]
+        while self.accept("KEYWORD", "OR"):
+            parts.append(self.parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+
+    def parse_and(self) -> Predicate:
+        parts = [self.parse_unary()]
+        while self.accept("KEYWORD", "AND"):
+            parts.append(self.parse_unary())
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+
+    def parse_unary(self) -> Predicate:
+        if self.accept("KEYWORD", "NOT"):
+            return Not(self.parse_unary())
+        if self.accept("SYMBOL", "("):
+            inner = self.parse_or()
+            self.expect("SYMBOL", ")")
+            return inner
+        return self.parse_predicate()
+
+    def parse_operand(self) -> Expression:
+        token = self.peek()
+        if token.kind == "STRING":
+            self.advance()
+            return Const(token.value)
+        if token.kind == "NUMBER":
+            self.advance()
+            text = token.value
+            return Const(float(text) if "." in text else int(text))
+        if token.kind == "IDENT":
+            name = self.advance().value
+            if self.accept("SYMBOL", "."):
+                name = f"{name}.{self.expect('IDENT').value}"
+            return Col(name)
+        raise SqlError(f"expected operand at {token.position}, got {token.value!r}")
+
+    def parse_predicate(self) -> Predicate:
+        left = self.parse_operand()
+        negated = bool(self.accept("KEYWORD", "NOT"))
+        if self.accept("KEYWORD", "LIKE"):
+            pattern = self.expect("STRING").value
+            return Like(left, pattern, negated=negated)
+        if self.accept("KEYWORD", "IN"):
+            self.expect("SYMBOL", "(")
+            values: list[object] = []
+            while True:
+                token = self.peek()
+                if token.kind == "STRING":
+                    values.append(self.advance().value)
+                elif token.kind == "NUMBER":
+                    text = self.advance().value
+                    values.append(float(text) if "." in text else int(text))
+                else:
+                    raise SqlError(f"expected literal in IN list at {token.position}")
+                if not self.accept("SYMBOL", ","):
+                    break
+            self.expect("SYMBOL", ")")
+            return InList(left, tuple(values), negated=negated)
+        if self.accept("KEYWORD", "BETWEEN"):
+            low = self.parse_operand()
+            self.expect("KEYWORD", "AND")
+            high = self.parse_operand()
+            pred: Predicate = Between(left, low, high)
+            return Not(pred) if negated else pred
+        if negated:
+            raise SqlError("NOT must be followed by LIKE/IN/BETWEEN here")
+        token = self.peek()
+        if token.kind == "SYMBOL" and token.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_operand()
+            return Comparison(token.value, left, right)
+        raise SqlError(f"expected comparison at {token.position}, got {token.value!r}")
+
+
+def parse_sql(text: str) -> ParsedQuery:
+    """Parse SQL text into a :class:`ParsedQuery`."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+
+def plan_sql(text: str, schema: Schema) -> Operator:
+    """Parse and plan a SQL query into relational algebra."""
+    parsed = parse_sql(text)
+    plans = [_plan_select(stmt, schema) for stmt in parsed.selects]
+    if len(plans) == 1:
+        return plans[0]
+    return Union(tuple(plans))
+
+
+def _plan_select(stmt: SelectStatement, schema: Schema) -> Operator:
+    # Column catalog: alias -> list of qualified column names.
+    catalog: dict[str, list[str]] = {}
+    for relation, alias in stmt.tables:
+        rel_schema = schema.relation(relation)
+        if alias in catalog:
+            raise SqlError(f"duplicate table alias {alias!r}")
+        catalog[alias] = [f"{alias}.{a}" for a in rel_schema.attribute_names]
+
+    def resolve(name: str) -> str:
+        if "." in name:
+            alias, _, attr = name.partition(".")
+            if alias not in catalog:
+                raise SqlError(f"unknown table alias {alias!r}")
+            qualified = f"{alias}.{attr}"
+            if qualified not in catalog[alias]:
+                raise SqlError(f"unknown column {name!r}")
+            return qualified
+        matches = [
+            col for cols in catalog.values() for col in cols
+            if col.rsplit(".", 1)[-1] == name
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise SqlError(f"unknown column {name!r}")
+        raise SqlError(f"ambiguous column {name!r}: {matches}")
+
+    def qualify_expr(expr: Expression) -> Expression:
+        if isinstance(expr, Col):
+            return Col(resolve(expr.name))
+        return expr
+
+    def qualify(pred: Predicate) -> Predicate:
+        if isinstance(pred, Comparison):
+            return Comparison(pred.op, qualify_expr(pred.left), qualify_expr(pred.right))
+        if isinstance(pred, Like):
+            return Like(qualify_expr(pred.expr), pred.pattern, pred.negated)
+        if isinstance(pred, InList):
+            return InList(qualify_expr(pred.expr), pred.values, pred.negated)
+        if isinstance(pred, Between):
+            return Between(
+                qualify_expr(pred.expr), qualify_expr(pred.low), qualify_expr(pred.high)
+            )
+        if isinstance(pred, And):
+            return And(tuple(qualify(p) for p in pred.parts))
+        if isinstance(pred, Or):
+            return Or(tuple(qualify(p) for p in pred.parts))
+        if isinstance(pred, Not):
+            return Not(qualify(pred.part))
+        raise SqlError(f"unsupported predicate {pred!r}")
+
+    def aliases_of(pred: Predicate) -> set[str]:
+        return {col.split(".", 1)[0] for col in pred.columns()}
+
+    # Classify conjuncts.
+    single_table: dict[str, list[Predicate]] = {alias: [] for alias in catalog}
+    join_edges: list[tuple[str, str, str, str]] = []  # (a1, c1, a2, c2)
+    residual: list[Predicate] = []
+    for conjunct in conjuncts(stmt.predicate):
+        pred = qualify(conjunct)
+        aliases = aliases_of(pred)
+        if len(aliases) == 1:
+            single_table[next(iter(aliases))].append(pred)
+        elif (
+            isinstance(pred, Comparison)
+            and pred.op == "="
+            and isinstance(pred.left, Col)
+            and isinstance(pred.right, Col)
+            and len(aliases) == 2
+        ):
+            left_alias = pred.left.name.split(".", 1)[0]
+            join_edges.append(
+                (left_alias, pred.left.name,
+                 pred.right.name.split(".", 1)[0], pred.right.name)
+            )
+        else:
+            residual.append(pred)
+
+    # Per-table plans with pushed-down selections.
+    table_plans: dict[str, Operator] = {}
+    for relation, alias in stmt.tables:
+        plan: Operator = Scan(relation, alias)
+        pred = conjunction(single_table[alias])
+        if pred is not None:
+            plan = Select(plan, pred)
+        table_plans[alias] = plan
+
+    # Greedy connected join order.
+    order = [alias for _, alias in stmt.tables]
+    joined = {order[0]}
+    plan = table_plans[order[0]]
+    pending = order[1:]
+    used_edges: set[int] = set()
+    while pending:
+        chosen = None
+        for candidate in pending:
+            if any(
+                (a1 in joined and a2 == candidate) or (a2 in joined and a1 == candidate)
+                for a1, _, a2, _ in join_edges
+            ):
+                chosen = candidate
+                break
+        if chosen is None:
+            chosen = pending[0]
+        pending.remove(chosen)
+        pairs: list[tuple[str, str]] = []
+        for index, (a1, c1, a2, c2) in enumerate(join_edges):
+            if index in used_edges:
+                continue
+            if a1 in joined and a2 == chosen:
+                pairs.append((c1, c2))
+                used_edges.add(index)
+            elif a2 in joined and a1 == chosen:
+                pairs.append((c2, c1))
+                used_edges.add(index)
+        plan = Join(plan, table_plans[chosen], tuple(pairs))
+        joined.add(chosen)
+
+    # Join edges within already-joined tables (e.g. cycles) and leftovers.
+    leftovers: list[Predicate] = []
+    for index, (a1, c1, a2, c2) in enumerate(join_edges):
+        if index not in used_edges:
+            leftovers.append(Comparison("=", Col(c1), Col(c2)))
+    leftovers.extend(residual)
+    pred = conjunction(leftovers)
+    if pred is not None:
+        plan = Select(plan, pred)
+
+    # Projection.
+    if stmt.columns:
+        projected = tuple(resolve(c) for c in stmt.columns)
+    else:
+        projected = tuple(col for _, alias in stmt.tables for col in catalog[alias])
+    return Project(plan, projected)

@@ -1,0 +1,20 @@
+"""Probabilistic databases: TIDs, naive/lifted/intensional PQE."""
+
+from .lifted import (
+    NonHierarchicalError,
+    NotSelfJoinFreeError,
+    lifted_probability,
+)
+from .pqe import pqe, pqe_lifted, pqe_lineage, pqe_naive
+from .tid import TupleIndependentDatabase
+
+__all__ = [
+    "NonHierarchicalError",
+    "NotSelfJoinFreeError",
+    "lifted_probability",
+    "pqe",
+    "pqe_lifted",
+    "pqe_lineage",
+    "pqe_naive",
+    "TupleIndependentDatabase",
+]

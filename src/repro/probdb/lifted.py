@@ -1,0 +1,142 @@
+"""Lifted (extensional) inference for hierarchical self-join-free CQs.
+
+For a hierarchical self-join-free Boolean conjunctive query, PQE is in
+polynomial time (Dalvi & Suciu's safe queries); this module implements
+the classic lifted algorithm:
+
+1. *Independent join*: if the query splits into variable-disjoint
+   connected components, their probabilities multiply.
+2. *Ground atoms*: a component with no variables is a set of facts whose
+   probabilities multiply (0 if a fact is absent).
+3. *Independent project*: otherwise a hierarchical connected component
+   has a *root variable* occurring in every atom; grounding it over the
+   active domain yields independent sub-queries:
+   ``P = 1 - prod_a (1 - P(q[x -> a]))``.
+
+Raises :class:`NonHierarchicalError` when no root variable exists — the
+caller then falls back to the intensional (lineage + compilation) path,
+mirroring the safe-plan-or-lineage split in probabilistic databases.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..db.conjunctive import Atom, ConjunctiveQuery, Var
+from ..db.database import Fact
+from .tid import TupleIndependentDatabase
+
+
+class NonHierarchicalError(ValueError):
+    """The query (or one of its components) has no root variable."""
+
+
+class NotSelfJoinFreeError(ValueError):
+    """Lifted inference requires a self-join-free query."""
+
+
+def lifted_probability(
+    query: ConjunctiveQuery, tid: TupleIndependentDatabase
+) -> Fraction | float:
+    """Exact probability of a hierarchical self-join-free Boolean CQ.
+
+    Probabilities are returned in the arithmetic of the TID's values
+    (Fractions in, Fractions out).
+    """
+    if not query.is_boolean:
+        raise ValueError("lifted inference works on Boolean queries; bind the head first")
+    if not query.is_self_join_free():
+        raise NotSelfJoinFreeError(f"query has self-joins: {query!r}")
+    index = _FactIndex(tid)
+    return _probability(list(query.atoms), index)
+
+
+class _FactIndex:
+    """Per-relation fact lookup plus active domains per column."""
+
+    def __init__(self, tid: TupleIndependentDatabase) -> None:
+        self.tid = tid
+        self.by_relation: dict[str, list[Fact]] = {}
+        for fact in tid.database.facts():
+            self.by_relation.setdefault(fact.relation, []).append(fact)
+
+    def probability(self, relation: str, values: tuple) -> Fraction | float:
+        fact = Fact(relation, values)
+        if fact not in self.tid.database:
+            return Fraction(0)
+        return self.tid.probability_of(fact)
+
+    def column_values(self, relation: str, position: int) -> set:
+        return {f.values[position] for f in self.by_relation.get(relation, ())}
+
+
+def _probability(atoms: Sequence[Atom], index: _FactIndex) -> Fraction | float:
+    # Independent join over connected components.
+    components = _components(atoms)
+    if len(components) > 1:
+        result: Fraction | float = Fraction(1)
+        for component in components:
+            result = result * _probability(component, index)
+        return result
+
+    atoms = components[0]
+    variables = set()
+    for atom in atoms:
+        variables.update(atom.variables())
+
+    if not variables:
+        result = Fraction(1)
+        for atom in atoms:
+            result = result * index.probability(atom.relation, atom.terms)
+        return result
+
+    root = _root_variable(atoms, variables)
+    if root is None:
+        raise NonHierarchicalError(
+            f"no root variable for component {[repr(a) for a in atoms]}"
+        )
+
+    domain: set = set()
+    for atom in atoms:
+        for position, term in enumerate(atom.terms):
+            if term == root:
+                domain |= index.column_values(atom.relation, position)
+
+    none_matches: Fraction | float = Fraction(1)
+    for value in sorted(domain, key=repr):
+        grounded = [_substitute(atom, root, value) for atom in atoms]
+        none_matches = none_matches * (1 - _probability(grounded, index))
+    return 1 - none_matches
+
+
+def _components(atoms: Sequence[Atom]) -> list[list[Atom]]:
+    remaining = list(atoms)
+    components: list[list[Atom]] = []
+    while remaining:
+        seed = remaining.pop(0)
+        component = [seed]
+        vars_seen = set(seed.variables())
+        changed = True
+        while changed:
+            changed = False
+            for atom in list(remaining):
+                if set(atom.variables()) & vars_seen:
+                    component.append(atom)
+                    vars_seen.update(atom.variables())
+                    remaining.remove(atom)
+                    changed = True
+        components.append(component)
+    return components
+
+
+def _root_variable(atoms: Sequence[Atom], variables: set) -> Var | None:
+    for var in sorted(variables, key=lambda v: v.name):
+        if all(var in atom.variables() for atom in atoms):
+            return var
+    return None
+
+
+def _substitute(atom: Atom, var: Var, value: object) -> Atom:
+    terms = tuple(value if term == var else term for term in atom.terms)
+    return Atom(atom.relation, terms)

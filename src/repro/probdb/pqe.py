@@ -1,0 +1,96 @@
+"""Probabilistic query evaluation (PQE).
+
+Three strategies, mirroring the practice of probabilistic databases:
+
+* :func:`pqe_naive` — possible-world enumeration (ground truth in tests);
+* :func:`pqe_lineage` — the *intensional* approach: compute the lineage,
+  compile it to d-DNNF, and take a weighted model count.  Works for any
+  SPJU query; may blow up on hard instances (budget-capped);
+* :func:`pqe_lifted` — the *extensional* approach for hierarchical
+  self-join-free CQs (polynomial time).
+
+:func:`pqe` dispatches to the lifted algorithm when it applies and falls
+back to lineage compilation otherwise.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..circuits.dnnf import weighted_model_count
+from ..compiler.knowledge import CompilationBudget, compile_circuit
+from ..db.algebra import Operator
+from ..db.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..db.evaluate import boolean_answer, lineage
+from .lifted import NonHierarchicalError, NotSelfJoinFreeError, lifted_probability
+from .tid import TupleIndependentDatabase
+
+Query = Operator | ConjunctiveQuery | UnionOfConjunctiveQueries
+
+
+def _to_plan(query: Query, tid: TupleIndependentDatabase) -> Operator:
+    if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+        return query.to_algebra(tid.database.schema)
+    return query
+
+
+def pqe_naive(query: Query, tid: TupleIndependentDatabase) -> Fraction | float:
+    """Probability that the Boolean query holds, by enumerating worlds.
+
+    Exponential in the number of uncertain facts; testing oracle only.
+    """
+    plan = _to_plan(query, tid)
+    total: Fraction | float = Fraction(0)
+    for world, prob in tid.worlds():
+        if boolean_answer(plan, world):
+            total = total + prob
+    return total
+
+
+def pqe_lineage(
+    query: Query,
+    tid: TupleIndependentDatabase,
+    budget: CompilationBudget | None = None,
+) -> Fraction | float:
+    """Intensional PQE: lineage, knowledge compilation, weighted count.
+
+    This is the route the paper builds on (Figure 3, with probabilities
+    instead of #SAT_k at the last step).  Raises
+    :class:`repro.compiler.BudgetExceeded` if compilation exceeds the
+    budget.
+    """
+    plan = _to_plan(query, tid)
+    result = lineage(plan, tid.database)
+    rows = result.relation.rows
+    if not rows:
+        return Fraction(0)
+    if list(rows) != [()]:
+        raise ValueError("pqe_lineage expects a Boolean (empty-tuple) query")
+    circuit = result.lineage_of(())
+    compiled = compile_circuit(circuit, budget=budget).circuit
+    weights = {
+        fact: (tid.probability_of(fact), 1 - tid.probability_of(fact))
+        for fact in compiled.reachable_vars()
+    }
+    return weighted_model_count(compiled, weights)
+
+
+def pqe_lifted(query: Query, tid: TupleIndependentDatabase) -> Fraction | float:
+    """Extensional PQE for hierarchical self-join-free CQs."""
+    if not isinstance(query, ConjunctiveQuery):
+        raise NonHierarchicalError("lifted inference needs a single CQ")
+    return lifted_probability(query, tid)
+
+
+def pqe(
+    query: Query,
+    tid: TupleIndependentDatabase,
+    budget: CompilationBudget | None = None,
+) -> Fraction | float:
+    """PQE dispatcher: lifted when safe, lineage compilation otherwise."""
+    if isinstance(query, ConjunctiveQuery) and query.is_boolean:
+        try:
+            return lifted_probability(query, tid)
+        except (NonHierarchicalError, NotSelfJoinFreeError):
+            pass
+    return pqe_lineage(query, tid, budget=budget)

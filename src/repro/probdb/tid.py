@@ -1,0 +1,96 @@
+"""Tuple-independent probabilistic databases (TIDs).
+
+A TID is a database plus a marginal probability per fact; possible
+worlds are sub-databases, with independent tuple inclusion (Section 3 of
+the paper).  Probabilities may be :class:`fractions.Fraction` for exact
+arithmetic (the Shapley-to-PQE reduction needs exactness) or floats.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Iterable, Iterator, Mapping
+
+from ..db.database import Database, Fact
+
+Probability = Fraction | float | int
+
+
+class TupleIndependentDatabase:
+    """A pair ``(D, pi)`` of a database and fact probabilities.
+
+    Facts absent from ``probabilities`` default to probability 1
+    (certain), which matches how exogenous facts are treated throughout
+    the paper.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        probabilities: Mapping[Fact, Probability] | None = None,
+    ) -> None:
+        self.database = database
+        self.probabilities: dict[Fact, Probability] = {}
+        if probabilities:
+            for fact, prob in probabilities.items():
+                self.set_probability(fact, prob)
+
+    def set_probability(self, fact: Fact, probability: Probability) -> None:
+        """Assign a marginal probability to a fact in the database."""
+        if fact not in self.database:
+            raise ValueError(f"fact {fact!r} not in database")
+        if not 0 <= probability <= 1:
+            raise ValueError(f"probability {probability!r} out of [0, 1]")
+        self.probabilities[fact] = probability
+
+    def probability_of(self, fact: Fact) -> Probability:
+        """Marginal probability of ``fact`` (1 if unassigned)."""
+        return self.probabilities.get(fact, 1)
+
+    def uncertain_facts(self) -> list[Fact]:
+        """Facts with probability strictly between 0 and 1."""
+        return [
+            f
+            for f in self.database.facts()
+            if 0 < self.probability_of(f) < 1
+        ]
+
+    def certain_facts(self) -> list[Fact]:
+        """Facts with probability exactly 1."""
+        return [f for f in self.database.facts() if self.probability_of(f) == 1]
+
+    # ------------------------------------------------------------------
+    # Possible worlds (exponential; for tests and tiny instances)
+    # ------------------------------------------------------------------
+
+    def worlds(self) -> Iterator[tuple[Database, Probability]]:
+        """Enumerate possible worlds with their probabilities.
+
+        Facts with probability 0 never appear; facts with probability 1
+        always do.  Exponential in the number of uncertain facts.
+        """
+        certain = [f for f in self.database.facts() if self.probability_of(f) == 1]
+        uncertain = self.uncertain_facts()
+        for r in range(len(uncertain) + 1):
+            for chosen in combinations(uncertain, r):
+                prob: Probability = 1
+                chosen_set = set(chosen)
+                for fact in uncertain:
+                    p = self.probability_of(fact)
+                    prob = prob * (p if fact in chosen_set else (1 - p))
+                world = _database_from(self.database, certain + list(chosen))
+                yield world, prob
+
+    def __repr__(self) -> str:
+        return (
+            f"TupleIndependentDatabase(facts={len(self.database)}, "
+            f"uncertain={len(self.uncertain_facts())})"
+        )
+
+
+def _database_from(template: Database, facts: Iterable[Fact]) -> Database:
+    world = Database(template.schema)
+    for fact in facts:
+        world.add(fact.relation, *fact.values, endogenous=template.is_endogenous(fact))
+    return world

@@ -1,0 +1,37 @@
+"""Benchmark workloads: flights running example, TPC-H, IMDB, synthetic."""
+
+from .flights import (
+    EXPECTED_SHAPLEY,
+    EXPECTED_SHAPLEY_Q2,
+    flights_database,
+    flights_query,
+)
+from .imdb import ImdbConfig, generate_imdb, imdb_schema
+from .imdb_queries import (
+    IMDB_ALL_QUERIES,
+    IMDB_EXTRA_QUERIES,
+    IMDB_QUERIES,
+    imdb_query,
+)
+from .suite import QueryShape, QuerySpec, describe
+from .synthetic import (
+    bipartite_join_dnf,
+    chained_dnf,
+    intractable_circuit,
+    intractable_cnf,
+    random_monotone_dnf,
+)
+from .tpch import TpchConfig, generate_tpch, tpch_schema
+from .tpch_queries import TPCH_QUERIES, tpch_query
+
+__all__ = [
+    "EXPECTED_SHAPLEY", "EXPECTED_SHAPLEY_Q2", "flights_database",
+    "flights_query",
+    "ImdbConfig", "generate_imdb", "imdb_schema",
+    "IMDB_ALL_QUERIES", "IMDB_EXTRA_QUERIES", "IMDB_QUERIES", "imdb_query",
+    "QueryShape", "QuerySpec", "describe",
+    "bipartite_join_dnf", "chained_dnf", "intractable_circuit",
+    "intractable_cnf", "random_monotone_dnf",
+    "TpchConfig", "generate_tpch", "tpch_schema",
+    "TPCH_QUERIES", "tpch_query",
+]

@@ -1,0 +1,117 @@
+"""The paper's running example (Figure 1): flights and airports.
+
+The ``Flights`` relation is endogenous, ``Airports`` exogenous, and the
+Boolean UCQ asks whether there is a route from a "USA" airport to a
+"FR" airport with at most one connection.  Example 2.1 works out the
+exact Shapley values, reproduced here as ground truth for tests:
+
+========  ==============  =========
+fact       value           ≈
+========  ==============  =========
+a1         43/105          0.4095
+a2..a5     23/210          0.1095
+a6, a7     8/105           0.0762
+a8         0               0
+========  ==============  =========
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..db.conjunctive import UnionOfConjunctiveQueries, cq
+from ..db.database import Database, Fact
+from ..db.schema import RelationSchema, Schema
+
+FLIGHTS = [
+    ("JFK", "CDG"),  # a1
+    ("EWR", "LHR"),  # a2
+    ("BOS", "LHR"),  # a3
+    ("LHR", "CDG"),  # a4
+    ("LHR", "ORY"),  # a5
+    ("LAX", "MUC"),  # a6
+    ("MUC", "ORY"),  # a7
+    ("LHR", "MUC"),  # a8
+]
+
+AIRPORTS = [
+    ("JFK", "USA"),  # b1
+    ("EWR", "USA"),  # b2
+    ("BOS", "USA"),  # b3
+    ("LAX", "USA"),  # b4
+    ("LHR", "EN"),   # b5
+    ("MUC", "GR"),   # b6
+    ("ORY", "FR"),   # b7
+    ("CDG", "FR"),   # b8
+]
+
+
+def flights_schema() -> Schema:
+    """Schema of Figure 1a."""
+    return Schema.of(
+        RelationSchema.of("Flights", ("src", str), ("dest", str)),
+        RelationSchema.of("Airports", ("name", str), ("country", str)),
+    )
+
+
+def flights_database() -> Database:
+    """The database of Figure 1a (Flights endogenous, Airports exogenous)."""
+    db = Database(flights_schema())
+    db.add_many("Flights", FLIGHTS, endogenous=True)
+    db.add_many("Airports", AIRPORTS, endogenous=False)
+    return db
+
+
+def fact(name: str) -> Fact:
+    """The fact the paper calls ``a1``..``a8`` / ``b1``..``b8``."""
+    if name.startswith("a"):
+        return Fact("Flights", FLIGHTS[int(name[1:]) - 1])
+    if name.startswith("b"):
+        return Fact("Airports", AIRPORTS[int(name[1:]) - 1])
+    raise ValueError(f"unknown fact name {name!r}")
+
+
+def direct_query():
+    """q1: a direct USA -> FR flight (Figure 1c)."""
+    return cq(None, "Airports(x, 'USA')", "Airports(y, 'FR')", "Flights(x, y)")
+
+
+def one_stop_query():
+    """q2: a USA -> FR route with exactly one connection (Figure 1c)."""
+    return cq(
+        None,
+        "Airports(x, 'USA')",
+        "Airports(z, 'FR')",
+        "Flights(x, y)",
+        "Flights(y, z)",
+    )
+
+
+def flights_query() -> UnionOfConjunctiveQueries:
+    """q = q1 OR q2: at most one connection (the running example)."""
+    return UnionOfConjunctiveQueries.of(direct_query(), one_stop_query())
+
+
+#: Exact Shapley values from Example 2.1, keyed by the paper's names.
+EXPECTED_SHAPLEY = {
+    "a1": Fraction(43, 105),
+    "a2": Fraction(23, 210),
+    "a3": Fraction(23, 210),
+    "a4": Fraction(23, 210),
+    "a5": Fraction(23, 210),
+    "a6": Fraction(8, 105),
+    "a7": Fraction(8, 105),
+    "a8": Fraction(0),
+}
+
+#: Exact Shapley values for q2 alone, from Example 5.3.
+EXPECTED_SHAPLEY_Q2 = {
+    "a1": Fraction(0),
+    "a2": Fraction(11, 60),
+    "a3": Fraction(11, 60),
+    "a4": Fraction(11, 60),
+    "a5": Fraction(11, 60),
+    "a6": Fraction(2, 15),
+    "a7": Fraction(2, 15),
+    "a8": Fraction(0),
+}

@@ -1,0 +1,276 @@
+"""A synthetic IMDB generator for the JOB (Join Order Benchmark) schema.
+
+The paper's IMDB experiments run JOB-style join queries (Leis et al.)
+over the real 1.2 GB IMDB snapshot, which is not redistributable here.
+This generator produces a faithful *synthetic* stand-in: the JOB schema
+subset the queries touch, dimension tables seeded with the exact
+constant values the queries filter on, and Zipf-skewed fan-outs for the
+many-to-many relationship tables (cast, keywords, companies) — the
+skew is what makes IMDB provenance large and occasionally hard, which
+is the property the experiments exercise.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..db.database import Database
+from ..db.schema import RelationSchema, Schema
+
+INFO_TYPES = [
+    "top 250 rank", "bottom 10 rank", "rating", "release dates",
+    "mini biography", "trivia", "genres", "budget",
+]
+
+COMPANY_TYPES = ["production companies", "distributors", "special effects companies"]
+
+KIND_TYPES = ["movie", "tv series", "video game", "episode"]
+
+LINK_TYPES = ["features", "followed by", "follows", "remake of", "spin off"]
+
+ROLE_TYPES = ["actor", "actress", "producer", "writer", "costume designer", "director"]
+
+COUNTRY_CODES = ["[us]", "[gb]", "[de]", "[fr]", "[jp]", "[pl]", "[in]"]
+
+KEYWORDS = [
+    "superhero", "sequel", "character-name-in-title", "based-on-novel",
+    "love", "revenge", "murder", "marvel-comics", "violence", "friendship",
+    "dystopia", "time-travel", "robot", "magic", "war",
+]
+
+COMPANY_STEMS = [
+    "Warner Bros", "Universal Film", "Paramount", "Columbia Film",
+    "Metro-Goldwyn-Mayer", "Twentieth Century Fox Film", "Gaumont Film",
+    "Studio Canal Film", "Polygram Film", "New Line Film",
+]
+
+NOTES = [
+    "(presents)", "(co-production)", "(as Metro-Goldwyn-Mayer Pictures)",
+    "(in association with)", "(uncredited)", "(voice)", "",
+]
+
+
+def imdb_schema() -> Schema:
+    """The JOB schema subset used by the paper's 32 IMDB queries."""
+    return Schema.of(
+        RelationSchema.of(
+            "title",
+            ("t_id", int), ("t_title", str), ("t_kind_id", int),
+            ("t_production_year", int),
+        ),
+        RelationSchema.of("kind_type", ("kt_id", int), ("kt_kind", str)),
+        RelationSchema.of(
+            "company_name",
+            ("cn_id", int), ("cn_name", str), ("cn_country_code", str),
+        ),
+        RelationSchema.of("company_type", ("ct_id", int), ("ct_kind", str)),
+        RelationSchema.of(
+            "movie_companies",
+            ("mc_movie_id", int), ("mc_company_id", int),
+            ("mc_company_type_id", int), ("mc_note", str),
+        ),
+        RelationSchema.of("info_type", ("it_id", int), ("it_info", str)),
+        RelationSchema.of(
+            "movie_info",
+            ("mi_movie_id", int), ("mi_info_type_id", int), ("mi_info", str),
+        ),
+        RelationSchema.of(
+            "movie_info_idx",
+            ("mii_movie_id", int), ("mii_info_type_id", int), ("mii_info", str),
+        ),
+        RelationSchema.of("keyword", ("k_id", int), ("k_keyword", str)),
+        RelationSchema.of(
+            "movie_keyword", ("mk_movie_id", int), ("mk_keyword_id", int)
+        ),
+        RelationSchema.of(
+            "name", ("n_id", int), ("n_name", str), ("n_gender", str)
+        ),
+        RelationSchema.of(
+            "cast_info",
+            ("ci_person_id", int), ("ci_movie_id", int), ("ci_role_id", int),
+            ("ci_note", str),
+        ),
+        RelationSchema.of("role_type", ("rt_id", int), ("rt_role", str)),
+        RelationSchema.of("aka_name", ("an_person_id", int), ("an_name", str)),
+        RelationSchema.of("link_type", ("lt_id", int), ("lt_link", str)),
+        RelationSchema.of(
+            "movie_link",
+            ("ml_movie_id", int), ("ml_linked_movie_id", int),
+            ("ml_link_type_id", int),
+        ),
+        RelationSchema.of(
+            "person_info",
+            ("pi_person_id", int), ("pi_info_type_id", int), ("pi_info", str),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ImdbConfig:
+    """Sizing knobs.  Defaults give a database whose per-answer lineage
+    sizes span the easy-to-hard range of the paper's Figure 4."""
+
+    movies: int = 220
+    people: int = 300
+    companies: int = 30
+    seed: int = 11
+    #: relationship/"fact" tables are endogenous, dimension tables
+    #: exogenous — matching the spirit of the paper's setup.
+    endogenous_relations: tuple[str, ...] = (
+        "title", "movie_companies", "movie_info", "movie_info_idx",
+        "movie_keyword", "cast_info", "aka_name", "movie_link",
+        "person_info",
+    )
+
+
+def _zipf_choice(rng: random.Random, n: int) -> int:
+    """A 1-based Zipf(1)-ish draw over ``1..n`` (popularity skew)."""
+    # Inverse-CDF sampling on 1/k weights is overkill; rejection on a
+    # harmonic-ish transform is cheap and good enough for skew.
+    while True:
+        value = int(n ** rng.random())
+        if 1 <= value <= n:
+            return value
+
+
+def generate_imdb(config: ImdbConfig | None = None) -> Database:
+    """Generate the synthetic IMDB database."""
+    config = config or ImdbConfig()
+    rng = random.Random(config.seed)
+    db = Database(imdb_schema())
+    endo = set(config.endogenous_relations)
+
+    def is_endo(relation: str) -> bool:
+        return relation in endo
+
+    for i, info in enumerate(INFO_TYPES, start=1):
+        db.add("info_type", i, info, endogenous=is_endo("info_type"))
+    for i, kind in enumerate(COMPANY_TYPES, start=1):
+        db.add("company_type", i, kind, endogenous=is_endo("company_type"))
+    for i, kind in enumerate(KIND_TYPES, start=1):
+        db.add("kind_type", i, kind, endogenous=is_endo("kind_type"))
+    for i, link in enumerate(LINK_TYPES, start=1):
+        db.add("link_type", i, link, endogenous=is_endo("link_type"))
+    for i, role in enumerate(ROLE_TYPES, start=1):
+        db.add("role_type", i, role, endogenous=is_endo("role_type"))
+    for i, keyword in enumerate(KEYWORDS, start=1):
+        db.add("keyword", i, keyword, endogenous=is_endo("keyword"))
+
+    # Country codes are skewed toward the codes the queries filter on
+    # ([us], [de]) so selective queries stay non-empty at small scale.
+    country_weights = (8, 3, 4, 2, 1, 1, 1)
+    for i in range(1, config.companies + 1):
+        stem = COMPANY_STEMS[(i - 1) % len(COMPANY_STEMS)]
+        db.add(
+            "company_name",
+            i,
+            f"{stem} {i}",
+            rng.choices(COUNTRY_CODES, weights=country_weights, k=1)[0],
+            endogenous=is_endo("company_name"),
+        )
+
+    for i in range(1, config.movies + 1):
+        db.add(
+            "title",
+            i,
+            f"Movie {i}",
+            rng.choice((1, 1, 1, 2, 4)),  # mostly movies
+            rng.randint(1950, 2015),
+            endogenous=is_endo("title"),
+        )
+
+    for i in range(1, config.people + 1):
+        db.add(
+            "name",
+            i,
+            f"Person {i}",
+            rng.choice(("m", "f")),
+            endogenous=is_endo("name"),
+        )
+        if rng.random() < 0.5:
+            db.add(
+                "aka_name", i, f"Alias {i}", endogenous=is_endo("aka_name")
+            )
+        if rng.random() < 0.4:
+            db.add(
+                "person_info",
+                i,
+                INFO_TYPES.index("mini biography") + 1,
+                f"bio of person {i}",
+                endogenous=is_endo("person_info"),
+            )
+
+    # Relationship tables with Zipf-skewed movie popularity.
+    for _ in range(config.movies * 4):
+        movie = _zipf_choice(rng, config.movies)
+        person = _zipf_choice(rng, config.people)
+        db.add(
+            "cast_info",
+            person,
+            movie,
+            rng.randrange(len(ROLE_TYPES)) + 1,
+            rng.choice(NOTES),
+            endogenous=is_endo("cast_info"),
+        )
+
+    for _ in range(config.movies * 3):
+        movie = _zipf_choice(rng, config.movies)
+        db.add(
+            "movie_keyword",
+            movie,
+            rng.randrange(len(KEYWORDS)) + 1,
+            endogenous=is_endo("movie_keyword"),
+        )
+
+    for _ in range(config.movies * 2):
+        movie = _zipf_choice(rng, config.movies)
+        db.add(
+            "movie_companies",
+            movie,
+            rng.randint(1, config.companies),
+            rng.randrange(len(COMPANY_TYPES)) + 1,
+            rng.choice(NOTES),
+            endogenous=is_endo("movie_companies"),
+        )
+
+    for movie in range(1, config.movies + 1):
+        if rng.random() < 0.7:
+            db.add(
+                "movie_info",
+                movie,
+                INFO_TYPES.index("rating") + 1,
+                f"{rng.randint(10, 99) / 10}",
+                endogenous=is_endo("movie_info"),
+            )
+        if rng.random() < 0.5:
+            db.add(
+                "movie_info",
+                movie,
+                INFO_TYPES.index("release dates") + 1,
+                f"{rng.randint(1950, 2015)}-01-01",
+                endogenous=is_endo("movie_info"),
+            )
+        if rng.random() < 0.4:
+            db.add(
+                "movie_info_idx",
+                movie,
+                INFO_TYPES.index("top 250 rank") + 1,
+                str(rng.randint(1, 250)),
+                endogenous=is_endo("movie_info_idx"),
+            )
+
+    for _ in range(config.movies):
+        source = _zipf_choice(rng, config.movies)
+        target = _zipf_choice(rng, config.movies)
+        if source != target:
+            db.add(
+                "movie_link",
+                source,
+                target,
+                rng.randrange(len(LINK_TYPES)) + 1,
+                endogenous=is_endo("movie_link"),
+            )
+    return db

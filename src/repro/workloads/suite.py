@@ -1,0 +1,45 @@
+"""Query-suite plumbing shared by the TPC-H and IMDB workloads.
+
+A :class:`QuerySpec` pairs a named SQL query with its provenance-level
+metadata; :func:`describe` computes the "#Joined tables" and "#Filter
+conditions" columns of the paper's Table 1 from the compiled plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db.algebra import Operator, count_filters, count_joins
+from ..db.database import Database
+from ..db.sql import plan_sql
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A benchmark query: display name + SQL text + free-form notes."""
+
+    name: str
+    sql: str
+    description: str = ""
+
+    def plan(self, database: Database) -> Operator:
+        return plan_sql(self.sql, database.schema)
+
+
+@dataclass(frozen=True)
+class QueryShape:
+    """The structural columns of Table 1."""
+
+    name: str
+    joined_tables: int
+    filter_conditions: int
+
+
+def describe(spec: QuerySpec, database: Database) -> QueryShape:
+    """Compute Table 1's structural columns for one query."""
+    plan = spec.plan(database)
+    return QueryShape(
+        name=spec.name,
+        joined_tables=count_joins(plan) + 1,
+        filter_conditions=count_filters(plan),
+    )

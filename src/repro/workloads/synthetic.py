@@ -1,0 +1,103 @@
+"""Synthetic provenance generators for controlled experiments.
+
+The paper's scaling figures vary properties of the provenance (number
+of distinct facts, CNF clauses, d-DNNF size).  These generators produce
+lineage-shaped circuits with controllable parameters, plus adversarial
+CNFs used for failure injection in the budget/hybrid tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from ..circuits.circuit import Circuit
+from ..circuits.cnf import Cnf
+
+
+def random_monotone_dnf(
+    n_vars: int,
+    n_terms: int,
+    term_width: int,
+    seed: int = 0,
+) -> Circuit:
+    """A random monotone DNF — the shape of SPJU lineage (each term is
+    one derivation joining ``term_width`` facts)."""
+    rng = random.Random(seed)
+    circuit = Circuit()
+    labels = [f"x{i}" for i in range(n_vars)]
+    terms = []
+    for _ in range(n_terms):
+        width = min(term_width, n_vars)
+        chosen = rng.sample(labels, width)
+        terms.append(circuit.and_([circuit.var(v) for v in chosen]))
+    circuit.output = circuit.or_(terms)
+    return circuit
+
+
+def chained_dnf(n_links: int) -> Circuit:
+    """The path-shaped lineage ``(x0 & x1) | (x1 & x2) | ...`` — compact
+    circuits whose d-DNNFs stay linear (easy cases)."""
+    circuit = Circuit()
+    terms = []
+    for i in range(n_links):
+        terms.append(
+            circuit.and_((circuit.var(f"x{i}"), circuit.var(f"x{i + 1}")))
+        )
+    circuit.output = circuit.or_(terms)
+    return circuit
+
+
+def bipartite_join_dnf(left: int, right: int) -> Circuit:
+    """The complete-bipartite lineage ``OR_{i,j} (a_i & b_j)`` produced
+    by a projected two-way join; its compiled form is tiny
+    (``(OR a_i) & (OR b_j)`` after decomposition) — a best case."""
+    circuit = Circuit()
+    terms = []
+    for i in range(left):
+        for j in range(right):
+            terms.append(
+                circuit.and_((circuit.var(f"a{i}"), circuit.var(f"b{j}")))
+            )
+    circuit.output = circuit.or_(terms)
+    return circuit
+
+
+def intractable_cnf(n_vars: int = 60, seed: int = 3, ratio: float = 2.0) -> Cnf:
+    """A random 3-CNF in the hard *counting* regime (ratio ~ 2).
+
+    Near-threshold 3-CNFs are easy to count (few models, strong unit
+    propagation); the hardness peak for #SAT/compilation sits at lower
+    ratios, where the model count is astronomically large but the
+    formula is far from monotone.  Compiling these blows up with high
+    probability — the stand-in for the paper's out-of-memory failures
+    when exercising budgets and the hybrid fallback.
+    """
+    rng = random.Random(seed)
+    n_clauses = int(n_vars * ratio)
+    cnf = Cnf(n_vars, labels={i: f"x{i}" for i in range(1, n_vars + 1)})
+    for _ in range(n_clauses):
+        chosen = rng.sample(range(1, n_vars + 1), 3)
+        clause = tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        cnf.add_clause(clause)
+    return cnf
+
+
+def intractable_circuit(n_vars: int = 60, seed: int = 3) -> Circuit:
+    """The :func:`intractable_cnf` formula as a circuit (AND of ORs)."""
+    cnf = intractable_cnf(n_vars, seed)
+    circuit = Circuit()
+    clauses = []
+    for clause in cnf.clauses:
+        literals = [
+            circuit.literal(cnf.labels[abs(lit)], lit > 0) for lit in clause
+        ]
+        clauses.append(circuit.or_(literals))
+    circuit.output = circuit.and_(clauses)
+    return circuit
+
+
+def random_variable_labels(circuit: Circuit) -> list[Hashable]:
+    """Sorted variable labels of a synthetic circuit (stable player
+    order for the Shapley APIs)."""
+    return sorted(circuit.reachable_vars(), key=repr)

@@ -1,0 +1,84 @@
+"""Tests for the high-level attribute() API."""
+
+import pytest
+
+from repro import attribute
+from repro.workloads.flights import (
+    EXPECTED_SHAPLEY,
+    fact,
+    flights_database,
+    flights_query,
+)
+
+
+class TestAttribute:
+    def test_exact_method(self):
+        db = flights_database()
+        result = attribute(db, flights_query(), answer=(), method="exact")
+        assert result.exact
+        assert result.values[fact("a1")] == EXPECTED_SHAPLEY["a1"]
+        assert result.seconds >= 0
+
+    def test_answer_inferred_for_single_answer_query(self):
+        db = flights_database()
+        result = attribute(db, flights_query(), method="exact")
+        assert result.answer == ()
+
+    def test_multi_answer_requires_answer(self):
+        db = flights_database()
+        sql = "SELECT country FROM Airports"
+        with pytest.raises(ValueError):
+            attribute(db, sql, method="proxy")
+
+    def test_wrong_answer_rejected(self):
+        db = flights_database()
+        with pytest.raises(ValueError):
+            attribute(db, flights_query(), answer=("nope",), method="proxy")
+
+    def test_unknown_method(self):
+        db = flights_database()
+        with pytest.raises(ValueError):
+            attribute(db, flights_query(), answer=(), method="zen")
+
+    def test_hybrid_on_easy_case_is_exact(self):
+        db = flights_database()
+        result = attribute(db, flights_query(), answer=(), method="hybrid")
+        assert result.exact
+        assert result.detail.kind == "exact"
+
+    def test_proxy_method(self):
+        db = flights_database()
+        result = attribute(db, flights_query(), answer=(), method="proxy")
+        assert not result.exact
+        assert result.values[fact("a2")] > result.values[fact("a6")]
+
+    def test_monte_carlo_seeded(self):
+        db = flights_database()
+        a = attribute(db, flights_query(), answer=(), method="monte_carlo",
+                      samples_per_fact=30, seed=4)
+        b = attribute(db, flights_query(), answer=(), method="monte_carlo",
+                      samples_per_fact=30, seed=4)
+        assert a.values == b.values
+
+    def test_kernel_shap_runs(self):
+        db = flights_database()
+        result = attribute(db, flights_query(), answer=(), method="kernel_shap",
+                           samples_per_fact=40, seed=1)
+        assert len(result.values) == 7  # lineage facts only (a8 excluded)
+
+    def test_ranking_and_top(self):
+        db = flights_database()
+        result = attribute(db, flights_query(), answer=(), method="exact")
+        assert result.ranking()[0] == fact("a1")
+        top = result.top(2)
+        assert top[0] == (fact("a1"), EXPECTED_SHAPLEY["a1"])
+        assert len(top) == 2
+
+    def test_sql_query_with_answer(self):
+        db = flights_database()
+        sql = (
+            "SELECT a.country FROM Flights f, Airports a "
+            "WHERE f.dest = a.name"
+        )
+        result = attribute(db, sql, answer=("FR",), method="exact")
+        assert all(f.relation == "Flights" for f in result.values)

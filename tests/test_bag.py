@@ -1,0 +1,88 @@
+"""Tests for bag semantics via copy identifiers (paper Section 7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import exact_shapley_of_circuit
+from repro.db import Database, RelationSchema, Schema, lineage, plan_sql
+from repro.db.bag import (
+    COPY_ATTRIBUTE,
+    BagTable,
+    bag_relation,
+    bag_schema,
+    tuple_contribution,
+)
+
+
+def base_schema():
+    return Schema.of(
+        RelationSchema.of("R", ("a", int)),
+        RelationSchema.of("S", ("a", int), ("b", int)),
+    )
+
+
+class TestEncoding:
+    def test_bag_relation_appends_copy_attr(self):
+        rel = bag_relation(base_schema().relation("R"))
+        assert rel.attribute_names == ("a", COPY_ATTRIBUTE)
+
+    def test_bag_relation_idempotent(self):
+        rel = bag_relation(bag_relation(base_schema().relation("R")))
+        assert rel.attribute_names.count(COPY_ATTRIBUTE) == 1
+
+    def test_bag_schema_partial(self):
+        schema = bag_schema(base_schema(), relations=["R"])
+        assert schema.relation("R").attribute_names[-1] == COPY_ATTRIBUTE
+        assert schema.relation("S").attribute_names[-1] == "b"
+
+    def test_bag_table_rejects_plain_relation(self):
+        db = Database(base_schema())
+        with pytest.raises(ValueError):
+            BagTable(db, "R")
+
+
+class TestMultiplicities:
+    def test_copies_are_distinct_facts(self):
+        db = Database(bag_schema(base_schema(), ["R"]))
+        table = BagTable(db, "R")
+        facts = table.add(7, multiplicity=3)
+        assert len(facts) == 3
+        assert len(set(facts)) == 3
+        assert table.copies_of(7) == facts
+
+    def test_incremental_copy_ids(self):
+        db = Database(bag_schema(base_schema(), ["R"]))
+        table = BagTable(db, "R")
+        table.add(7, multiplicity=2)
+        more = table.add(7, multiplicity=1)
+        assert more[0].values[-1] == 2
+
+    def test_multiplicity_validation(self):
+        db = Database(bag_schema(base_schema(), ["R"]))
+        table = BagTable(db, "R")
+        with pytest.raises(ValueError):
+            table.add(7, multiplicity=0)
+
+
+class TestShapleyUnderBags:
+    def test_copies_share_contribution(self):
+        """Two copies of the same tuple split the contribution a single
+        copy would get — the symmetric treatment the paper predicts."""
+        schema = bag_schema(
+            Schema.of(RelationSchema.of("R", ("a", int))), ["R"]
+        )
+        db = Database(schema)
+        table = BagTable(db, "R")
+        single = db_copy = None
+
+        copies = table.add(1, multiplicity=2)
+        plan = plan_sql("SELECT a FROM R WHERE a = 1", schema)
+        result = lineage(plan, db, endogenous_only=True)
+        circuit = result.lineage_of((1,))
+        values = exact_shapley_of_circuit(circuit, db.endogenous_facts())
+        assert values[copies[0]] == values[copies[1]] == Fraction(1, 2)
+        assert tuple_contribution(values, copies) == 1
+
+    def test_tuple_contribution_empty(self):
+        assert tuple_contribution({}, []) == 0

@@ -1,0 +1,134 @@
+"""Tests for the sampling baselines: Monte Carlo and Kernel SHAP."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import circuit_from_nested
+from repro.core import (
+    exact_shapley_of_circuit,
+    kernel_shap_values,
+    monte_carlo_shapley,
+    ndcg,
+)
+from repro.core.monte_carlo import _prefix_gains
+from repro.db import lineage
+from repro.workloads.flights import fact, flights_database, flights_query
+
+
+def flights_circuit():
+    db = flights_database()
+    plan = flights_query().to_algebra(db.schema)
+    circuit = lineage(plan, db, endogenous_only=True).lineage_of(())
+    return db, circuit
+
+
+class TestMonteCarlo:
+    def test_budget_argument_validation(self):
+        _, circuit = flights_circuit()
+        with pytest.raises(ValueError):
+            monte_carlo_shapley(circuit, ["a"], permutations=5, samples_per_fact=5)
+        with pytest.raises(ValueError):
+            monte_carlo_shapley(circuit, ["a"])
+        with pytest.raises(ValueError):
+            monte_carlo_shapley(circuit, ["a"], permutations=0)
+
+    def test_no_players(self):
+        _, circuit = flights_circuit()
+        assert monte_carlo_shapley(circuit, [], permutations=3) == {}
+
+    def test_seeded_determinism(self):
+        db, circuit = flights_circuit()
+        endo = db.endogenous_facts()
+        a = monte_carlo_shapley(circuit, endo, permutations=20, rng=random.Random(5))
+        b = monte_carlo_shapley(circuit, endo, permutations=20, rng=random.Random(5))
+        assert a == b
+
+    def test_prefix_gains_match_direct_evaluation(self):
+        db, circuit = flights_circuit()
+        order = db.endogenous_facts()
+        gains = _prefix_gains(circuit, order, len(order) + 1)
+        for position in range(len(order)):
+            before = set(order[:position])
+            after = set(order[: position + 1])
+            direct = int(circuit.evaluate(after)) - int(circuit.evaluate(before))
+            assert gains[position] == direct
+
+    def test_estimates_sum_to_efficiency(self):
+        """Each permutation's marginals telescope, so the estimate
+        always satisfies efficiency exactly."""
+        db, circuit = flights_circuit()
+        endo = db.endogenous_facts()
+        values = monte_carlo_shapley(
+            circuit, endo, permutations=7, rng=random.Random(1)
+        )
+        assert sum(values.values()) == pytest.approx(1.0)
+
+    def test_convergence_on_running_example(self):
+        db, circuit = flights_circuit()
+        endo = db.endogenous_facts()
+        exact = exact_shapley_of_circuit(circuit, endo)
+        estimate = monte_carlo_shapley(
+            circuit, endo, permutations=3000, rng=random.Random(0)
+        )
+        for f in endo:
+            assert estimate[f] == pytest.approx(float(exact[f]), abs=0.03)
+
+
+class TestKernelShap:
+    def test_budget_argument_validation(self):
+        _, circuit = flights_circuit()
+        with pytest.raises(ValueError):
+            kernel_shap_values(circuit, ["a", "b"], samples=10, samples_per_fact=5)
+        with pytest.raises(ValueError):
+            kernel_shap_values(circuit, ["a", "b"])
+        with pytest.raises(ValueError):
+            kernel_shap_values(circuit, ["a", "b"], samples=0)
+
+    def test_no_players(self):
+        _, circuit = flights_circuit()
+        assert kernel_shap_values(circuit, [], samples=4) == {}
+
+    def test_single_player_is_exact(self):
+        circuit = circuit_from_nested("x")
+        values = kernel_shap_values(circuit, ["x"], samples=1)
+        assert values == {"x": 1.0}
+
+    def test_two_players_exact_by_constraints(self):
+        # With n=2 the constrained regression has a single coalition
+        # size, so the result is exact for the AND game: 1/2 each.
+        circuit = circuit_from_nested(("and", "x", "y"))
+        values = kernel_shap_values(
+            circuit, ["x", "y"], samples=20, rng=random.Random(0)
+        )
+        assert values["x"] == pytest.approx(0.5)
+        assert values["y"] == pytest.approx(0.5)
+
+    def test_efficiency_constraint_holds(self):
+        db, circuit = flights_circuit()
+        endo = db.endogenous_facts()
+        values = kernel_shap_values(
+            circuit, endo, samples_per_fact=10, rng=random.Random(3)
+        )
+        assert sum(values.values()) == pytest.approx(1.0)
+
+    def test_seeded_determinism(self):
+        db, circuit = flights_circuit()
+        endo = db.endogenous_facts()
+        a = kernel_shap_values(circuit, endo, samples=100, rng=random.Random(9))
+        b = kernel_shap_values(circuit, endo, samples=100, rng=random.Random(9))
+        assert a == b
+
+    def test_quality_on_running_example(self):
+        db, circuit = flights_circuit()
+        endo = db.endogenous_facts()
+        exact = exact_shapley_of_circuit(circuit, endo)
+        estimate = kernel_shap_values(
+            circuit, endo, samples_per_fact=200, rng=random.Random(2)
+        )
+        truth = {f: float(v) for f, v in exact.items()}
+        assert ndcg(truth, estimate) > 0.97
+        # the top fact is identified
+        top = max(estimate, key=estimate.get)
+        assert top == fact("a1")

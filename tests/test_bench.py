@@ -1,0 +1,127 @@
+"""Tests for the experiment harness (stats, runner, reporting)."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    TABLE1_HEADERS,
+    bucket_of,
+    format_table,
+    group_by_bucket,
+    mean,
+    median,
+    percentile,
+    render_csv,
+    run_query,
+    run_suite,
+    table1_rows,
+    timing_row,
+    write_csv,
+)
+from repro.compiler import CompilationBudget
+from repro.workloads import TpchConfig, generate_tpch, tpch_query
+
+
+class TestStats:
+    def test_percentile_interpolation(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 4.0
+        assert percentile(data, 0.5) == 2.5
+
+    def test_percentile_single(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_percentile_empty_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_mean_median(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert median([1.0, 3.0, 9.0]) == 3.0
+        assert math.isnan(mean([]))
+
+    def test_timing_row_keys(self):
+        row = timing_row([0.1, 0.2, 0.3])
+        assert set(row) == {"mean", "p25", "p50", "p75", "p99"}
+
+    def test_bucket_of(self):
+        assert bucket_of(5) == "1-10"
+        assert bucket_of(150) == "101-200"
+        assert bucket_of(999) == ">400"
+        assert bucket_of(0) is None
+
+    def test_group_by_bucket(self):
+        grouped = group_by_bucket([(5, 1.0), (7, 2.0), (150, 3.0)])
+        assert grouped["1-10"] == [1.0, 2.0]
+        assert grouped["101-200"] == [3.0]
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def run(self):
+        db = generate_tpch(TpchConfig(scale_factor=0.0003))
+        return run_query(
+            db,
+            tpch_query("Q3"),
+            dataset="TPC-H",
+            budget=CompilationBudget(max_seconds=5.0),
+            keep_values=True,
+            max_outputs=10,
+        )
+
+    def test_records_per_output(self, run):
+        assert 0 < len(run.records) <= 10
+        record = run.records[0]
+        assert record.dataset == "TPC-H"
+        assert record.query == "Q3"
+        assert record.n_facts > 0
+        assert record.cnf_clauses >= 0
+        assert record.total_seconds >= 0
+
+    def test_success_rate(self, run):
+        assert 0.0 <= run.success_rate <= 1.0
+        assert len(run.ok_records()) == sum(r.ok for r in run.records)
+
+    def test_values_kept(self, run):
+        ok = run.ok_records()
+        assert ok and ok[0].values is not None
+        assert all(v >= 0 for v in ok[0].values.values())
+
+    def test_run_suite(self):
+        db = generate_tpch(TpchConfig(scale_factor=0.0003))
+        runs = run_suite(
+            db, [tpch_query("Q3"), tpch_query("Q10")], "TPC-H",
+            budget=CompilationBudget(max_seconds=5.0), max_outputs=3,
+        )
+        assert [r.spec.name for r in runs] == ["Q3", "Q10"]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", float("nan")]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+        assert "-" in lines[3]  # NaN rendered as dash
+
+    def test_table1_rows(self):
+        db = generate_tpch(TpchConfig(scale_factor=0.0003))
+        runs = run_suite(
+            db, [tpch_query("Q3")], "TPC-H",
+            budget=CompilationBudget(max_seconds=5.0), max_outputs=3,
+        )
+        rows = table1_rows(runs, "TPC-H")
+        assert len(rows) == 1
+        assert len(rows[0]) == len(TABLE1_HEADERS)
+        assert rows[0][1] == "Q3"
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "table.csv"
+        write_csv(path, ["x", "y"], [[1, 2], [3, 4]])
+        assert path.read_text().splitlines()[0] == "x,y"
+        assert render_csv(["x"], [[1]]).startswith("x")

@@ -1,0 +1,254 @@
+"""Unit tests for repro.circuits.circuit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, CircuitError, GateKind, circuit_from_nested
+
+
+def build_example():
+    c = Circuit()
+    a, b, d = c.var("a"), c.var("b"), c.var("d")
+    c.output = c.or_((c.and_((a, b)), c.and_((c.not_(a), d))))
+    return c
+
+
+class TestConstruction:
+    def test_var_dedup(self):
+        c = Circuit()
+        assert c.var("x") == c.var("x")
+
+    def test_hash_consing_of_gates(self):
+        c = Circuit()
+        g1 = c.and_((c.var("x"), c.var("y")))
+        g2 = c.and_((c.var("x"), c.var("y")))
+        assert g1 == g2
+
+    def test_and_simplifications(self):
+        c = Circuit()
+        x = c.var("x")
+        assert c.and_(()) == c.true()
+        assert c.and_((x,)) == x
+        assert c.and_((x, c.true())) == x
+        assert c.and_((x, c.false())) == c.false()
+        assert c.and_((x, x)) == x
+
+    def test_or_simplifications(self):
+        c = Circuit()
+        x = c.var("x")
+        assert c.or_(()) == c.false()
+        assert c.or_((x,)) == x
+        assert c.or_((x, c.false())) == x
+        assert c.or_((x, c.true())) == c.true()
+        assert c.or_((x, x)) == x
+
+    def test_not_simplifications(self):
+        c = Circuit()
+        x = c.var("x")
+        assert c.not_(c.true()) == c.false()
+        assert c.not_(c.false()) == c.true()
+        assert c.not_(c.not_(x)) == x
+
+    def test_literal(self):
+        c = Circuit()
+        pos = c.literal("x", True)
+        neg = c.literal("x", False)
+        assert c.kind(pos) == GateKind.VAR
+        assert c.kind(neg) == GateKind.NOT
+        assert c.children(neg) == (pos,)
+
+    def test_label_requires_var_gate(self):
+        c = Circuit()
+        g = c.and_((c.var("x"), c.var("y")))
+        with pytest.raises(CircuitError):
+            c.label(g)
+
+    def test_output_gate_unset(self):
+        with pytest.raises(CircuitError):
+            Circuit().output_gate()
+
+    def test_gate_counts(self):
+        c = build_example()
+        counts = c.gate_counts()
+        assert counts[GateKind.VAR] == 3
+        assert counts[GateKind.AND] == 2
+        assert counts[GateKind.OR] == 1
+        assert counts[GateKind.NOT] == 1
+
+    def test_edge_count(self):
+        c = build_example()
+        assert c.edge_count == 2 + 2 + 2 + 1
+
+
+class TestEvaluation:
+    def test_truth_table(self):
+        c = build_example()
+        # (a & b) | (!a & d)
+        assert c.evaluate({"a", "b"})
+        assert c.evaluate({"d"})
+        assert not c.evaluate({"a", "d"})
+        assert not c.evaluate(set())
+        assert c.evaluate({"b", "d"})
+
+    def test_unknown_labels_ignored(self):
+        c = build_example()
+        assert c.evaluate({"d", "zzz"})
+
+    def test_evaluate_batch_matches_scalar(self):
+        c = build_example()
+        labels = ["a", "b", "d"]
+        width = 8
+        assignments = {}
+        for i, lbl in enumerate(labels):
+            bits = 0
+            for j in range(width):
+                if j >> i & 1:
+                    bits |= 1 << j
+            assignments[lbl] = bits
+        out = c.evaluate_batch(assignments, width)
+        for j in range(width):
+            chosen = {labels[i] for i in range(3) if j >> i & 1}
+            assert bool(out >> j & 1) == c.evaluate(chosen)
+
+    def test_evaluate_sub_gate(self):
+        c = Circuit()
+        a, b = c.var("a"), c.var("b")
+        g = c.and_((a, b))
+        c.output = c.or_((g, c.var("e")))
+        assert c.evaluate({"a", "b"}, root=g)
+        assert not c.evaluate({"a"}, root=g)
+
+
+class TestTransforms:
+    def test_condition_fixes_variables(self):
+        c = build_example()
+        conditioned = c.condition({"a": True})
+        # becomes just b
+        assert conditioned.evaluate({"b"})
+        assert not conditioned.evaluate({"d"})
+        assert conditioned.reachable_vars() == {"b"}
+
+    def test_condition_to_constant(self):
+        c = build_example()
+        conditioned = c.condition({"a": False, "d": True})
+        assert conditioned.kind(conditioned.output_gate()) == GateKind.TRUE
+
+    def test_condition_empty_prunes(self):
+        c = Circuit()
+        x = c.var("x")
+        c.var("unused")
+        c.output = x
+        pruned = c.prune()
+        assert pruned.variables() == {"x"}
+
+    def test_rename(self):
+        c = build_example()
+        renamed = c.rename({"a": "A"})
+        assert renamed.evaluate({"A", "b"})
+        assert "a" not in renamed.reachable_vars()
+
+    def test_flatten_collapses_nested_ors(self):
+        c = Circuit()
+        x, y, z = c.var("x"), c.var("y"), c.var("z")
+        c.output = c.or_((c.or_((x, y)), z))
+        flat = c.flatten()
+        root = flat.output_gate()
+        assert flat.kind(root) == GateKind.OR
+        assert len(flat.children(root)) == 3
+
+    def test_flatten_preserves_semantics(self):
+        c = build_example()
+        flat = c.flatten()
+        for mask in range(8):
+            chosen = {lbl for i, lbl in enumerate("abd") if mask >> i & 1}
+            assert c.evaluate(chosen) == flat.evaluate(chosen)
+
+    def test_flatten_prunes_superseded_gates(self):
+        c = Circuit()
+        parts = [c.var(f"x{i}") for i in range(4)]
+        g = parts[0]
+        for p in parts[1:]:
+            g = c.or_((g, p))
+        c.output = g
+        flat = c.flatten()
+        # single OR over 4 vars: 5 gates total
+        assert len(flat) == 5
+
+
+class TestIntrospection:
+    def test_reachable_vars(self):
+        c = Circuit()
+        a = c.var("a")
+        c.var("b")  # unreachable
+        c.output = a
+        assert c.reachable_vars() == {"a"}
+
+    def test_gate_var_sets(self):
+        c = build_example()
+        sets = c.gate_var_sets()
+        root = c.output_gate()
+        labels = {c.label(g) for g in sets[root]}
+        assert labels == {"a", "b", "d"}
+
+    def test_to_nested_roundtrip(self):
+        expr = ("or", ("and", "x", "y"), ("not", "z"))
+        c = circuit_from_nested(expr)
+        assert c.to_nested() == expr
+
+    def test_circuit_from_nested_constants(self):
+        c = circuit_from_nested(("or", True, "x"))
+        assert c.kind(c.output_gate()) == GateKind.TRUE
+
+    def test_to_dot_contains_gates(self):
+        dot = build_example().to_dot()
+        assert "digraph" in dot and "∨" in dot and "∧" in dot
+
+    def test_repr(self):
+        assert "Circuit(" in repr(build_example())
+
+    def test_bad_not_arity_in_nested(self):
+        with pytest.raises(CircuitError):
+            circuit_from_nested(("not", "x", "y"))
+
+
+@st.composite
+def nested_exprs(draw, depth=3):
+    """Random nested circuit expressions over 4 variables."""
+    if depth == 0:
+        return draw(st.sampled_from(["a", "b", "c", "d"]))
+    kind = draw(st.sampled_from(["var", "and", "or", "not"]))
+    if kind == "var":
+        return draw(st.sampled_from(["a", "b", "c", "d"]))
+    if kind == "not":
+        return ("not", draw(nested_exprs(depth=depth - 1)))
+    arity = draw(st.integers(2, 3))
+    return (kind, *[draw(nested_exprs(depth=depth - 1)) for _ in range(arity)])
+
+
+class TestPropertyBased:
+    @given(nested_exprs(), st.sets(st.sampled_from(["a", "b", "c", "d"])))
+    @settings(max_examples=120, deadline=None)
+    def test_flatten_equivalence(self, expr, assignment):
+        c = circuit_from_nested(expr)
+        assert c.evaluate(assignment) == c.flatten().evaluate(assignment)
+
+    @given(
+        nested_exprs(),
+        st.dictionaries(st.sampled_from(["a", "b"]), st.booleans()),
+        st.sets(st.sampled_from(["c", "d"])),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_condition_equivalence(self, expr, fixed, rest):
+        c = circuit_from_nested(expr)
+        conditioned = c.condition(fixed)
+        full = rest | {k for k, v in fixed.items() if v}
+        assert conditioned.evaluate(rest) == c.evaluate(full)
+
+    @given(nested_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_children_precede_parents(self, expr):
+        c = circuit_from_nested(expr)
+        for gate in c.gates():
+            for child in c.children(gate):
+                assert child < gate

@@ -1,0 +1,166 @@
+"""Unit tests for repro.circuits.cnf."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Cnf, CnfError
+
+
+class TestConstruction:
+    def test_basic(self):
+        cnf = Cnf(3, [(1, -2), (2, 3)])
+        assert cnf.num_vars == 3
+        assert cnf.num_clauses == 2
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(CnfError):
+            Cnf(2, [(1, 3)])
+        with pytest.raises(CnfError):
+            Cnf(2, [(0,)])
+
+    def test_new_var_and_labels(self):
+        cnf = Cnf(0)
+        x = cnf.new_var("fact-x")
+        z = cnf.new_var()
+        assert cnf.var_for_label("fact-x") == x
+        assert cnf.labelled_vars() == {x}
+        assert cnf.auxiliary_vars() == {z}
+
+    def test_set_label(self):
+        cnf = Cnf(2)
+        cnf.set_label(2, "y")
+        assert cnf.var_for_label("y") == 2
+
+
+class TestSemantics:
+    def test_evaluate(self):
+        cnf = Cnf(3, [(1, -2), (2, 3)])
+        assert cnf.evaluate({1, 2})
+        assert not cnf.evaluate({2})       # first clause fails
+        assert cnf.evaluate({3})           # -2 true, 3 true
+        assert not cnf.evaluate(set()) is False or True  # smoke
+
+    def test_evaluate_empty_clause_unsat(self):
+        cnf = Cnf(1)
+        cnf.add_clause(())
+        assert not cnf.evaluate({1})
+
+    def test_evaluate_labelled_without_aux(self):
+        cnf = Cnf(0)
+        x = cnf.new_var("x")
+        y = cnf.new_var("y")
+        cnf.add_clause((x, y))
+        assert cnf.evaluate_labelled({"x"})
+        assert not cnf.evaluate_labelled(set())
+
+    def test_evaluate_labelled_with_aux_existential(self):
+        # (z | x) & (!z | y): satisfiable given x (choose z false ... x
+        # covers clause 1? clause1 = z|x true via x; clause2 via !z).
+        cnf = Cnf(0)
+        x = cnf.new_var("x")
+        y = cnf.new_var("y")
+        z = cnf.new_var()
+        cnf.add_clause((z, x))
+        cnf.add_clause((-z, y))
+        assert cnf.evaluate_labelled({"x"})
+        assert cnf.evaluate_labelled({"y"})
+        assert not cnf.evaluate_labelled(set())
+
+    def test_condition(self):
+        cnf = Cnf(3, [(1, 2), (-1, 3)])
+        conditioned = cnf.condition({1: True})
+        assert conditioned.clauses == [(3,)]
+        conditioned = cnf.condition({1: False})
+        assert conditioned.clauses == [(2,)]
+
+
+class TestUnitPropagation:
+    def test_forces_chain(self):
+        cnf = Cnf(3, [(1,), (-1, 2), (-2, 3)])
+        forced, residual, conflict = cnf.unit_propagate()
+        assert not conflict
+        assert forced == {1: True, 2: True, 3: True}
+        assert residual == []
+
+    def test_conflict(self):
+        cnf = Cnf(1, [(1,), (-1,)])
+        _, _, conflict = cnf.unit_propagate()
+        assert conflict
+
+    def test_residual_untouched_clauses(self):
+        cnf = Cnf(4, [(1,), (2, 3, 4)])
+        forced, residual, conflict = cnf.unit_propagate()
+        assert not conflict
+        assert forced == {1: True}
+        assert residual == [(2, 3, 4)]
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf(4, [(1, -2), (3,), (-4, 2, 1)])
+        text = cnf.to_dimacs()
+        back = Cnf.from_dimacs(text)
+        assert back.num_vars == 4
+        assert back.clauses == cnf.clauses
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        cnf = Cnf.from_dimacs(text)
+        assert cnf.clauses == [(1, -2)]
+
+    def test_missing_header(self):
+        with pytest.raises(CnfError):
+            Cnf.from_dimacs("1 2 0\n")
+
+    def test_bad_header(self):
+        with pytest.raises(CnfError):
+            Cnf.from_dimacs("p sat 2 1\n1 0\n")
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.integers(1, 5).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        max_size=8,
+    ),
+    st.sets(st.integers(1, 5)),
+)
+@settings(max_examples=150, deadline=None)
+def test_condition_consistency(clauses, truth):
+    """Conditioning on a full assignment agrees with evaluation."""
+    cnf = Cnf(5, clauses)
+    assignment = {v: (v in truth) for v in range(1, 6)}
+    conditioned = cnf.condition(assignment)
+    expected = cnf.evaluate(truth)
+    assert (conditioned.num_clauses == 0) == expected
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.integers(1, 5).flatmap(lambda v: st.sampled_from([v, -v])),
+            min_size=1,
+            max_size=4,
+        ),
+        max_size=8,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_unit_propagation_preserves_models(clauses):
+    """Every model of the CNF respects the propagated literals."""
+    cnf = Cnf(5, clauses)
+    forced, residual, conflict = cnf.unit_propagate()
+    for mask in range(32):
+        truth = {v for v in range(1, 6) if mask >> (v - 1) & 1}
+        if cnf.evaluate(truth):
+            assert not conflict
+            for var, value in forced.items():
+                assert (var in truth) == value
+            residual_cnf = Cnf(5, residual)
+            assert residual_cnf.evaluate(truth)

@@ -1,0 +1,175 @@
+"""Tests for CNF Proxy (Algorithm 2), anchored on the paper's worked
+Examples 5.1, 5.3 and 5.4 and on Lemma 5.2 as a property."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Cnf, circuit_from_nested
+from repro.core import (
+    cnf_proxy_from_circuit,
+    cnf_proxy_values,
+    proxy_game,
+    ranking,
+    shapley_naive,
+)
+from repro.core.cnf_proxy import clause_weight
+from repro.db import lineage
+from repro.workloads.flights import (
+    fact,
+    flights_database,
+    flights_query,
+    one_stop_query,
+)
+
+
+def labelled(num_vars, clauses):
+    return Cnf(
+        num_vars, clauses, labels={v: f"x{v}" for v in range(1, num_vars + 1)}
+    )
+
+
+class TestClauseWeight:
+    def test_positive_literal_no_negatives(self):
+        # clause (x | y): weight 1/(2 * C(1,0)) = 1/2
+        assert clause_weight(2, 0) == Fraction(1, 2)
+
+    def test_width_three(self):
+        assert clause_weight(3, 0) == Fraction(1, 3)
+
+    def test_mixed_polarity(self):
+        # (x | !z): positive literal weight 1/(2 * C(1,1)) = 1/2
+        assert clause_weight(2, 1) == Fraction(1, 2)
+        # (z | !x | !y): negative literal x: 1/(3 * C(2,1)) = 1/6
+        assert clause_weight(3, 1) == Fraction(1, 6)
+
+
+class TestExample51:
+    """phi = (x1 | x2) & (x1 | x3 | x4)."""
+
+    CNF = labelled(4, [(1, 2), (1, 3, 4)])
+    PLAYERS = ["x1", "x2", "x3", "x4"]
+
+    def test_true_shapley_values_of_phi(self):
+        # The paper: 7/12, 3/12, 1/12, 1/12.
+        def game(coalition):
+            truth = {int(p[1:]) for p in coalition}
+            return 1 if self.CNF.evaluate(truth) else 0
+
+        values = shapley_naive(game, self.PLAYERS)
+        assert values["x1"] == Fraction(7, 12)
+        assert values["x2"] == Fraction(3, 12)
+        assert values["x3"] == Fraction(1, 12)
+        assert values["x4"] == Fraction(1, 12)
+
+    def test_unnormalized_proxy_matches_paper(self):
+        # The paper's Example 5.1 values 5/6, 1/2, 1/3, 1/3 correspond
+        # to the proxy without the 1/n clause normalization.
+        values = cnf_proxy_values(self.CNF, self.PLAYERS, normalize=False)
+        assert values["x1"] == Fraction(5, 6)
+        assert values["x2"] == Fraction(1, 2)
+        assert values["x3"] == Fraction(1, 3)
+        assert values["x4"] == Fraction(1, 3)
+
+    def test_algorithm_2_normalizes_by_clause_count(self):
+        normalized = cnf_proxy_values(self.CNF, self.PLAYERS)
+        unnormalized = cnf_proxy_values(self.CNF, self.PLAYERS, normalize=False)
+        assert all(normalized[p] * 2 == unnormalized[p] for p in self.PLAYERS)
+
+    def test_order_preserved(self):
+        proxy = cnf_proxy_values(self.CNF, self.PLAYERS)
+        assert ranking(proxy)[0] == "x1"
+        assert ranking(proxy)[1] == "x2"
+
+
+class TestExample53:
+    """CNF Proxy on the Tseytin CNF of the q2 lineage."""
+
+    def setup_method(self):
+        db = flights_database()
+        plan = one_stop_query().to_algebra(db.schema)
+        self.db = db
+        self.circuit = lineage(plan, db, endogenous_only=True).lineage_of(())
+        self.values = cnf_proxy_from_circuit(
+            self.circuit, db.endogenous_facts()
+        )
+
+    def test_a6_value_matches_paper(self):
+        # 1/44 - 1/132 = 1/66, printed in the paper.
+        assert self.values[fact("a6")] == Fraction(1, 66)
+
+    def test_a2_value(self):
+        """a2 appears positively in two first-form clauses and
+        negatively in *two* second-form clauses of the printed CNF, so
+        Algorithm 2 yields 2/44 - 2/132 = 1/33.  (The paper's prose
+        says 5/132 by counting only one second-form occurrence — that
+        is inconsistent with its own CNF; the ranking conclusion is
+        unaffected.)"""
+        assert self.values[fact("a2")] == Fraction(1, 33)
+
+    def test_middle_facts_rank_above_a6_a7(self):
+        for name in ("a2", "a3", "a4", "a5"):
+            assert self.values[fact(name)] > self.values[fact("a6")]
+        assert self.values[fact("a6")] == self.values[fact("a7")]
+
+
+class TestExample54:
+    def test_proxy_misranks_a1(self):
+        """Example 5.4: on the full query q, the proxy fails to rank a1
+        (the most influential fact) at the top — the documented failure
+        mode of the heuristic."""
+        db = flights_database()
+        plan = flights_query().to_algebra(db.schema)
+        circuit = lineage(plan, db, endogenous_only=True).lineage_of(())
+        values = cnf_proxy_from_circuit(circuit, db.endogenous_facts())
+        top = ranking(values)[0]
+        assert top != fact("a1")
+        # ...but a2..a5 still dominate a6, a7 as in the exact order.
+        assert values[fact("a2")] > values[fact("a6")]
+
+
+class TestEdgeCases:
+    def test_empty_cnf(self):
+        values = cnf_proxy_values(Cnf(0), ["p"])
+        assert values == {"p": Fraction(0)}
+
+    def test_empty_clause_skipped(self):
+        cnf = labelled(1, [(1,)])
+        cnf.clauses.append(())
+        values = cnf_proxy_values(cnf, ["x1"])
+        assert values["x1"] == Fraction(1, 2)
+
+    def test_non_endogenous_labels_ignored(self):
+        cnf = labelled(2, [(1, 2)])
+        values = cnf_proxy_values(cnf, ["x1"])
+        assert set(values) == {"x1"}
+
+    def test_all_negative_clause(self):
+        cnf = labelled(2, [(-1, -2)])
+        values = cnf_proxy_values(cnf, ["x1", "x2"])
+        assert values["x1"] == -Fraction(1, 2)
+
+
+clause_strategy = st.lists(
+    st.lists(
+        st.integers(1, 5).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=4,
+    ).map(lambda lits: tuple(dict.fromkeys(lits)))
+    .filter(lambda c: len({abs(l) for l in c}) == len(c)),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(clause_strategy)
+@settings(max_examples=60, deadline=None)
+def test_lemma_52_against_naive_shapley(clauses):
+    """Lemma 5.2: Algorithm 2's closed form equals the Shapley values of
+    the proxy game (sum of clauses / n), computed naively."""
+    cnf = labelled(5, clauses)
+    players = [f"x{v}" for v in range(1, 6)]
+    closed_form = cnf_proxy_values(cnf, players)
+    naive = shapley_naive(proxy_game(cnf), players)
+    assert closed_form == naive

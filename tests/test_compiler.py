@@ -1,0 +1,152 @@
+"""Tests for the knowledge compiler (CNF -> decision-DNNF)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Cnf,
+    check_decomposable,
+    check_deterministic_exhaustive,
+    circuit_from_nested,
+    model_count,
+)
+from repro.compiler import (
+    BudgetExceeded,
+    CompilationBudget,
+    compile_circuit,
+    compile_cnf,
+)
+from repro.workloads.synthetic import intractable_cnf
+
+from .test_circuit import nested_exprs
+
+
+def brute_model_count(cnf: Cnf) -> int:
+    count = 0
+    for mask in range(1 << cnf.num_vars):
+        truth = {v for v in range(1, cnf.num_vars + 1) if mask >> (v - 1) & 1}
+        if cnf.evaluate(truth):
+            count += 1
+    return count
+
+
+def labelled_cnf(num_vars, clauses) -> Cnf:
+    return Cnf(num_vars, clauses, labels={v: f"x{v}" for v in range(1, num_vars + 1)})
+
+
+clauses_strategy = st.lists(
+    st.lists(
+        st.integers(1, 6).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=4,
+    ).map(lambda lits: tuple(dict.fromkeys(lits))),
+    min_size=0,
+    max_size=10,
+)
+
+
+class TestCorrectness:
+    def test_empty_cnf_is_true(self):
+        result = compile_cnf(labelled_cnf(3, []))
+        assert result.circuit.kind(result.circuit.output_gate()).name == "TRUE"
+
+    def test_unsat(self):
+        result = compile_cnf(labelled_cnf(1, [(1,), (-1,)]))
+        assert model_count(result.circuit) == 0
+
+    def test_single_clause(self):
+        result = compile_cnf(labelled_cnf(2, [(1, 2)]))
+        assert model_count(result.circuit) == 3
+
+    def test_xor_structure(self):
+        # (x | y) & (!x | !y)  -- exactly-one
+        result = compile_cnf(labelled_cnf(2, [(1, 2), (-1, -2)]))
+        assert model_count(result.circuit) == 2
+
+    @given(clauses_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_model_count_matches_brute_force(self, clauses):
+        cnf = labelled_cnf(6, clauses)
+        result = compile_cnf(cnf)
+        circuit = result.circuit
+        # Pad the count over variables missing from the compiled circuit.
+        mentioned = len(circuit.reachable_vars())
+        assert model_count(circuit) << (6 - mentioned) == brute_model_count(cnf)
+
+    @given(clauses_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_output_is_d_and_d(self, clauses):
+        cnf = labelled_cnf(6, clauses)
+        circuit = compile_cnf(cnf).circuit
+        assert check_decomposable(circuit)
+        assert check_deterministic_exhaustive(circuit, limit=6)
+
+    @given(clauses_strategy, st.sampled_from(["widest", "moms", "freq", "jw"]))
+    @settings(max_examples=60, deadline=None)
+    def test_heuristics_agree_on_count(self, clauses, heuristic):
+        cnf = labelled_cnf(6, clauses)
+        baseline = compile_cnf(cnf)
+        other = compile_cnf(cnf, heuristic=heuristic)
+        mentioned_a = len(baseline.circuit.reachable_vars())
+        mentioned_b = len(other.circuit.reachable_vars())
+        assert model_count(baseline.circuit) << (6 - mentioned_a) == model_count(
+            other.circuit
+        ) << (6 - mentioned_b)
+
+    def test_unknown_heuristic(self):
+        with pytest.raises(ValueError):
+            compile_cnf(labelled_cnf(1, [(1,)]), heuristic="nope")
+
+
+class TestStats:
+    def test_stats_populated(self):
+        cnf = labelled_cnf(4, [(1, 2), (3, 4), (-1, 3)])
+        result = compile_cnf(cnf)
+        assert result.stats.nodes == len(result.circuit)
+        assert result.stats.seconds >= 0
+        assert result.stats.decisions >= 1
+
+    def test_component_split_detected(self):
+        # Two independent clauses -> component decomposition.
+        cnf = labelled_cnf(4, [(1, 2), (3, 4)])
+        result = compile_cnf(cnf)
+        assert result.stats.components_split >= 1
+
+    def test_cache_hits_on_shared_subproblems(self):
+        clauses = [(1, 2), (-1, 2), (2, 3), (3, 4), (-3, 4)]
+        result = compile_cnf(labelled_cnf(4, clauses))
+        assert result.stats.cache_entries >= 1
+
+
+class TestBudgets:
+    def test_node_budget_raises(self):
+        cnf = intractable_cnf(n_vars=60, seed=5)
+        with pytest.raises(BudgetExceeded):
+            compile_cnf(cnf, budget=CompilationBudget(max_nodes=50))
+
+    def test_time_budget_raises(self):
+        cnf = intractable_cnf(n_vars=70, seed=5)
+        with pytest.raises(BudgetExceeded):
+            compile_cnf(cnf, budget=CompilationBudget(max_seconds=0.05))
+
+    def test_generous_budget_succeeds(self):
+        cnf = labelled_cnf(4, [(1, 2), (3, 4)])
+        result = compile_cnf(cnf, budget=CompilationBudget(max_nodes=10_000))
+        assert model_count(result.circuit) > 0
+
+
+class TestCompileCircuit:
+    @given(nested_exprs(), st.sets(st.sampled_from(["a", "b", "c", "d"])))
+    @settings(max_examples=80, deadline=None)
+    def test_semantics_preserved(self, expr, assignment):
+        circuit = circuit_from_nested(expr)
+        compiled = compile_circuit(circuit).circuit
+        assert compiled.evaluate(assignment) == circuit.evaluate(assignment)
+
+    @given(nested_exprs())
+    @settings(max_examples=40, deadline=None)
+    def test_output_vars_subset(self, expr):
+        circuit = circuit_from_nested(expr)
+        compiled = compile_circuit(circuit).circuit
+        assert compiled.reachable_vars() <= circuit.variables()

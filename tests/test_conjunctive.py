@@ -1,0 +1,177 @@
+"""Tests for conjunctive queries: parsing, hierarchy test, algebra
+translation."""
+
+import pytest
+
+from repro.db import (
+    Atom,
+    BooleanSemiring,
+    ConjunctiveQuery,
+    Database,
+    RelationSchema,
+    Schema,
+    UnionOfConjunctiveQueries,
+    Var,
+    cq,
+    evaluate,
+    parse_atom,
+)
+
+
+def schema_rst():
+    return Schema.of(
+        RelationSchema.of("R", "a"),
+        RelationSchema.of("S", "a", "b"),
+        RelationSchema.of("T", "b"),
+    )
+
+
+class TestParsing:
+    def test_parse_atom_variables(self):
+        atom = parse_atom("S(x, y)")
+        assert atom.relation == "S"
+        assert atom.terms == (Var("x"), Var("y"))
+
+    def test_parse_atom_constants(self):
+        atom = parse_atom("S('paris', 3)")
+        assert atom.terms == ("paris", 3)
+
+    def test_parse_atom_float(self):
+        atom = parse_atom("R(1.5)")
+        assert atom.terms == (1.5,)
+
+    def test_parse_atom_malformed(self):
+        with pytest.raises(ValueError):
+            parse_atom("S(x")
+
+    def test_cq_builder(self):
+        q = cq(["x"], "R(x)", "S(x, y)")
+        assert q.head == (Var("x"),)
+        assert len(q.atoms) == 2
+
+    def test_cq_boolean(self):
+        q = cq(None, "R(x)")
+        assert q.is_boolean
+
+
+class TestStructure:
+    def test_variables(self):
+        q = cq(None, "R(x)", "S(x, y)")
+        assert q.variables() == {Var("x"), Var("y")}
+        assert q.existential_variables() == {Var("x"), Var("y")}
+
+    def test_head_not_existential(self):
+        q = cq(["x"], "S(x, y)")
+        assert q.existential_variables() == {Var("y")}
+
+    def test_self_join_free(self):
+        assert cq(None, "R(x)", "S(x, y)").is_self_join_free()
+        assert not cq(None, "S(x, y)", "S(y, z)").is_self_join_free()
+
+    def test_hierarchical_positive(self):
+        # at(x) = {R, S} contains at(y) = {S}
+        assert cq(None, "R(x)", "S(x, y)").is_hierarchical()
+
+    def test_hierarchical_negative_classic(self):
+        # The canonical non-hierarchical query R(x), S(x,y), T(y).
+        assert not cq(None, "R(x)", "S(x, y)", "T(y)").is_hierarchical()
+
+    def test_hierarchical_depends_on_head(self):
+        # The hierarchy condition only constrains existential variables,
+        # so freeing either variable of the hard pattern makes it
+        # hierarchical (the standard definition for non-Boolean CQs).
+        assert cq(["x"], "R(x)", "S(x, y)", "T(y)").is_hierarchical()
+        assert cq(["y"], "R(x)", "S(x, y)", "T(y)").is_hierarchical()
+        assert cq(["x", "y"], "R(x)", "S(x, y)", "T(y)").is_hierarchical()
+
+
+class TestToAlgebra:
+    def db(self):
+        db = Database(schema_rst())
+        db.add("R", 1)
+        db.add("R", 2)
+        db.add("S", 1, 10)
+        db.add("S", 2, 20)
+        db.add("S", 3, 30)
+        db.add("T", 10)
+        return db
+
+    def test_boolean_query_true(self):
+        q = cq(None, "R(x)", "S(x, y)", "T(y)")
+        plan = q.to_algebra(schema_rst())
+        rel = evaluate(plan, self.db(), BooleanSemiring())
+        assert list(rel.rows) == [()]
+
+    def test_head_projection(self):
+        q = cq(["x"], "R(x)", "S(x, y)")
+        rel = evaluate(q.to_algebra(schema_rst()), self.db(), BooleanSemiring())
+        assert sorted(rel.tuples()) == [(1,), (2,)]
+
+    def test_constant_selection(self):
+        q = cq(["y"], "S(1, y)")
+        rel = evaluate(q.to_algebra(schema_rst()), self.db(), BooleanSemiring())
+        assert rel.tuples() == [(10,)]
+
+    def test_repeated_variable_in_atom(self):
+        schema = Schema.of(RelationSchema.of("E", "u", "v"))
+        db = Database(schema)
+        db.add("E", 1, 1)
+        db.add("E", 1, 2)
+        q = cq(["x"], "E(x, x)")
+        rel = evaluate(q.to_algebra(schema), db, BooleanSemiring())
+        assert rel.tuples() == [(1,)]
+
+    def test_self_join(self):
+        schema = Schema.of(RelationSchema.of("E", "u", "v"))
+        db = Database(schema)
+        db.add("E", 1, 2)
+        db.add("E", 2, 3)
+        q = cq(["x", "z"], "E(x, y)", "E(y, z)")
+        rel = evaluate(q.to_algebra(schema), db, BooleanSemiring())
+        assert rel.tuples() == [(1, 3)]
+
+    def test_cross_product_when_disconnected(self):
+        q = cq(None, "R(x)", "T(y)")
+        rel = evaluate(q.to_algebra(schema_rst()), self.db(), BooleanSemiring())
+        assert list(rel.rows) == [()]
+
+    def test_unbound_head_variable(self):
+        q = ConjunctiveQuery((Var("zzz"),), (Atom("R", (Var("x"),)),))
+        with pytest.raises(ValueError):
+            q.to_algebra(schema_rst())
+
+    def test_arity_mismatch(self):
+        q = cq(None, "R(x, y)")
+        with pytest.raises(ValueError):
+            q.to_algebra(schema_rst())
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((), ()).to_algebra(schema_rst())
+
+
+class TestUcq:
+    def test_union_evaluation(self):
+        q = UnionOfConjunctiveQueries.of(cq(["x"], "R(x)"), cq(["a"], "S(a, b)"))
+        db = Database(schema_rst())
+        db.add("R", 1)
+        db.add("S", 7, 70)
+        rel = evaluate(q.to_algebra(schema_rst()), db, BooleanSemiring())
+        assert sorted(rel.tuples()) == [(1,), (7,)]
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries.of(cq(["x"], "R(x)"), cq(None, "R(x)"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries.of()
+
+    def test_single_disjunct_no_union_node(self):
+        q = UnionOfConjunctiveQueries.of(cq(["x"], "R(x)"))
+        plan = q.to_algebra(schema_rst())
+        assert "Union" not in repr(plan)
+
+    def test_repr(self):
+        q = UnionOfConjunctiveQueries.of(cq(None, "R(x)"), cq(None, "T(y)"))
+        assert "∨" in repr(q)

@@ -1,0 +1,196 @@
+"""Tests for the extension measures: exact SHAP-scores, causal effect
+(Banzhaf), and counterfactual responsibility."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import circuit_from_nested, eliminate_auxiliary, tseytin_transform
+from repro.compiler import compile_cnf
+from repro.core import shapley_all_facts, shapley_naive
+from repro.core.causal_effect import (
+    causal_effects,
+    responsibilities,
+    responsibility,
+)
+from repro.core.shap_score import shap_score_of_fact, shap_scores
+from repro.db import lineage
+from repro.workloads.flights import (
+    EXPECTED_SHAPLEY,
+    fact,
+    flights_database,
+    flights_query,
+)
+from repro.workloads.synthetic import random_monotone_dnf
+
+
+def compile_ddnnf(circuit):
+    cnf = tseytin_transform(circuit)
+    return eliminate_auxiliary(compile_cnf(cnf).circuit, set(cnf.labels.values()))
+
+
+def flights_ddnnf():
+    db = flights_database()
+    plan = flights_query().to_algebra(db.schema)
+    circuit = lineage(plan, db, endogenous_only=True).lineage_of(())
+    return db, compile_ddnnf(circuit)
+
+
+def brute_shap(circuit, players, instance, marginals):
+    """Direct SHAP-score from the definition (exponential)."""
+
+    def conditional_expectation(fixed):
+        total = Fraction(0)
+        free = [p for p in players if p not in fixed]
+        for mask in range(1 << len(free)):
+            weight = Fraction(1)
+            chosen = {p for p, v in fixed.items() if v}
+            for i, p in enumerate(free):
+                if mask >> i & 1:
+                    weight *= marginals[p]
+                    chosen.add(p)
+                else:
+                    weight *= 1 - marginals[p]
+            if circuit.evaluate(chosen):
+                total += weight
+        return total
+
+    def game(coalition):
+        fixed = {p: instance[p] for p in coalition}
+        return conditional_expectation(fixed)
+
+    return shapley_naive(game, players)
+
+
+class TestShapScores:
+    def test_default_setting_equals_shapley(self):
+        """With e = all-present and an all-absent background, the exact
+        SHAP-score is the Shapley value (why Kernel SHAP is a fair
+        baseline in the paper)."""
+        db, ddnnf = flights_ddnnf()
+        endo = db.endogenous_facts()
+        scores = shap_scores(ddnnf, endo)
+        for name, expected in EXPECTED_SHAPLEY.items():
+            assert scores[fact(name)] == expected, name
+
+    def test_unknown_feature(self):
+        _, ddnnf = flights_ddnnf()
+        with pytest.raises(ValueError):
+            shap_score_of_fact(ddnnf, ["a"], "zz", {}, {})
+
+    @given(
+        st.integers(3, 5),
+        st.integers(1, 4),
+        st.integers(1, 2),
+        st.integers(0, 1000),
+        st.lists(st.sampled_from([0, 1, 2]), min_size=5, max_size=5),
+        st.lists(st.booleans(), min_size=5, max_size=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_brute_force(self, n_vars, n_terms, width, seed,
+                                 numerators, bits):
+        circuit = random_monotone_dnf(n_vars, n_terms, width, seed)
+        players = [f"x{i}" for i in range(n_vars)]
+        marginals = {
+            p: Fraction(numerators[i % 5], 4) for i, p in enumerate(players)
+        }
+        instance = {p: bits[i % 5] for i, p in enumerate(players)}
+        ddnnf = compile_ddnnf(circuit)
+        expected = brute_shap(circuit, players, instance, marginals)
+        actual = shap_scores(ddnnf, players, instance, marginals)
+        assert actual == expected
+
+    def test_nontrivial_marginals_differ_from_shapley(self):
+        circuit = circuit_from_nested(("or", "a", ("and", "b", "c")))
+        players = ["a", "b", "c"]
+        ddnnf = compile_ddnnf(circuit)
+        shapley = shapley_all_facts(ddnnf, players)
+        scores = shap_scores(
+            ddnnf, players,
+            instance={p: True for p in players},
+            marginals={p: Fraction(1, 2) for p in players},
+        )
+        assert scores != shapley
+
+
+class TestCausalEffect:
+    def test_dictator(self):
+        ddnnf = compile_ddnnf(circuit_from_nested("x"))
+        effects = causal_effects(ddnnf, ["x", "y"])
+        assert effects["x"] == 1 and effects["y"] == 0
+
+    def test_and_game(self):
+        ddnnf = compile_ddnnf(circuit_from_nested(("and", "x", "y")))
+        effects = causal_effects(ddnnf, ["x", "y"])
+        assert effects["x"] == effects["y"] == Fraction(1, 2)
+
+    def test_flights_ranking_matches_shapley(self):
+        db, ddnnf = flights_ddnnf()
+        endo = db.endogenous_facts()
+        effects = causal_effects(ddnnf, endo)
+        shapley = shapley_all_facts(ddnnf, endo)
+        # same symmetry classes, same top fact and zero fact
+        assert max(effects, key=effects.get) == fact("a1")
+        assert effects[fact("a8")] == 0
+        assert effects[fact("a2")] == effects[fact("a3")]
+        # ...but different values: causal effect is not Shapley.
+        assert effects[fact("a1")] != shapley[fact("a1")]
+
+    @given(st.integers(3, 6), st.integers(1, 5), st.integers(1, 2),
+           st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_banzhaf_definition(self, n_vars, n_terms, width, seed):
+        circuit = random_monotone_dnf(n_vars, n_terms, width, seed)
+        players = [f"x{i}" for i in range(n_vars)]
+        ddnnf = compile_ddnnf(circuit)
+        effects = causal_effects(ddnnf, players)
+        for target in players:
+            others = [p for p in players if p != target]
+            diff = 0
+            for mask in range(1 << len(others)):
+                coalition = {others[i] for i in range(len(others))
+                             if mask >> i & 1}
+                diff += int(circuit.evaluate(coalition | {target}))
+                diff -= int(circuit.evaluate(coalition))
+            assert effects[target] == Fraction(diff, 1 << len(others))
+
+
+class TestResponsibility:
+    def test_counterfactual_fact(self):
+        circuit = circuit_from_nested("x")
+        assert responsibility(circuit, ["x"], "x") == 1
+
+    def test_needs_contingency(self):
+        # x | y: removing y makes x counterfactual -> 1/2 each.
+        circuit = circuit_from_nested(("or", "x", "y"))
+        values = responsibilities(circuit, ["x", "y"])
+        assert values == {"x": Fraction(1, 2), "y": Fraction(1, 2)}
+
+    def test_irrelevant_fact(self):
+        circuit = circuit_from_nested("x")
+        assert responsibility(circuit, ["x", "z"], "z") == 0
+
+    def test_flights(self):
+        db = flights_database()
+        plan = flights_query().to_algebra(db.schema)
+        circuit = lineage(plan, db, endogenous_only=True).lineage_of(())
+        endo = db.endogenous_facts()
+        # a1 needs the two route families removed: contingency of
+        # removing {a4, a5 (or a2, a3), a6 or a7}-style sets.
+        value = responsibility(circuit, endo, fact("a1"))
+        assert value == Fraction(1, 4)
+        assert responsibility(circuit, endo, fact("a8")) == 0
+
+    def test_max_contingency_bound(self):
+        db = flights_database()
+        plan = flights_query().to_algebra(db.schema)
+        circuit = lineage(plan, db, endogenous_only=True).lineage_of(())
+        endo = db.endogenous_facts()
+        assert responsibility(circuit, endo, fact("a1"), max_contingency=1) == 0
+
+    def test_non_answer_returns_zero(self):
+        circuit = circuit_from_nested(("and", "x", "y"))
+        # with only x as player and y absent, query never holds
+        assert responsibility(circuit, ["x"], "x") == 0

@@ -1,0 +1,113 @@
+"""Integration tests: the full pipeline over (small) TPC-H and IMDB.
+
+These mirror the paper's experimental loop end to end and additionally
+cross-check a sample of exact pipeline outputs against the naive
+definition wherever the provenance is small enough to brute-force.
+"""
+
+import pytest
+
+from repro.bench import run_query
+from repro.compiler import CompilationBudget
+from repro.core import game_from_circuit, hybrid_shapley, shapley_naive
+from repro.db import lineage
+from repro.workloads import (
+    IMDB_QUERIES,
+    ImdbConfig,
+    TpchConfig,
+    generate_imdb,
+    generate_tpch,
+    imdb_query,
+    tpch_query,
+)
+
+BUDGET = CompilationBudget(max_nodes=500_000, max_seconds=10.0)
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    return generate_tpch(TpchConfig(scale_factor=0.0004))
+
+
+@pytest.fixture(scope="module")
+def imdb_db():
+    return generate_imdb(ImdbConfig(movies=120, people=150, companies=20))
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q10", "Q16", "Q18"])
+def test_tpch_exact_pipeline_succeeds(tpch_db, name, subtests=None):
+    run = run_query(
+        tpch_db, tpch_query(name), "TPC-H", budget=BUDGET,
+        keep_values=True, max_outputs=5,
+    )
+    assert run.records
+    for record in run.records:
+        assert record.ok
+        assert record.values
+        assert all(v >= 0 for v in record.values.values())
+        assert sum(v for v in record.values.values()) > 0  # efficiency > 0
+
+
+@pytest.mark.parametrize("name", ["1a", "6b", "8d", "13c", "16a"])
+def test_imdb_exact_pipeline_succeeds(imdb_db, name):
+    run = run_query(
+        imdb_db, imdb_query(name), "IMDB", budget=BUDGET,
+        keep_values=True, max_outputs=4,
+    )
+    assert run.records
+    assert run.success_rate > 0
+
+
+def test_tpch_sample_matches_naive(tpch_db):
+    """Exact pipeline vs Equation (1) on real TPC-H provenance."""
+    spec = tpch_query("Q3")
+    result = lineage(spec.plan(tpch_db), tpch_db, endogenous_only=True)
+    checked = 0
+    for answer in result.tuples():
+        circuit = result.lineage_of(answer)
+        players = sorted(circuit.reachable_vars())
+        if not 1 <= len(players) <= 10:
+            continue
+        run = run_query(
+            tpch_db, spec, "TPC-H", budget=BUDGET, keep_values=True
+        )
+        record = next(r for r in run.records if r.answer == answer)
+        naive = shapley_naive(game_from_circuit(circuit), players)
+        for fact, value in naive.items():
+            assert record.values[fact] == value
+        checked += 1
+        if checked >= 2:
+            break
+    assert checked > 0
+
+
+def test_imdb_sample_matches_naive(imdb_db):
+    spec = imdb_query("6b")
+    result = lineage(spec.plan(imdb_db), imdb_db, endogenous_only=True)
+    checked = 0
+    for answer in result.tuples():
+        circuit = result.lineage_of(answer)
+        players = sorted(circuit.reachable_vars())
+        if not 1 <= len(players) <= 10:
+            continue
+        naive = shapley_naive(game_from_circuit(circuit), players)
+        outcome = hybrid_shapley(circuit, players, timeout=10.0)
+        assert outcome.kind == "exact"
+        for fact, value in naive.items():
+            assert outcome.values[fact] == value
+        checked += 1
+        if checked >= 2:
+            break
+    assert checked > 0
+
+
+def test_hybrid_over_imdb_query(imdb_db):
+    """The hybrid strategy never fails: it answers for every output."""
+    spec = imdb_query("16a")
+    result = lineage(spec.plan(imdb_db), imdb_db, endogenous_only=True)
+    for answer in result.tuples()[:6]:
+        circuit = result.lineage_of(answer)
+        players = sorted(circuit.reachable_vars())
+        outcome = hybrid_shapley(circuit, players, timeout=2.5)
+        assert outcome.kind in ("exact", "proxy")
+        assert set(outcome.values) == set(players)

@@ -1,0 +1,120 @@
+"""Tests for CSV database I/O and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.db import Database, RelationSchema, Schema
+from repro.db.io import load_database, save_database
+from repro.workloads import TpchConfig, generate_tpch
+from repro.workloads.flights import flights_database
+
+
+class TestDatabaseIo:
+    def test_roundtrip_preserves_facts_and_partition(self, tmp_path):
+        db = flights_database()
+        save_database(db, tmp_path / "flights")
+        back = load_database(tmp_path / "flights")
+        assert sorted(map(repr, back.facts())) == sorted(map(repr, db.facts()))
+        assert sorted(map(repr, back.endogenous_facts())) == sorted(
+            map(repr, db.endogenous_facts())
+        )
+
+    def test_roundtrip_types(self, tmp_path):
+        schema = Schema.of(
+            RelationSchema.of("T", ("i", int), ("f", float), ("s", str))
+        )
+        db = Database(schema)
+        db.add("T", 3, 2.5, "x")
+        save_database(db, tmp_path / "t")
+        back = load_database(tmp_path / "t")
+        fact = back.relation("T")[0]
+        assert fact.values == (3, 2.5, "x")
+        assert isinstance(fact.values[0], int)
+        assert isinstance(fact.values[1], float)
+
+    def test_mixed_endogenous_relation(self, tmp_path):
+        schema = Schema.of(RelationSchema.of("R", ("a", int)))
+        db = Database(schema)
+        endo = db.add("R", 1, endogenous=True)
+        exo = db.add("R", 2, endogenous=False)
+        save_database(db, tmp_path / "mixed")
+        back = load_database(tmp_path / "mixed")
+        assert back.is_endogenous(endo)
+        assert not back.is_endogenous(exo)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_database(tmp_path)
+
+    def test_tpch_roundtrip(self, tmp_path):
+        db = generate_tpch(TpchConfig(scale_factor=0.0002))
+        save_database(db, tmp_path / "tpch")
+        back = load_database(tmp_path / "tpch")
+        assert len(back) == len(db)
+        assert len(back.relation("lineitem")) == len(db.relation("lineitem"))
+
+
+class TestCli:
+    def test_queries_listing(self, capsys):
+        assert main(["queries", "--workload", "tpch"]) == 0
+        out = capsys.readouterr().out
+        assert "Q3" in out and "Q19" in out
+
+    def test_queries_imdb_includes_extras(self, capsys):
+        main(["queries", "--workload", "imdb"])
+        out = capsys.readouterr().out
+        assert "16a" in out and "14a" in out
+
+    def test_explain_flights_exact(self, capsys):
+        code = main(["explain", "--workload", "flights",
+                     "--method", "exact", "--top", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact Shapley values" in out
+        assert "+0.409524" in out  # 43/105
+
+    def test_explain_proxy(self, capsys):
+        assert main(["explain", "--workload", "flights",
+                     "--method", "proxy"]) == 0
+        assert "proxy scores" in capsys.readouterr().out
+
+    def test_generate_and_explain_from_data(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "db")
+        assert main(["generate", "--workload", "tpch",
+                     "--scale", "0.0002", "--out", out_dir]) == 0
+        capsys.readouterr()
+        code = main(["explain", "--data", out_dir, "--workload", "tpch",
+                     "--query", "Q11", "--answer", "zzz",
+                     "--method", "proxy"])
+        # unknown answer: exit 2 with a hint listing real answers
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "available answers" in err
+
+    def test_explain_with_valid_generated_answer(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "db")
+        main(["generate", "--workload", "tpch", "--scale", "0.0002",
+              "--out", out_dir])
+        capsys.readouterr()
+        main(["explain", "--data", out_dir, "--workload", "tpch",
+              "--query", "Q11", "--answer", "bogus", "--method", "proxy"])
+        err = capsys.readouterr().err
+        listing = err.split(":")[-1]
+        first = listing.split("(")[1].split(",")[0]
+        code = main(["explain", "--data", out_dir, "--workload", "tpch",
+                     "--query", "Q11", "--answer", first,
+                     "--method", "hybrid", "--top", "3"])
+        assert code == 0
+        assert "facts" in capsys.readouterr().out
+
+    def test_bench_flights(self, capsys):
+        assert main(["bench", "--workload", "flights"]) == 0
+        out = capsys.readouterr().out
+        assert "100.0%" in out
+
+    def test_sql_option(self, capsys):
+        code = main(["explain", "--workload", "flights",
+                     "--sql", "SELECT src FROM Flights WHERE dest = 'ORY'",
+                     "--answer", "LHR", "--method", "exact"])
+        assert code == 0
+        assert "exact" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Tests for the evaluation metrics (nDCG, Precision@k, L1/L2, tau)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    kendall_tau,
+    l1_error,
+    l2_error,
+    ndcg,
+    precision_at_k,
+    ranking,
+    summarize,
+)
+
+
+TRUTH = {"a": 0.5, "b": 0.3, "c": 0.2, "d": 0.0}
+
+
+class TestRanking:
+    def test_descending(self):
+        assert ranking(TRUTH) == ["a", "b", "c", "d"]
+
+    def test_tie_break_deterministic(self):
+        values = {"x": 1.0, "y": 1.0}
+        assert ranking(values) == ranking(dict(reversed(values.items())))
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        assert ndcg(TRUTH, TRUTH) == 1.0
+
+    def test_mismatched_keys(self):
+        with pytest.raises(ValueError):
+            ndcg(TRUTH, {"a": 1.0})
+
+    def test_worst_ranking_value(self):
+        reversed_estimate = {"a": 0.0, "b": 0.2, "c": 0.3, "d": 0.5}
+        expected_dcg = (
+            0.0 / math.log2(2) + 0.2 / math.log2(3)
+            + 0.3 / math.log2(4) + 0.5 / math.log2(5)
+        )
+        ideal = (
+            0.5 / math.log2(2) + 0.3 / math.log2(3)
+            + 0.2 / math.log2(4) + 0.0 / math.log2(5)
+        )
+        assert ndcg(TRUTH, reversed_estimate) == pytest.approx(expected_dcg / ideal)
+
+    def test_zero_truth_is_one(self):
+        zero = {"a": 0.0, "b": 0.0}
+        assert ndcg(zero, {"a": 1.0, "b": 0.5}) == 1.0
+
+    def test_at_k(self):
+        estimate = {"a": 0.5, "b": 0.2, "c": 0.3, "d": 0.0}
+        # top-2 of estimate: a, c; ideal: a, b
+        value = ndcg(TRUTH, estimate, k=2)
+        expected = (0.5 / math.log2(2) + 0.2 / math.log2(3)) / (
+            0.5 / math.log2(2) + 0.3 / math.log2(3)
+        )
+        assert value == pytest.approx(expected)
+
+    def test_negative_gains_clipped(self):
+        truth = {"a": 0.5, "b": -0.5}
+        assert ndcg(truth, truth) == 1.0
+
+
+class TestPrecision:
+    def test_perfect(self):
+        assert precision_at_k(TRUTH, TRUTH, 3) == 1.0
+
+    def test_partial_overlap(self):
+        estimate = {"a": 0.1, "b": 0.9, "c": 0.8, "d": 0.0}
+        # top-2 estimate: b, c; top-2 truth: a, b -> overlap 1
+        assert precision_at_k(TRUTH, estimate, 2) == 0.5
+
+    def test_k_larger_than_population(self):
+        assert precision_at_k(TRUTH, TRUTH, 100) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(TRUTH, TRUTH, 0)
+
+    def test_mismatched_keys(self):
+        with pytest.raises(ValueError):
+            precision_at_k(TRUTH, {"a": 1.0}, 1)
+
+
+class TestErrors:
+    def test_l1(self):
+        estimate = {"a": 0.6, "b": 0.3, "c": 0.2, "d": 0.1}
+        assert l1_error(TRUTH, estimate) == pytest.approx((0.1 + 0.1) / 4)
+
+    def test_l2(self):
+        estimate = {"a": 0.6, "b": 0.3, "c": 0.2, "d": 0.0}
+        assert l2_error(TRUTH, estimate) == pytest.approx(0.01 / 4)
+
+    def test_empty(self):
+        assert l1_error({}, {}) == 0.0
+        assert l2_error({}, {}) == 0.0
+
+
+class TestKendall:
+    def test_identical_order(self):
+        assert kendall_tau(TRUTH, TRUTH) == 1.0
+
+    def test_reversed_order(self):
+        reverse = {"a": 0.0, "b": 0.2, "c": 0.3, "d": 0.5}
+        assert kendall_tau(TRUTH, reverse) == -1.0
+
+    def test_single_item(self):
+        assert kendall_tau({"a": 1.0}, {"a": 0.0}) == 1.0
+
+    def test_shared_ties_count_as_agreement(self):
+        truth = {"a": 1.0, "b": 1.0}
+        assert kendall_tau(truth, {"a": 2.0, "b": 2.0}) == 1.0
+
+
+class TestSummarize:
+    def test_even_count(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["median"] == 2.5
+        assert stats["mean"] == 2.5
+
+    def test_odd_count(self):
+        stats = summarize([3.0, 1.0, 2.0])
+        assert stats["median"] == 2.0
+
+    def test_empty(self):
+        stats = summarize([])
+        assert math.isnan(stats["median"]) and math.isnan(stats["mean"])

@@ -1,0 +1,136 @@
+"""Tests for Proposition 3.1: Shapley via a PQE oracle."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    count_slices,
+    interpolate_coefficients,
+    shapley_all_via_pqe,
+    shapley_naive_query,
+    shapley_via_pqe,
+)
+from repro.db import Database, RelationSchema, Schema, cq
+from repro.probdb import pqe_lifted, pqe_naive
+from repro.workloads.flights import (
+    EXPECTED_SHAPLEY,
+    fact,
+    flights_database,
+    flights_query,
+)
+
+
+class TestInterpolation:
+    def test_linear(self):
+        points = [(Fraction(0), Fraction(1)), (Fraction(1), Fraction(3))]
+        assert interpolate_coefficients(points) == [Fraction(1), Fraction(2)]
+
+    def test_quadratic(self):
+        # p(z) = 2 + 0 z + 5 z^2
+        poly = lambda z: 2 + 5 * z * z
+        points = [(Fraction(z), Fraction(poly(z))) for z in (1, 2, 3)]
+        assert interpolate_coefficients(points) == [
+            Fraction(2), Fraction(0), Fraction(5),
+        ]
+
+    def test_degree_zero(self):
+        assert interpolate_coefficients([(Fraction(7), Fraction(4))]) == [
+            Fraction(4)
+        ]
+
+
+def small_db():
+    schema = Schema.of(
+        RelationSchema.of("R", "a"),
+        RelationSchema.of("S", "a", "b"),
+    )
+    db = Database(schema)
+    db.add("R", 1)
+    db.add("R", 2)
+    db.add("S", 1, 10)
+    db.add("S", 2, 20, endogenous=False)
+    return db
+
+
+class TestCountSlices:
+    def test_matches_direct_enumeration(self):
+        db = small_db()
+        q = cq(None, "R(x)", "S(x, y)")
+        slices = count_slices(q, db)
+        # Direct: endo facts are R(1), R(2), S(1,10); exo S(2,20).
+        from itertools import combinations
+
+        from repro.db import boolean_answer
+
+        plan = q.to_algebra(db.schema)
+        endo = db.endogenous_facts()
+        expected = [0] * (len(endo) + 1)
+        for k in range(len(endo) + 1):
+            for subset in combinations(endo, k):
+                world = db.restrict_endogenous(set(subset))
+                if boolean_answer(plan, world):
+                    expected[k] += 1
+        assert slices == expected
+
+    def test_total_is_satisfying_subsets(self):
+        db = small_db()
+        q = cq(None, "R(x)", "S(x, y)")
+        slices = count_slices(q, db)
+        # {R2} alone satisfies via exogenous S(2,20): every subset with
+        # R(2) works (4), plus subsets with R(1), S(1,10) and no R(2) (1).
+        assert sum(slices) == 5
+
+
+class TestShapleyViaPqe:
+    def test_flights_example_with_lineage_oracle(self):
+        db = flights_database()
+        q = flights_query()
+        value = shapley_via_pqe(q, db, fact("a1"))
+        assert value == EXPECTED_SHAPLEY["a1"]
+
+    def test_flights_null_player(self):
+        db = flights_database()
+        value = shapley_via_pqe(flights_query(), db, fact("a8"))
+        assert value == 0
+
+    def test_all_facts_small_db(self):
+        db = small_db()
+        q = cq(None, "R(x)", "S(x, y)")
+        via_pqe = shapley_all_via_pqe(q, db)
+        naive = shapley_naive_query(q.to_algebra(db.schema), db)
+        assert via_pqe == naive
+
+    def test_lifted_oracle_on_hierarchical_query(self):
+        """The reduction composed with *lifted* inference: a fully
+        polynomial pipeline for safe queries."""
+        db = small_db()
+        q = cq(None, "R(x)", "S(x, y)")
+        naive = shapley_naive_query(q.to_algebra(db.schema), db)
+        for f in db.endogenous_facts():
+            assert shapley_via_pqe(q, db, f, oracle=pqe_lifted) == naive[f]
+
+    def test_naive_oracle(self):
+        db = small_db()
+        q = cq(None, "R(x)", "S(x, y)")
+        f = db.endogenous_facts()[0]
+        assert shapley_via_pqe(q, db, f, oracle=pqe_naive) == shapley_via_pqe(
+            q, db, f
+        )
+
+    def test_non_endogenous_fact_rejected(self):
+        db = small_db()
+        q = cq(None, "R(x)", "S(x, y)")
+        exo = [f for f in db.facts() if not db.is_endogenous(f)][0]
+        with pytest.raises(ValueError):
+            shapley_via_pqe(q, db, exo)
+
+    def test_inexact_oracle_detected(self):
+        db = small_db()
+        q = cq(None, "R(x)", "S(x, y)")
+
+        def sloppy_oracle(query, tid):
+            return 0.3333333  # not a consistent polynomial evaluation
+
+        with pytest.raises(ArithmeticError):
+            count_slices(q, db, oracle=sloppy_oracle)

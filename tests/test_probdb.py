@@ -1,0 +1,196 @@
+"""Tests for tuple-independent databases and the three PQE routes."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, RelationSchema, Schema, cq
+from repro.probdb import (
+    NonHierarchicalError,
+    NotSelfJoinFreeError,
+    TupleIndependentDatabase,
+    lifted_probability,
+    pqe,
+    pqe_lifted,
+    pqe_lineage,
+    pqe_naive,
+)
+
+
+def rs_schema():
+    return Schema.of(
+        RelationSchema.of("R", "a"),
+        RelationSchema.of("S", "a", "b"),
+        RelationSchema.of("T", "b"),
+    )
+
+
+def make_tid(r_probs, s_probs, t_probs=()):
+    db = Database(rs_schema())
+    probs = {}
+    for value, p in r_probs:
+        probs[db.add("R", value)] = p
+    for pair, p in s_probs:
+        probs[db.add("S", *pair)] = p
+    for value, p in t_probs:
+        probs[db.add("T", value)] = p
+    return TupleIndependentDatabase(db, probs)
+
+
+class TestTid:
+    def test_probability_bounds(self):
+        db = Database(rs_schema())
+        fact = db.add("R", 1)
+        tid = TupleIndependentDatabase(db)
+        with pytest.raises(ValueError):
+            tid.set_probability(fact, Fraction(3, 2))
+
+    def test_unknown_fact(self):
+        db = Database(rs_schema())
+        tid = TupleIndependentDatabase(db)
+        from repro.db import Fact
+
+        with pytest.raises(ValueError):
+            tid.set_probability(Fact("R", (1,)), Fraction(1, 2))
+
+    def test_default_probability_is_one(self):
+        db = Database(rs_schema())
+        fact = db.add("R", 1)
+        tid = TupleIndependentDatabase(db)
+        assert tid.probability_of(fact) == 1
+        assert tid.certain_facts() == [fact]
+        assert tid.uncertain_facts() == []
+
+    def test_worlds_probabilities_sum_to_one(self):
+        tid = make_tid(
+            [(1, Fraction(1, 2)), (2, Fraction(1, 3))],
+            [((1, 10), Fraction(1, 4))],
+        )
+        total = sum(p for _, p in tid.worlds())
+        assert total == 1
+
+    def test_worlds_count(self):
+        tid = make_tid([(1, Fraction(1, 2))], [((1, 10), Fraction(1, 2))])
+        assert len(list(tid.worlds())) == 4
+
+    def test_certain_facts_in_every_world(self):
+        tid = make_tid([(1, Fraction(1))], [((1, 10), Fraction(1, 2))])
+        for world, _ in tid.worlds():
+            assert len(world.relation("R")) == 1
+
+
+class TestLifted:
+    def test_single_atom(self):
+        tid = make_tid([(1, Fraction(1, 2)), (2, Fraction(1, 3))], [])
+        q = cq(None, "R(x)")
+        # P(exists x R(x)) = 1 - 1/2 * 2/3 = 2/3
+        assert lifted_probability(q, tid) == Fraction(2, 3)
+
+    def test_ground_atom(self):
+        tid = make_tid([(1, Fraction(1, 2))], [])
+        assert lifted_probability(cq(None, "R(1)"), tid) == Fraction(1, 2)
+        assert lifted_probability(cq(None, "R(9)"), tid) == 0
+
+    def test_hierarchical_join(self):
+        tid = make_tid(
+            [(1, Fraction(1, 2))],
+            [((1, 10), Fraction(1, 2)), ((1, 20), Fraction(1, 2))],
+        )
+        q = cq(None, "R(x)", "S(x, y)")
+        # P = P(R(1)) * P(S(1,10) or S(1,20)) = 1/2 * 3/4
+        assert lifted_probability(q, tid) == Fraction(3, 8)
+
+    def test_independent_components(self):
+        tid = make_tid(
+            [(1, Fraction(1, 2))], [], [(10, Fraction(1, 3))]
+        )
+        q = cq(None, "R(x)", "T(y)")
+        assert lifted_probability(q, tid) == Fraction(1, 6)
+
+    def test_non_hierarchical_raises(self):
+        tid = make_tid([(1, Fraction(1, 2))], [((1, 10), Fraction(1, 2))],
+                       [(10, Fraction(1, 2))])
+        with pytest.raises(NonHierarchicalError):
+            lifted_probability(cq(None, "R(x)", "S(x, y)", "T(y)"), tid)
+
+    def test_self_join_raises(self):
+        tid = make_tid([], [((1, 10), Fraction(1, 2))])
+        with pytest.raises(NotSelfJoinFreeError):
+            lifted_probability(cq(None, "S(x, y)", "S(y, z)"), tid)
+
+    def test_non_boolean_raises(self):
+        tid = make_tid([(1, Fraction(1, 2))], [])
+        with pytest.raises(ValueError):
+            lifted_probability(cq(["x"], "R(x)"), tid)
+
+
+probs_strategy = st.sampled_from(
+    [Fraction(0), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4), Fraction(1)]
+)
+
+
+class TestAgreement:
+    @given(
+        st.lists(st.tuples(st.integers(1, 3), probs_strategy), max_size=3),
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(1, 3), st.integers(10, 12)),
+                probs_strategy,
+            ),
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lifted_matches_naive(self, r_probs, s_probs):
+        tid = make_tid(dict(r_probs).items(), dict(s_probs).items())
+        q = cq(None, "R(x)", "S(x, y)")
+        assert lifted_probability(q, tid) == pqe_naive(q, tid)
+
+    @given(
+        st.lists(st.tuples(st.integers(1, 3), probs_strategy), max_size=2),
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(1, 3), st.integers(10, 11)),
+                probs_strategy,
+            ),
+            max_size=3,
+        ),
+        st.lists(st.tuples(st.integers(10, 11), probs_strategy), max_size=2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lineage_matches_naive_on_hard_query(self, r_probs, s_probs, t_probs):
+        tid = make_tid(
+            dict(r_probs).items(), dict(s_probs).items(), dict(t_probs).items()
+        )
+        q = cq(None, "R(x)", "S(x, y)", "T(y)")  # non-hierarchical
+        assert pqe_lineage(q, tid) == pqe_naive(q, tid)
+
+    def test_dispatcher_uses_lifted_then_falls_back(self):
+        tid = make_tid(
+            [(1, Fraction(1, 2))],
+            [((1, 10), Fraction(1, 2))],
+            [(10, Fraction(1, 2))],
+        )
+        hierarchical = cq(None, "R(x)", "S(x, y)")
+        hard = cq(None, "R(x)", "S(x, y)", "T(y)")
+        assert pqe(hierarchical, tid) == pqe_naive(hierarchical, tid)
+        assert pqe(hard, tid) == pqe_naive(hard, tid)
+
+    def test_pqe_lifted_rejects_ucq(self):
+        from repro.db import UnionOfConjunctiveQueries
+
+        tid = make_tid([(1, Fraction(1, 2))], [])
+        q = UnionOfConjunctiveQueries.of(cq(None, "R(x)"))
+        with pytest.raises(NonHierarchicalError):
+            pqe_lifted(q, tid)
+
+    def test_pqe_lineage_requires_boolean(self):
+        tid = make_tid([(1, Fraction(1, 2))], [])
+        with pytest.raises(ValueError):
+            pqe_lineage(cq(["x"], "R(x)"), tid)
+
+    def test_empty_answer_probability_zero(self):
+        tid = make_tid([], [])
+        assert pqe_lineage(cq(None, "R(x)"), tid) == 0

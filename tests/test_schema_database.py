@@ -1,0 +1,159 @@
+"""Tests for schemas, facts, and databases."""
+
+import pytest
+
+from repro.db import Database, Fact, RelationSchema, Schema, SchemaError
+from repro.db.schema import Attribute
+
+
+def simple_schema():
+    return Schema.of(
+        RelationSchema.of("R", ("a", int), ("b", str)),
+        RelationSchema.of("S", "x"),
+    )
+
+
+class TestSchema:
+    def test_relation_lookup(self):
+        schema = simple_schema()
+        assert schema.relation("R").arity == 2
+        assert "S" in schema
+        assert "T" not in schema
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            simple_schema().relation("T")
+
+    def test_duplicate_relation(self):
+        schema = simple_schema()
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema.of("R", "z"))
+
+    def test_attribute_type_validation(self):
+        attr = Attribute("a", int)
+        attr.validate(3)
+        with pytest.raises(SchemaError):
+            attr.validate("x")
+
+    def test_untyped_attribute_accepts_anything(self):
+        Attribute("a").validate(object())
+
+    def test_arity_validation(self):
+        schema = simple_schema()
+        with pytest.raises(SchemaError):
+            schema.relation("R").validate((1,))
+
+    def test_position(self):
+        rel = simple_schema().relation("R")
+        assert rel.position("b") == 1
+        with pytest.raises(SchemaError):
+            rel.position("zzz")
+
+    def test_attribute_names(self):
+        assert simple_schema().relation("R").attribute_names == ("a", "b")
+
+
+class TestFact:
+    def test_equality_and_hash(self):
+        f1 = Fact("R", (1, "x"))
+        f2 = Fact("R", (1, "x"))
+        f3 = Fact("R", (2, "x"))
+        assert f1 == f2 and hash(f1) == hash(f2)
+        assert f1 != f3
+
+    def test_repr(self):
+        assert repr(Fact("R", (1, "x"))) == "R(1, 'x')"
+
+    def test_ordering_is_stable(self):
+        facts = [Fact("R", (2,)), Fact("R", (1,)), Fact("Q", (9,))]
+        ordered = sorted(facts)
+        assert ordered[0].relation == "Q"
+
+    def test_mixed_type_ordering(self):
+        # must not raise even with incomparable value types
+        sorted([Fact("R", (1,)), Fact("R", ("a",))])
+
+
+class TestDatabase:
+    def test_add_and_contains(self):
+        db = Database(simple_schema())
+        fact = db.add("R", 1, "x")
+        assert fact in db
+        assert len(db) == 1
+
+    def test_add_validates(self):
+        db = Database(simple_schema())
+        with pytest.raises(SchemaError):
+            db.add("R", "not-int", "x")
+
+    def test_set_semantics(self):
+        db = Database(simple_schema())
+        db.add("R", 1, "x")
+        db.add("R", 1, "x")
+        assert len(db) == 1
+
+    def test_reinsert_updates_endogenous_status(self):
+        db = Database(simple_schema())
+        fact = db.add("R", 1, "x", endogenous=True)
+        db.add("R", 1, "x", endogenous=False)
+        assert not db.is_endogenous(fact)
+
+    def test_endo_exo_partition(self):
+        db = Database(simple_schema())
+        e = db.add("R", 1, "x", endogenous=True)
+        x = db.add("R", 2, "y", endogenous=False)
+        assert db.endogenous_facts() == [e]
+        assert db.exogenous_facts() == [x]
+
+    def test_mark_relation(self):
+        db = Database(simple_schema())
+        db.add("R", 1, "x")
+        db.add("R", 2, "y")
+        db.mark_relation("R", endogenous=False)
+        assert db.endogenous_facts() == []
+
+    def test_set_endogenous_unknown_fact(self):
+        db = Database(simple_schema())
+        with pytest.raises(SchemaError):
+            db.set_endogenous(Fact("R", (1, "x")), True)
+
+    def test_remove(self):
+        db = Database(simple_schema())
+        fact = db.add("R", 1, "x")
+        db.remove(fact)
+        assert fact not in db
+        with pytest.raises(SchemaError):
+            db.remove(fact)
+
+    def test_restrict_endogenous(self):
+        db = Database(simple_schema())
+        e1 = db.add("R", 1, "a", endogenous=True)
+        e2 = db.add("R", 2, "b", endogenous=True)
+        x = db.add("S", "keep", endogenous=False)
+        world = db.restrict_endogenous({e1})
+        assert e1 in world and x in world and e2 not in world
+        # original untouched
+        assert e2 in db
+
+    def test_copy_independent(self):
+        db = Database(simple_schema())
+        fact = db.add("R", 1, "x")
+        clone = db.copy()
+        clone.remove(fact)
+        assert fact in db and fact not in clone
+
+    def test_relation_listing(self):
+        db = Database(simple_schema())
+        db.add("R", 1, "x")
+        db.add("S", "v")
+        assert len(db.relation("R")) == 1
+        assert [f.relation for f in db.facts()] == ["R", "S"]
+
+    def test_add_many(self):
+        db = Database(simple_schema())
+        facts = db.add_many("S", [("a",), ("b",)])
+        assert len(facts) == 2 and len(db) == 2
+
+    def test_repr(self):
+        db = Database(simple_schema())
+        assert "Database(" in repr(db)

@@ -1,0 +1,159 @@
+"""Semiring-law spot checks for every provenance semiring."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    BooleanSemiring,
+    CircuitSemiring,
+    CountingSemiring,
+    Database,
+    Fact,
+    PolynomialSemiring,
+    ProbabilitySemiring,
+    RelationSchema,
+    Schema,
+    TropicalSemiring,
+    WhySemiring,
+)
+
+FACTS = [Fact("R", (i,)) for i in range(3)]
+
+
+def elements_of(semiring):
+    """A few representative elements of each semiring."""
+    base = [semiring.zero(), semiring.one()] + [semiring.var(f) for f in FACTS]
+    combined = [
+        semiring.plus(base[2], base[3]),
+        semiring.times(base[2], base[3]),
+    ]
+    return base + combined
+
+
+SEMIRINGS = [
+    BooleanSemiring(),
+    CountingSemiring(),
+    WhySemiring(),
+    PolynomialSemiring(),
+    TropicalSemiring({f: 2.0 for f in FACTS}),
+]
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: type(s).__name__)
+class TestSemiringLaws:
+    def test_plus_identity(self, semiring):
+        for e in elements_of(semiring):
+            assert semiring.plus(e, semiring.zero()) == e
+
+    def test_times_identity(self, semiring):
+        for e in elements_of(semiring):
+            assert semiring.times(e, semiring.one()) == e
+
+    def test_times_annihilator(self, semiring):
+        for e in elements_of(semiring):
+            assert semiring.times(e, semiring.zero()) == semiring.zero()
+
+    def test_plus_commutative(self, semiring):
+        elems = elements_of(semiring)
+        for a in elems:
+            for b in elems:
+                assert semiring.plus(a, b) == semiring.plus(b, a)
+
+    def test_times_commutative(self, semiring):
+        elems = elements_of(semiring)
+        for a in elems:
+            for b in elems:
+                assert semiring.times(a, b) == semiring.times(b, a)
+
+    def test_plus_associative(self, semiring):
+        elems = elements_of(semiring)[:4]
+        for a in elems:
+            for b in elems:
+                for c in elems:
+                    assert semiring.plus(a, semiring.plus(b, c)) == semiring.plus(
+                        semiring.plus(a, b), c
+                    )
+
+    def test_distributivity(self, semiring):
+        elems = elements_of(semiring)[:4]
+        for a in elems:
+            for b in elems:
+                for c in elems:
+                    left = semiring.times(a, semiring.plus(b, c))
+                    right = semiring.plus(
+                        semiring.times(a, b), semiring.times(a, c)
+                    )
+                    assert left == right
+
+
+class TestCircuitSemiring:
+    def test_annotations_are_gates(self):
+        semiring = CircuitSemiring()
+        gate = semiring.plus(semiring.var(FACTS[0]), semiring.var(FACTS[1]))
+        semiring.circuit.output = gate
+        assert semiring.circuit.evaluate({FACTS[0]})
+        assert not semiring.circuit.evaluate(set())
+
+    def test_endogenous_only_maps_exo_to_true(self):
+        schema = Schema.of(RelationSchema.of("R", "a"))
+        db = Database(schema)
+        exo = db.add("R", 0, endogenous=False)
+        endo = db.add("R", 1, endogenous=True)
+        semiring = CircuitSemiring(database=db, endogenous_only=True)
+        assert semiring.var(exo) == semiring.circuit.true()
+        assert semiring.var(endo) != semiring.circuit.true()
+
+
+class TestProbabilitySemiring:
+    def test_disjoint_or_formula(self):
+        semiring = ProbabilitySemiring({FACTS[0]: Fraction(1, 2), FACTS[1]: Fraction(1, 3)})
+        a = semiring.var(FACTS[0])
+        b = semiring.var(FACTS[1])
+        assert semiring.plus(a, b) == Fraction(1, 2) + Fraction(1, 3) - Fraction(1, 6)
+
+    def test_incorrect_on_shared_facts(self):
+        """Documents *why* PQE needs knowledge compilation: the naive
+        'probability semiring' miscomputes P(x or x)."""
+        semiring = ProbabilitySemiring({FACTS[0]: Fraction(1, 2)})
+        x = semiring.var(FACTS[0])
+        wrong = semiring.plus(x, x)
+        assert wrong != Fraction(1, 2)  # correct P(x or x) is 1/2
+
+
+class TestTropical:
+    def test_cheapest_derivation(self):
+        semiring = TropicalSemiring({FACTS[0]: 5.0, FACTS[1]: 1.0})
+        a, b = semiring.var(FACTS[0]), semiring.var(FACTS[1])
+        assert semiring.plus(a, b) == 1.0
+        assert semiring.times(a, b) == 6.0
+        assert semiring.var(FACTS[2]) == 1.0  # default weight
+
+
+@given(
+    st.lists(st.sampled_from(FACTS), min_size=1, max_size=3),
+    st.lists(st.sampled_from(FACTS), min_size=1, max_size=3),
+)
+@settings(max_examples=50, deadline=None)
+def test_why_provenance_matches_polynomial_support(left, right):
+    """Why-provenance is the polynomial semiring with exponents and
+    coefficients dropped."""
+    why = WhySemiring()
+    poly = PolynomialSemiring()
+    why_val = why.times(
+        _fold(why, left), _fold(why, right)
+    )
+    poly_val = poly.times(_fold(poly, left), _fold(poly, right))
+    support = {
+        frozenset(fact for fact, _ in monomial) for monomial in poly_val
+    }
+    assert why_val == frozenset(support)
+
+
+def _fold(semiring, facts):
+    value = semiring.zero()
+    for fact in facts:
+        value = semiring.plus(value, semiring.var(fact))
+    return value

@@ -1,0 +1,95 @@
+"""Tests for the brute-force Shapley implementations (the test oracles
+themselves get cross-checked here: subsets vs permutations)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    game_from_circuit,
+    game_from_query,
+    shapley_naive,
+    shapley_naive_permutations,
+    shapley_naive_query,
+)
+from repro.workloads.flights import (
+    EXPECTED_SHAPLEY,
+    fact,
+    flights_database,
+    flights_query,
+)
+from repro.workloads.synthetic import random_monotone_dnf
+
+
+class TestKnownGames:
+    def test_unanimity_game(self):
+        # v(S) = 1 iff S = {a, b}: both get 1/2.
+        game = lambda s: 1 if {"a", "b"} <= s else 0
+        values = shapley_naive(game, ["a", "b"])
+        assert values == {"a": Fraction(1, 2), "b": Fraction(1, 2)}
+
+    def test_dictator_game(self):
+        game = lambda s: 1 if "a" in s else 0
+        values = shapley_naive(game, ["a", "b", "c"])
+        assert values["a"] == 1 and values["b"] == 0 and values["c"] == 0
+
+    def test_additive_game(self):
+        worth = {"a": 3, "b": 5}
+        game = lambda s: sum(worth[p] for p in s)
+        values = shapley_naive(game, ["a", "b"])
+        assert values == {"a": Fraction(3), "b": Fraction(5)}
+
+    def test_real_valued_game(self):
+        game = lambda s: Fraction(len(s), 2)
+        values = shapley_naive(game, ["a", "b", "c"])
+        assert all(v == Fraction(1, 2) for v in values.values())
+
+    def test_too_many_players(self):
+        with pytest.raises(ValueError):
+            shapley_naive(lambda s: 0, [str(i) for i in range(30)])
+
+    def test_permutations_too_many(self):
+        with pytest.raises(ValueError):
+            shapley_naive_permutations(lambda s: 0, [str(i) for i in range(9)])
+
+
+class TestOracleAgreement:
+    @given(st.integers(2, 5), st.integers(1, 5), st.integers(1, 2),
+           st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_subsets_vs_permutations(self, n_vars, n_terms, width, seed):
+        circuit = random_monotone_dnf(n_vars, n_terms, width, seed)
+        players = [f"x{i}" for i in range(n_vars)]
+        game = game_from_circuit(circuit)
+        assert shapley_naive(game, players) == shapley_naive_permutations(
+            game, players
+        )
+
+
+class TestQueryGame:
+    def test_flights_example(self):
+        db = flights_database()
+        plan = flights_query().to_algebra(db.schema)
+        values = shapley_naive_query(plan, db)
+        for name, expected in EXPECTED_SHAPLEY.items():
+            assert values[fact(name)] == expected
+
+    def test_game_from_query_respects_exogenous(self):
+        db = flights_database()
+        plan = flights_query().to_algebra(db.schema)
+        game = game_from_query(plan, db)
+        # a1 alone suffices because the airports are exogenous.
+        assert game(frozenset({fact("a1")})) == 1
+        assert game(frozenset()) == 0
+
+    def test_explicit_player_subset(self):
+        db = flights_database()
+        plan = flights_query().to_algebra(db.schema)
+        players = [fact("a1"), fact("a8")]
+        values = shapley_naive_query(plan, db, players)
+        # With all other endogenous facts absent from the player set,
+        # they are never inserted: a1 is a dictator here.
+        assert values[fact("a1")] == 1
+        assert values[fact("a8")] == 0

@@ -1,0 +1,105 @@
+"""Tests for the Tseytin transformation (including Lemma 4.6's
+properties 1-3, which the auxiliary-variable elimination relies on)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, circuit_from_nested, tseytin_transform
+
+from .test_circuit import nested_exprs
+
+VARS = ["a", "b", "c", "d"]
+
+
+def _extensions(cnf, true_labels):
+    """Count assignments of the auxiliary variables extending the given
+    label assignment to a CNF model."""
+    base = {cnf.var_for_label(l) for l in true_labels if cnf.var_for_label(l)}
+    aux = sorted(cnf.auxiliary_vars())
+    count = 0
+    for mask in range(1 << len(aux)):
+        chosen = base | {aux[i] for i in range(len(aux)) if mask >> i & 1}
+        if cnf.evaluate(chosen):
+            count += 1
+    return count
+
+
+class TestBasics:
+    def test_single_variable(self):
+        c = circuit_from_nested("x")
+        cnf = tseytin_transform(c)
+        assert cnf.num_clauses == 1
+        assert cnf.clauses == [(1,)]
+        assert cnf.labels[1] == "x"
+
+    def test_negated_variable_needs_no_aux(self):
+        c = circuit_from_nested(("not", "x"))
+        cnf = tseytin_transform(c)
+        assert cnf.auxiliary_vars() == set()
+        assert cnf.clauses == [(-1,)]
+
+    def test_constant_true(self):
+        c = circuit_from_nested(True)
+        cnf = tseytin_transform(c)
+        assert cnf.num_clauses == 0
+
+    def test_constant_false(self):
+        c = circuit_from_nested(False)
+        cnf = tseytin_transform(c)
+        assert not cnf.evaluate_labelled(set())
+        assert not cnf.evaluate_labelled({"x"})
+
+    def test_and_gate_clause_shape(self):
+        c = circuit_from_nested(("and", "x", "y"))
+        cnf = tseytin_transform(c)
+        # z<->(x&y): 3 clauses + output unit
+        assert cnf.num_clauses == 4
+        assert len(cnf.auxiliary_vars()) == 1
+
+    def test_example_53_clause_count(self):
+        """The paper's Example 5.3: the q2 lineage DNF yields 22 clauses
+        and 6 auxiliary variables."""
+        dnf = circuit_from_nested(
+            (
+                "or",
+                ("and", "a2", "a4"), ("and", "a2", "a5"),
+                ("and", "a3", "a4"), ("and", "a3", "a5"),
+                ("and", "a6", "a7"),
+            )
+        )
+        cnf = tseytin_transform(dnf)
+        assert cnf.num_clauses == 22
+        assert len(cnf.auxiliary_vars()) == 6
+
+    def test_nested_ors_flattened_first(self):
+        nested = circuit_from_nested(
+            ("or", ("or", ("or", "a", "b"), "c"), "d")
+        )
+        cnf = tseytin_transform(nested)
+        # one OR gate over 4 literals: 4+1 clauses + unit
+        assert len(cnf.auxiliary_vars()) == 1
+        assert cnf.num_clauses == 6
+
+
+class TestTseytinProperties:
+    """Properties (1)-(3) from Section 4.2."""
+
+    @given(nested_exprs(), st.sets(st.sampled_from(VARS)))
+    @settings(max_examples=120, deadline=None)
+    def test_exactly_one_extension_for_models(self, expr, assignment):
+        circuit = circuit_from_nested(expr)
+        cnf = tseytin_transform(circuit)
+        if len(cnf.auxiliary_vars()) > 10:
+            return  # keep brute force tractable
+        extensions = _extensions(cnf, assignment)
+        if circuit.evaluate(assignment):
+            assert extensions == 1
+        else:
+            assert extensions == 0
+
+    @given(nested_exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_labelled_vars_subset_of_circuit_vars(self, expr):
+        circuit = circuit_from_nested(expr)
+        cnf = tseytin_transform(circuit)
+        assert set(cnf.labels.values()) <= circuit.variables()
