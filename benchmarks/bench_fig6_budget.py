@@ -10,19 +10,31 @@ matches or beats both at a tiny fraction of their cost.
 """
 
 import random
-import time
 
 from repro.bench import format_table, mean, write_csv
-from repro.core import (
-    cnf_proxy_from_circuit,
-    kernel_shap_values,
-    monte_carlo_shapley,
-    ndcg,
-    precision_at_k,
-)
+from repro.core import monte_carlo_shapley, ndcg, precision_at_k
+from repro.engine import EngineOptions, get_engine
 
 BUDGETS = [10, 20, 30, 40, 50]
+#: Display name -> registered engine name (registry dispatch).
+SAMPLING_ENGINES = [("Monte Carlo", "monte_carlo"), ("Kernel SHAP", "kernel_shap")]
 HEADERS = ["method", "budget/fact", "mean time [s]", "mean nDCG", "mean P@10"]
+
+
+def _sweep_engine(records, engine_name, options_per_index):
+    engine = get_engine(engine_name)
+    times, ndcgs, precisions = [], [], []
+    for index, record in enumerate(records):
+        truth = {f: float(v) for f, v in record.values.items()}
+        players = sorted(record.values)
+        result = engine.explain_circuit(
+            record.circuit, players, options_per_index(index)
+        )
+        estimate = {f: float(v) for f, v in result.values.items()}
+        times.append(result.seconds)
+        ndcgs.append(ndcg(truth, estimate))
+        precisions.append(precision_at_k(truth, estimate, 10))
+    return mean(times), mean(ndcgs), mean(precisions)
 
 
 def test_fig6_budget_sweep(ground_truth_records, results_dir, capsys, benchmark):
@@ -30,40 +42,18 @@ def test_fig6_budget_sweep(ground_truth_records, results_dir, capsys, benchmark)
     rows = []
 
     for budget in BUDGETS:
-        for name in ("Monte Carlo", "Kernel SHAP"):
-            times, ndcgs, precisions = [], [], []
-            for index, record in enumerate(records):
-                truth = {f: float(v) for f, v in record.values.items()}
-                players = sorted(record.values)
-                rng = random.Random(1000 * budget + index)
-                start = time.perf_counter()
-                if name == "Monte Carlo":
-                    estimate = monte_carlo_shapley(
-                        record.circuit, players, samples_per_fact=budget, rng=rng
-                    )
-                else:
-                    estimate = kernel_shap_values(
-                        record.circuit, players, samples_per_fact=budget, rng=rng
-                    )
-                times.append(time.perf_counter() - start)
-                ndcgs.append(ndcg(truth, estimate))
-                precisions.append(precision_at_k(truth, estimate, 10))
-            rows.append([name, budget, mean(times), mean(ndcgs), mean(precisions)])
+        for display, name in SAMPLING_ENGINES:
+            stats = _sweep_engine(
+                records, name,
+                lambda index, budget=budget: EngineOptions(
+                    samples_per_fact=budget, seed=1000 * budget + index
+                ),
+            )
+            rows.append([display, budget, *stats])
 
     # CNF Proxy: constant across budgets.
-    times, ndcgs, precisions = [], [], []
-    for record in records:
-        truth = {f: float(v) for f, v in record.values.items()}
-        players = sorted(record.values)
-        start = time.perf_counter()
-        estimate = {
-            f: float(v)
-            for f, v in cnf_proxy_from_circuit(record.circuit, players).items()
-        }
-        times.append(time.perf_counter() - start)
-        ndcgs.append(ndcg(truth, estimate))
-        precisions.append(precision_at_k(truth, estimate, 10))
-    rows.append(["CNF Proxy", "-", mean(times), mean(ndcgs), mean(precisions)])
+    stats = _sweep_engine(records, "proxy", lambda index: EngineOptions())
+    rows.append(["CNF Proxy", "-", *stats])
 
     write_csv(results_dir / "fig6_budget_sweep.csv", HEADERS, rows)
     with capsys.disabled():

@@ -10,18 +10,18 @@ Proxy stays flat; CNF Proxy is consistently the fastest.
 """
 
 import random
-import time
 
 from repro.bench import bucket_of, format_table, median, write_csv
-from repro.core import (
-    cnf_proxy_from_circuit,
-    kernel_shap_values,
-    monte_carlo_shapley,
-    ndcg,
-    precision_at_k,
-)
+from repro.core import kernel_shap_values, ndcg, precision_at_k
+from repro.engine import EngineOptions, get_engine
 
 BUDGET = 20
+#: Display name -> registered engine name (registry dispatch).
+ENGINES = {
+    "Monte Carlo": "monte_carlo",
+    "Kernel SHAP": "kernel_shap",
+    "CNF Proxy": "proxy",
+}
 HEADERS = [
     "bucket", "method", "n",
     "time p50 [s]", "time worst [s]",
@@ -30,17 +30,12 @@ HEADERS = [
 ]
 
 
-def _run(record, name, rng):
+def _run(record, name, seed):
     players = sorted(record.values)
-    if name == "Monte Carlo":
-        return monte_carlo_shapley(
-            record.circuit, players, samples_per_fact=BUDGET, rng=rng
-        )
-    if name == "Kernel SHAP":
-        return kernel_shap_values(
-            record.circuit, players, samples_per_fact=BUDGET, rng=rng
-        )
-    return cnf_proxy_from_circuit(record.circuit, players)
+    options = EngineOptions(samples_per_fact=BUDGET, seed=seed)
+    return get_engine(ENGINES[name]).explain_circuit(
+        record.circuit, players, options
+    )
 
 
 def test_fig7_by_provenance_size(ground_truth_records, results_dir, capsys, benchmark):
@@ -51,23 +46,19 @@ def test_fig7_by_provenance_size(ground_truth_records, results_dir, capsys, benc
         if bucket is None:
             continue
         truth = {f: float(v) for f, v in record.values.items()}
-        for name in ("Monte Carlo", "Kernel SHAP", "CNF Proxy"):
-            rng = random.Random(index)
-            start = time.perf_counter()
-            estimate = {
-                f: float(v) for f, v in _run(record, name, rng).items()
-            }
-            elapsed = time.perf_counter() - start
+        for name in ENGINES:
+            result = _run(record, name, index)
+            estimate = {f: float(v) for f, v in result.values.items()}
             cell = buckets.setdefault(bucket, {}).setdefault(
                 name, {"time": [], "ndcg": [], "p10": []}
             )
-            cell["time"].append(elapsed)
+            cell["time"].append(result.seconds)
             cell["ndcg"].append(ndcg(truth, estimate))
             cell["p10"].append(precision_at_k(truth, estimate, 10))
 
     rows = []
     for bucket in sorted(buckets, key=lambda b: int(b.strip(">").split("-")[0])):
-        for name in ("Monte Carlo", "Kernel SHAP", "CNF Proxy"):
+        for name in ENGINES:
             cell = buckets[bucket][name]
             rows.append(
                 [

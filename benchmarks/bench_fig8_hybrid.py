@@ -11,22 +11,24 @@ hard cases (TPC-H in the paper).
 """
 
 from repro.bench import format_table, mean, write_csv
-from repro.core import hybrid_shapley
+from repro.engine import EngineOptions, get_engine
 
 TIMEOUTS = [0.05, 0.2, 0.5, 1.0, 2.5]
 HEADERS = ["dataset", "timeout [s]", "outputs", "exact rate", "mean time [s]"]
 
 
 def _sweep(records, dataset):
+    hybrid = get_engine("hybrid")
     rows = []
     usable = [r for r in records if r.circuit is not None]
     for timeout in TIMEOUTS:
         kinds = []
         times = []
+        options = EngineOptions(timeout=timeout)
         for record in usable:
             players = sorted(record.circuit.reachable_vars())
-            result = hybrid_shapley(record.circuit, players, timeout=timeout)
-            kinds.append(result.is_exact)
+            result = hybrid.explain_circuit(record.circuit, players, options)
+            kinds.append(result.exact)
             times.append(result.seconds)
         rows.append(
             [
@@ -52,7 +54,11 @@ def test_fig8_hybrid_timeout_sweep(
     # Kernel: one hybrid call at the recommended timeout.
     record = next(r for r in imdb_records if r.circuit is not None)
     players = sorted(record.circuit.reachable_vars())
-    benchmark(hybrid_shapley, record.circuit, players, timeout=2.5)
+    hybrid = get_engine("hybrid")
+    benchmark(
+        hybrid.explain_circuit, record.circuit, players,
+        EngineOptions(timeout=2.5),
+    )
 
     # Shape: success rate is non-decreasing in the timeout per dataset.
     for dataset in ("TPC-H", "IMDB"):

@@ -11,36 +11,34 @@ faster than both sampling methods with equal-or-better ranking quality
 *values*, which CNF Proxy does not even attempt).
 """
 
-import random
-import time
-
 from repro.bench import format_table, write_csv
-from repro.core import (
-    cnf_proxy_from_circuit,
-    kernel_shap_values,
-    l1_error,
-    l2_error,
-    monte_carlo_shapley,
-    ndcg,
-    precision_at_k,
-    summarize,
-)
+from repro.core import l1_error, l2_error, ndcg, precision_at_k, summarize
+from repro.engine import EngineOptions, get_engine
 
 SAMPLES_PER_FACT = 50
 METRICS = ["time", "L1", "L2", "nDCG", "P@5", "P@10"]
-HEADERS = ["metric"] + ["Monte Carlo", "Kernel SHAP", "CNF Proxy"]
+#: Display name -> registered engine name: dispatch goes through the
+#: engine registry, so adding a method here is one more pair.
+ENGINES = [
+    ("Monte Carlo", "monte_carlo"),
+    ("Kernel SHAP", "kernel_shap"),
+    ("CNF Proxy", "proxy"),
+]
+HEADERS = ["metric"] + [display for display, _ in ENGINES]
 
 
-def _evaluate_method(records, method, seed=0):
+def _evaluate_method(records, engine_name, seed=0):
+    engine = get_engine(engine_name)
     stats = {metric: [] for metric in METRICS}
     for index, record in enumerate(records):
         truth = {f: float(v) for f, v in record.values.items()}
         players = sorted(record.values)
-        start = time.perf_counter()
-        estimate = method(record.circuit, players, random.Random(seed + index))
-        elapsed = time.perf_counter() - start
-        estimate = {f: float(v) for f, v in estimate.items()}
-        stats["time"].append(elapsed)
+        options = EngineOptions(
+            samples_per_fact=SAMPLES_PER_FACT, seed=seed + index
+        )
+        result = engine.explain_circuit(record.circuit, players, options)
+        estimate = {f: float(v) for f, v in result.values.items()}
+        stats["time"].append(result.seconds)
         stats["L1"].append(l1_error(truth, estimate))
         stats["L2"].append(l2_error(truth, estimate))
         stats["nDCG"].append(ndcg(truth, estimate))
@@ -49,35 +47,17 @@ def _evaluate_method(records, method, seed=0):
     return stats
 
 
-def _monte_carlo(circuit, players, rng):
-    return monte_carlo_shapley(
-        circuit, players, samples_per_fact=SAMPLES_PER_FACT, rng=rng
-    )
-
-
-def _kernel_shap(circuit, players, rng):
-    return kernel_shap_values(
-        circuit, players, samples_per_fact=SAMPLES_PER_FACT, rng=rng
-    )
-
-
-def _proxy(circuit, players, rng):
-    return cnf_proxy_from_circuit(circuit, players)
-
-
 def test_table2(ground_truth_records, results_dir, capsys, benchmark):
     records = ground_truth_records
     by_method = {
-        "Monte Carlo": _evaluate_method(records, _monte_carlo),
-        "Kernel SHAP": _evaluate_method(records, _kernel_shap),
-        "CNF Proxy": _evaluate_method(records, _proxy),
+        display: _evaluate_method(records, name) for display, name in ENGINES
     }
 
     rows = []
     for metric in METRICS:
         row = [metric]
-        for name in ("Monte Carlo", "Kernel SHAP", "CNF Proxy"):
-            stats = summarize(by_method[name][metric])
+        for display, _ in ENGINES:
+            stats = summarize(by_method[display][metric])
             row.append(f"{stats['median']:.4g} ({stats['mean']:.4g})")
         rows.append(row)
     write_csv(results_dir / "table2_inexact.csv", HEADERS, rows)
@@ -89,7 +69,8 @@ def test_table2(ground_truth_records, results_dir, capsys, benchmark):
     # Benchmark kernel: CNF Proxy on the largest ground-truth circuit.
     big = max(records, key=lambda r: r.n_facts)
     players = sorted(big.values)
-    benchmark(cnf_proxy_from_circuit, big.circuit, players)
+    proxy = get_engine("proxy")
+    benchmark(proxy.explain_circuit, big.circuit, players)
 
     # Paper-shape assertions.  Note: our Monte Carlo evaluates all
     # permutation prefixes bit-parallel, so it is much faster than the

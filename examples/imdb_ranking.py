@@ -10,21 +10,14 @@ Run:  python examples/imdb_ranking.py
 """
 
 import os
-import random
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core import (
-    cnf_proxy_from_circuit,
-    exact_shapley_of_circuit,
-    monte_carlo_shapley,
-    ndcg,
-    precision_at_k,
-    ranking,
-)
+from repro.core import exact_shapley_of_circuit, ndcg, precision_at_k, ranking
 from repro.db import lineage
+from repro.engine import EngineOptions, get_engine
 from repro.workloads import generate_imdb, imdb_query
 
 
@@ -52,15 +45,15 @@ def main() -> None:
     t_exact = time.perf_counter() - start
     truth = {f: float(v) for f, v in exact.items()}
 
-    start = time.perf_counter()
-    proxy = cnf_proxy_from_circuit(circuit, players)
-    t_proxy = time.perf_counter() - start
+    # The inexact methods resolve through the engine registry.
+    options = EngineOptions(samples_per_fact=20, seed=0)
+    proxy_run = get_engine("proxy").explain_circuit(circuit, players, options)
+    proxy, t_proxy = proxy_run.values, proxy_run.seconds
 
-    start = time.perf_counter()
-    monte = monte_carlo_shapley(
-        circuit, players, samples_per_fact=20, rng=random.Random(0)
+    monte_run = get_engine("monte_carlo").explain_circuit(
+        circuit, players, options
     )
-    t_monte = time.perf_counter() - start
+    monte, t_monte = monte_run.values, monte_run.seconds
 
     print("Top-5 facts by exact Shapley value:")
     for fact in ranking(truth)[:5]:

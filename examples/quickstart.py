@@ -13,7 +13,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro import attribute
+from repro import attribute, available_engines
 from repro.workloads.flights import flights_database, flights_query
 
 
@@ -21,7 +21,10 @@ def main() -> None:
     db = flights_database()
     query = flights_query()
     print(f"Database: {db}")
-    print(f"Query: {query}\n")
+    print(f"Query: {query}")
+    # Every method below is dispatched through the engine registry;
+    # attribute(method=...) accepts any of these names.
+    print(f"Registered engines: {', '.join(available_engines())}\n")
 
     # Exact Shapley values via knowledge compilation (Algorithm 1).
     exact = attribute(db, query, answer=(), method="exact")

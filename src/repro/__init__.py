@@ -34,6 +34,15 @@ Quick start
 from .core.attribution import Attribution, attribute
 from .core.hybrid import HybridResult, hybrid_shapley
 from .core.pipeline import ShapleyExplainer
+from .engine import (
+    ArtifactCache,
+    EngineOptions,
+    EngineResult,
+    ExplainSession,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 
 __version__ = "1.0.0"
 
@@ -43,5 +52,12 @@ __all__ = [
     "HybridResult",
     "hybrid_shapley",
     "ShapleyExplainer",
+    "ArtifactCache",
+    "EngineOptions",
+    "EngineResult",
+    "ExplainSession",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "__version__",
 ]

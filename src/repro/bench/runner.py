@@ -5,6 +5,11 @@ of every output tuple, push each through the exact pipeline under a
 budget, and record sizes/timings/success.  :func:`run_query` performs
 exactly that and returns plain-data records that the table/figure
 benches aggregate.
+
+The exact pipeline is resolved through the engine registry
+(``get_engine("exact")``); an optional shared
+:class:`~repro.engine.cache.ArtifactCache` lets suite runs reuse
+compiled artifacts across isomorphic output tuples.
 """
 
 from __future__ import annotations
@@ -15,9 +20,11 @@ from fractions import Fraction
 from typing import Hashable
 
 from ..compiler.knowledge import CompilationBudget
-from ..core.pipeline import run_exact
 from ..db.database import Database
 from ..db.evaluate import LineageResult, lineage
+from ..engine.base import EngineOptions
+from ..engine.cache import ArtifactCache
+from ..engine.registry import get_engine
 from ..workloads.suite import QueryShape, QuerySpec, describe
 
 
@@ -77,12 +84,14 @@ def run_query(
     keep_values: bool = False,
     max_outputs: int | None = None,
     method: str = "derivative",
+    cache: ArtifactCache | None = None,
 ) -> QueryRun:
     """Run one query end to end: provenance for every output tuple, then
     the exact pipeline per tuple under ``budget``.
 
     With ``keep_values=True`` each record also keeps its lineage circuit
-    so downstream experiments can rerun other methods on it."""
+    so downstream experiments can rerun other methods on it.  With a
+    shared ``cache``, isomorphic output tuples compile once."""
     plan = spec.plan(database)
     start = time.perf_counter()
     result = lineage(plan, database, endogenous_only=True)
@@ -94,7 +103,10 @@ def run_query(
         answers = answers[:max_outputs]
     for answer in answers:
         run.records.append(
-            run_output(result, answer, dataset, spec.name, budget, keep_values, method)
+            run_output(
+                result, answer, dataset, spec.name, budget, keep_values,
+                method, cache,
+            )
         )
     return run
 
@@ -107,11 +119,13 @@ def run_output(
     budget: CompilationBudget | None = None,
     keep_values: bool = False,
     method: str = "derivative",
+    cache: ArtifactCache | None = None,
 ) -> OutputRecord:
-    """Push one output tuple through the exact pipeline."""
+    """Push one output tuple through the exact engine."""
     circuit = result.lineage_of(answer)
     endo = sorted(circuit.reachable_vars())
-    outcome = run_exact(circuit, endo, budget=budget, method=method)
+    options = EngineOptions(budget=budget, timeout=None, mode=method, cache=cache)
+    outcome = get_engine("exact").explain_circuit(circuit, endo, options).detail
     return OutputRecord(
         dataset=dataset,
         query=query_name,
@@ -136,12 +150,13 @@ def run_suite(
     budget: CompilationBudget | None = None,
     keep_values: bool = False,
     max_outputs: int | None = None,
+    cache: ArtifactCache | None = None,
 ) -> list[QueryRun]:
     """Run a whole query suite (one dataset column of Table 1)."""
     return [
         run_query(
             database, spec, dataset, budget,
-            keep_values=keep_values, max_outputs=max_outputs,
+            keep_values=keep_values, max_outputs=max_outputs, cache=cache,
         )
         for spec in specs
     ]

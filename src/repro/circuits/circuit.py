@@ -290,6 +290,47 @@ class Circuit:
                     sets[gate] = union
         return sets
 
+    def structural_signature(
+        self, root: int | None = None
+    ) -> tuple[tuple, tuple]:
+        """Canonical, label-free form of the circuit reachable from
+        ``root``, plus the variable labels in canonical order.
+
+        Returns ``(signature, labels)`` where ``signature`` is a tuple
+        with one entry per reachable gate — ``(kind, i)`` for the
+        canonical *i*-th distinct variable, ``(kind, *children)`` with
+        canonically renumbered child ids otherwise — and ``labels[i]``
+        is the actual label of canonical variable *i* (first-occurrence
+        order along the bottom-up gate sweep).
+
+        Two circuits have equal signatures iff they are identical up to
+        a bijective renaming of their variable labels, which makes the
+        signature the key of the engine layer's
+        :class:`~repro.engine.cache.ArtifactCache`: isomorphic lineages
+        (the same query shape instantiated on different answer tuples)
+        share one compiled artifact, recovered per tuple by renaming
+        canonical variable *i* back to ``labels[i]``.
+        """
+        if root is None:
+            root = self.output_gate()
+        flags = self.reachable(root)
+        canon: dict[int, int] = {}
+        labels: list[Hashable] = []
+        parts: list[tuple] = []
+        for gate in range(root + 1):
+            if not flags[gate]:
+                continue
+            kind = self._kinds[gate]
+            if kind == VAR:
+                parts.append((kind, len(labels)))
+                labels.append(self._labels[gate])
+            else:
+                parts.append(
+                    (kind, *[canon[c] for c in self._children[gate]])
+                )
+            canon[gate] = len(canon)
+        return tuple(parts), tuple(labels)
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------

@@ -11,7 +11,13 @@ Commands
     Run a query over a saved or generated database and print the
     top-contributing facts for an answer, with any method of the paper.
 ``bench``
-    A quick smoke benchmark: exact pipeline over one suite query.
+    A quick smoke benchmark: the exact engine over one suite query,
+    batched through :class:`~repro.engine.session.ExplainSession` with
+    artifact caching.
+
+Method dispatch goes through the engine registry
+(:func:`repro.engine.get_engine`): ``--method`` accepts any registered
+engine name and new backends show up here automatically.
 """
 
 from __future__ import annotations
@@ -21,9 +27,10 @@ import sys
 import time
 
 from .compiler import CompilationBudget
-from .core import run_exact, to_plan
-from .core.attribution import METHODS, attribute
+from .core import to_plan
+from .core.attribution import attribute
 from .db import lineage
+from .engine import ArtifactCache, EngineOptions, ExplainSession, available_engines
 from .db.database import Database
 from .db.io import load_database, save_database
 from .workloads import (
@@ -113,21 +120,31 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("--jobs must be a positive integer")
     db = _build_db(args)
     query = _resolve_query(args, db)
-    plan_result = lineage(to_plan(query, db), db, endogenous_only=True)
-    budget = CompilationBudget(max_seconds=args.timeout)
+    session = ExplainSession(
+        db,
+        method="exact",
+        options=EngineOptions(
+            budget=CompilationBudget(max_seconds=args.timeout), timeout=None
+        ),
+        cache=ArtifactCache(max_entries=0) if args.no_cache else ArtifactCache(),
+        max_workers=args.jobs,
+    )
     start = time.perf_counter()
-    ok = total = 0
-    for answer in plan_result.tuples():
-        circuit = plan_result.lineage_of(answer)
-        players = sorted(circuit.reachable_vars())
-        outcome = run_exact(circuit, players, budget=budget)
-        total += 1
-        ok += outcome.ok
+    results = session.explain_many(query)
     elapsed = time.perf_counter() - start
+    total = len(results)
+    ok = sum(r.ok for r in results.values())
     print(f"{total} outputs, {ok} exact successes "
           f"({ok / total:.1%}) in {elapsed:.2f}s")
+    stats = session.stats
+    print(f"cache: {stats['compile_calls']} compilations for "
+          f"{stats['answers_explained']} answers "
+          f"({stats['unique_shapes']} distinct lineage shapes, "
+          f"{stats['ddnnf_hits']} d-DNNF hits)")
     return 0
 
 
@@ -170,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--sql", help="SQL text to run")
     e.add_argument("--query", help="suite query name (e.g. Q3, 8d)")
     e.add_argument("--answer", nargs="*", help="the answer tuple to explain")
-    e.add_argument("--method", choices=METHODS, default="hybrid")
+    e.add_argument("--method", choices=available_engines(), default="hybrid")
     e.add_argument("--timeout", type=float, default=2.5)
     e.add_argument("--samples", type=int, default=20,
                    help="samples per fact for the sampling methods")
@@ -182,6 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--sql")
     b.add_argument("--query")
     b.add_argument("--timeout", type=float, default=2.5)
+    b.add_argument("--jobs", type=int, default=None,
+                   help="thread-pool width for the batched run")
+    b.add_argument("--no-cache", action="store_true",
+                   help="disable the artifact cache (baseline timing)")
     b.set_defaults(func=cmd_bench)
     return parser
 

@@ -10,22 +10,22 @@ answer and returns an :class:`Attribution` with values and a ranking:
 
 from __future__ import annotations
 
-import random
-import time
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
-from ..compiler.knowledge import CompilationBudget
 from ..db.database import Database
 from ..db.evaluate import lineage
-from .cnf_proxy import cnf_proxy_from_circuit
-from .hybrid import hybrid_shapley
-from .kernel_shap import kernel_shap_values
+from ..engine.base import EngineOptions
+from ..engine.registry import available_engines, get_engine
 from .metrics import ranking as _ranking
-from .monte_carlo import monte_carlo_shapley
-from .pipeline import QueryLike, run_exact, to_plan
+from .pipeline import QueryLike, to_plan
 
-METHODS = ("exact", "hybrid", "proxy", "monte_carlo", "kernel_shap")
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.cache import ArtifactCache
+
+#: The registered engine names (kept for backwards compatibility; the
+#: authoritative list is :func:`repro.engine.available_engines`).
+METHODS = available_engines()
 
 
 @dataclass
@@ -60,8 +60,13 @@ def attribute(
     timeout: float = 2.5,
     samples_per_fact: int = 20,
     seed: int | None = None,
+    cache: "ArtifactCache | None" = None,
 ) -> Attribution:
     """Compute fact contributions for one answer of ``query``.
+
+    Dispatch goes through the engine registry
+    (:func:`repro.engine.get_engine`); any registered backend name is a
+    valid ``method``.
 
     Parameters
     ----------
@@ -75,16 +80,21 @@ def attribute(
     method:
         One of ``exact`` (Algorithm 1; may be slow), ``hybrid``
         (exact-with-timeout then CNF Proxy — the paper's recommendation),
-        ``proxy`` (CNF Proxy only), ``monte_carlo``, ``kernel_shap``.
+        ``proxy`` (CNF Proxy only), ``monte_carlo``, ``kernel_shap``,
+        or any engine registered with
+        :func:`repro.engine.register_engine`.
     timeout:
         Budget in seconds for the exact/hybrid paths.
     samples_per_fact:
         Budget for the sampling baselines (the paper sweeps 10..50).
     seed:
         RNG seed for the sampling baselines.
+    cache:
+        Optional shared :class:`~repro.engine.cache.ArtifactCache`; for
+        many answers prefer
+        :meth:`repro.engine.ExplainSession.explain_many`.
     """
-    if method not in METHODS:
-        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    engine = get_engine(method)
     plan = to_plan(query, database)
     result = lineage(plan, database, endogenous_only=True)
     answers = result.tuples()
@@ -100,39 +110,20 @@ def attribute(
 
     circuit = result.lineage_of(answer)
     endo = sorted(circuit.reachable_vars())
-    start = time.perf_counter()
-
-    if method == "exact":
-        budget = CompilationBudget(max_seconds=timeout) if timeout else None
-        outcome = run_exact(circuit, endo, budget=budget)
-        seconds = time.perf_counter() - start
-        if not outcome.ok:
-            raise RuntimeError(
-                f"exact computation failed ({outcome.status}): {outcome.error}; "
-                "try method='hybrid'"
-            )
-        return Attribution(answer, method, outcome.values, True, seconds, outcome)
-
-    if method == "hybrid":
-        hybrid = hybrid_shapley(circuit, endo, timeout=timeout)
-        seconds = time.perf_counter() - start
-        return Attribution(
-            answer, method, hybrid.values, hybrid.is_exact, seconds, hybrid
+    options = EngineOptions(
+        timeout=timeout,
+        samples_per_fact=samples_per_fact,
+        seed=seed,
+        cache=cache,
+    )
+    outcome = engine.explain_circuit(circuit, endo, options)
+    if not outcome.ok:
+        hint = "; try method='hybrid'" if engine.name == "exact" else ""
+        raise RuntimeError(
+            f"{engine.name} computation failed ({outcome.status}): "
+            f"{outcome.error}{hint}"
         )
-
-    if method == "proxy":
-        values = cnf_proxy_from_circuit(circuit, endo)
-        seconds = time.perf_counter() - start
-        return Attribution(answer, method, values, False, seconds)
-
-    rng = random.Random(seed)
-    if method == "monte_carlo":
-        values = monte_carlo_shapley(
-            circuit, endo, samples_per_fact=samples_per_fact, rng=rng
-        )
-    else:  # kernel_shap
-        values = kernel_shap_values(
-            circuit, endo, samples_per_fact=samples_per_fact, rng=rng
-        )
-    seconds = time.perf_counter() - start
-    return Attribution(answer, method, values, False, seconds)
+    return Attribution(
+        answer, engine.name, outcome.values, outcome.exact,
+        outcome.seconds, outcome.detail,
+    )

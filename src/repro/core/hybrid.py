@@ -11,13 +11,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from ..circuits.circuit import Circuit
 from ..compiler.knowledge import CompilationBudget
-from .cnf_proxy import cnf_proxy_from_circuit
+from .cnf_proxy import cnf_proxy_from_circuit, cnf_proxy_values
 from .metrics import ranking
 from .pipeline import ExactOutcome, run_exact
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports this module
+    from ..engine.cache import ArtifactCache
 
 
 @dataclass
@@ -50,20 +53,27 @@ def hybrid_shapley(
     timeout: float = 2.5,
     max_nodes: int | None = None,
     method: str = "derivative",
+    cache: "ArtifactCache | None" = None,
 ) -> HybridResult:
     """Exact-within-timeout, else CNF Proxy (Section 6.3).
 
     ``timeout`` plays the role of the paper's configurable ``t``
     (default: the 2.5 s the paper justifies with Figure 8);
-    ``max_nodes`` optionally caps compilation memory as well.
+    ``max_nodes`` optionally caps compilation memory as well.  A shared
+    ``cache`` serves both branches: a lineage shape compiled once makes
+    later isomorphic answers exact even under a timeout they would
+    otherwise blow, and the proxy fallback reuses the cached CNF.
     """
     endo = list(endogenous_facts)
     start = time.perf_counter()
     budget = CompilationBudget(max_nodes=max_nodes, max_seconds=timeout)
-    outcome = run_exact(circuit, endo, budget=budget, method=method)
+    outcome = run_exact(circuit, endo, budget=budget, method=method, cache=cache)
     elapsed = time.perf_counter() - start
     if outcome.ok and outcome.values is not None:
         return HybridResult("exact", outcome.values, outcome, elapsed)
-    proxy = cnf_proxy_from_circuit(circuit, endo)
+    if cache is not None:
+        proxy = cnf_proxy_values(cache.cnf_for(circuit), endo)
+    else:
+        proxy = cnf_proxy_from_circuit(circuit, endo)
     elapsed = time.perf_counter() - start
     return HybridResult("proxy", proxy, outcome, elapsed)

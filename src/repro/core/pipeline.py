@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Hashable, Mapping
+from typing import TYPE_CHECKING, Hashable, Mapping
 
 from ..circuits.circuit import Circuit
 from ..circuits.cnf import Cnf
@@ -29,6 +29,9 @@ from ..db.database import Database, Fact
 from ..db.evaluate import LineageResult, lineage
 from ..db.sql import plan_sql
 from .shapley import ShapleyTimeout, shapley_all_facts
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports this module
+    from ..engine.cache import ArtifactCache
 
 QueryLike = str | Operator | ConjunctiveQuery | UnionOfConjunctiveQueries
 
@@ -87,6 +90,7 @@ def exact_shapley_of_circuit(
     endogenous_facts,
     budget: CompilationBudget | None = None,
     method: str = "derivative",
+    cache: "ArtifactCache | None" = None,
 ) -> dict[Hashable, Fraction]:
     """Exact Shapley values of an endogenous-lineage circuit.
 
@@ -94,7 +98,9 @@ def exact_shapley_of_circuit(
     :class:`~repro.core.shapley.ShapleyTimeout` on budget exhaustion;
     use :func:`run_exact` for the non-raising variant.
     """
-    outcome = run_exact(circuit, endogenous_facts, budget=budget, method=method)
+    outcome = run_exact(
+        circuit, endogenous_facts, budget=budget, method=method, cache=cache
+    )
     if not outcome.ok:
         if outcome.status == "budget":
             raise BudgetExceeded(outcome.error or "budget exceeded")
@@ -108,9 +114,18 @@ def run_exact(
     endogenous_facts,
     budget: CompilationBudget | None = None,
     method: str = "derivative",
+    cache: "ArtifactCache | None" = None,
 ) -> ExactOutcome:
     """Run the knowledge-compilation pipeline on one lineage circuit,
-    catching budget events into the outcome."""
+    catching budget events into the outcome.
+
+    With a ``cache`` (an :class:`~repro.engine.cache.ArtifactCache`),
+    the Tseytin and compilation stages are served from it: lineages
+    isomorphic to an already-compiled one skip knowledge compilation
+    entirely and only pay a rename, while Shapley values stay identical
+    to the uncached path (the renamed d-DNNF computes the same function
+    over the same labels).
+    """
     endo = list(endogenous_facts)
     stats = ProvenanceStats()
     timings: dict[str, float] = {}
@@ -124,20 +139,24 @@ def run_exact(
     simplified = circuit.condition({})
     stats.n_facts = len(simplified.reachable_vars())
     stats.circuit_size = len(simplified)
+    artifacts = cache.open(simplified) if cache is not None else None
 
     t0 = time.perf_counter()
-    cnf = tseytin_transform(simplified)
+    cnf = artifacts.cnf() if artifacts is not None else tseytin_transform(simplified)
     timings["tseytin"] = time.perf_counter() - t0
     stats.cnf_vars = cnf.num_vars
     stats.cnf_clauses = cnf.num_clauses
 
     t0 = time.perf_counter()
     try:
-        compiled = compile_cnf(cnf, budget=budget)
+        if artifacts is not None:
+            ddnnf = artifacts.ddnnf(budget=budget)
+        else:
+            compiled = compile_cnf(cnf, budget=budget)
+            ddnnf = eliminate_auxiliary(compiled.circuit, set(cnf.labels.values()))
     except BudgetExceeded as exc:
         timings["compile"] = time.perf_counter() - t0
         return ExactOutcome("budget", None, stats, timings, str(exc))
-    ddnnf = eliminate_auxiliary(compiled.circuit, set(cnf.labels.values()))
     timings["compile"] = time.perf_counter() - t0
     stats.ddnnf_size = len(ddnnf)
 
@@ -172,6 +191,12 @@ class TupleExplanation:
 class ShapleyExplainer:
     """High-level exact pipeline bound to one database.
 
+    Delegates to the ``"exact"`` engine of the registry
+    (:mod:`repro.engine`), so a shared
+    :class:`~repro.engine.cache.ArtifactCache` makes repeated lineage
+    shapes compile once — across answers, queries, and even other
+    explainers holding the same cache.
+
     Example
     -------
     >>> explainer = ShapleyExplainer(db)
@@ -185,6 +210,7 @@ class ShapleyExplainer:
         budget: CompilationBudget | None = None,
         method: str = "derivative",
         restrict_to_lineage: bool = True,
+        cache: "ArtifactCache | None" = None,
     ) -> None:
         self.database = database
         self.budget = budget
@@ -193,6 +219,15 @@ class ShapleyExplainer:
         # appearing in the answer's lineage (all other endogenous facts
         # provably have value 0 and are reported as such only on demand).
         self.restrict_to_lineage = restrict_to_lineage
+        self.cache = cache
+
+    def _options(self) -> "object":
+        from ..engine.base import EngineOptions
+
+        return EngineOptions(
+            budget=self.budget, timeout=None,
+            mode=self.method, cache=self.cache,
+        )
 
     def lineage(self, query: QueryLike) -> LineageResult:
         """Endogenous lineage of every answer of the query."""
@@ -203,9 +238,13 @@ class ShapleyExplainer:
         self, result: LineageResult, answer: tuple
     ) -> TupleExplanation:
         """Exact Shapley values for one answer tuple."""
+        from ..engine.registry import get_engine
+
         circuit = result.lineage_of(answer)
         endo = self._players(circuit)
-        outcome = run_exact(circuit, endo, budget=self.budget, method=self.method)
+        outcome = get_engine("exact").explain_circuit(
+            circuit, endo, self._options()
+        ).detail
         return TupleExplanation(answer, outcome)
 
     def explain(self, query: QueryLike) -> dict[tuple, TupleExplanation]:
@@ -214,6 +253,34 @@ class ShapleyExplainer:
         return {
             answer: self.explain_answer(result, answer)
             for answer in result.tuples()
+        }
+
+    def explain_many(
+        self, query: QueryLike, max_workers: int | None = None
+    ) -> dict[tuple, TupleExplanation]:
+        """Batched :meth:`explain`: dedupe isomorphic lineages up front,
+        compile each distinct shape once through an
+        :class:`~repro.engine.cache.ArtifactCache`, and fan answers out
+        over a thread pool.  Values are identical to :meth:`explain`;
+        each answer keeps its own budget/timeout outcome.
+        """
+        from ..engine.cache import ArtifactCache
+        from ..engine.session import ExplainSession
+
+        if not self.restrict_to_lineage:
+            # The batched path scopes players to each answer's lineage;
+            # whole-database player lists stay on the sequential path.
+            return self.explain(query)
+        if self.cache is None:
+            self.cache = ArtifactCache()
+        session = ExplainSession(
+            self.database, method="exact", options=self._options(),
+            cache=self.cache, max_workers=max_workers,
+        )
+        results = session.explain_many(query)
+        return {
+            answer: TupleExplanation(answer, engine_result.detail)
+            for answer, engine_result in results.items()
         }
 
     def _players(self, circuit: Circuit) -> list[Fact]:

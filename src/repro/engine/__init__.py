@@ -1,0 +1,36 @@
+"""Pluggable engine subsystem: every Shapley method behind one seam.
+
+* :mod:`~repro.engine.base` — the :class:`Engine` interface,
+  :class:`EngineOptions`, :class:`EngineResult`;
+* :mod:`~repro.engine.registry` — ``get_engine(name)`` /
+  ``register_engine`` / ``available_engines()``;
+* :mod:`~repro.engine.adapters` — the paper's five methods as engines;
+* :mod:`~repro.engine.cache` — the :class:`ArtifactCache` memoizing
+  Tseytin CNFs and compiled d-DNNFs across isomorphic lineages;
+* :mod:`~repro.engine.session` — :class:`ExplainSession` with the
+  batched, deduplicating :meth:`~ExplainSession.explain_many`.
+
+See README.md ("Engine architecture") for the 30-second tour and the
+steps to register a new backend.
+"""
+
+from .base import DEFAULT_OPTIONS, Engine, EngineOptions, EngineResult
+from .cache import ArtifactCache, CacheStats, CircuitArtifacts
+from .registry import available_engines, get_engine, register_engine
+from .adapters import (
+    CnfProxyEngine,
+    ExactEngine,
+    HybridEngine,
+    KernelShapEngine,
+    MonteCarloEngine,
+)
+from .session import ExplainSession
+
+__all__ = [
+    "DEFAULT_OPTIONS", "Engine", "EngineOptions", "EngineResult",
+    "ArtifactCache", "CacheStats", "CircuitArtifacts",
+    "available_engines", "get_engine", "register_engine",
+    "CnfProxyEngine", "ExactEngine", "HybridEngine",
+    "KernelShapEngine", "MonteCarloEngine",
+    "ExplainSession",
+]

@@ -1,0 +1,266 @@
+"""Artifact cache: compile each distinct lineage *shape* once.
+
+Answer tuples of the same query typically have isomorphic lineages —
+the same circuit with different fact labels.  The exact pipeline spends
+almost all of its time in knowledge compilation, which branches on the
+CNF's integer literals and never looks at labels, so the compiled
+d-DNNF of two isomorphic lineages differs only by a variable renaming.
+
+:class:`ArtifactCache` exploits this: artifacts (Tseytin CNFs and
+auxiliary-eliminated d-DNNFs) are stored under the circuit's canonical
+:meth:`~repro.circuits.circuit.Circuit.structural_signature` with
+variable labels replaced by canonical indices, and renamed back to the
+request's actual labels on every hit.  Isomorphic lineages across
+answer tuples — and across methods sharing one cache — therefore
+compile once.  The renamed d-DNNF represents exactly the same Boolean
+function over the requested labels, so Algorithm 1 returns Shapley
+values identical to the uncached path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from ..circuits.circuit import Circuit
+from ..circuits.cnf import Cnf
+from ..circuits.dnnf import eliminate_auxiliary
+from ..circuits.tseytin import tseytin_transform
+from ..compiler.knowledge import BudgetExceeded, CompilationBudget, compile_cnf
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`ArtifactCache`.
+
+    ``compile_calls`` counts actual invocations of the knowledge
+    compiler — the acceptance metric for lineage reuse: on a workload
+    with repeated lineage shapes it stays well below the number of
+    answers explained.
+    """
+
+    cnf_hits: int = 0
+    cnf_misses: int = 0
+    ddnnf_hits: int = 0
+    ddnnf_misses: int = 0
+    compile_calls: int = 0
+    compile_failures: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.cnf_hits + self.ddnnf_hits
+
+    @property
+    def misses(self) -> int:
+        return self.cnf_misses + self.ddnnf_misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "cnf_hits": self.cnf_hits,
+            "cnf_misses": self.cnf_misses,
+            "ddnnf_hits": self.ddnnf_hits,
+            "ddnnf_misses": self.ddnnf_misses,
+            "compile_calls": self.compile_calls,
+            "compile_failures": self.compile_failures,
+            "evictions": self.evictions,
+        }
+
+
+class _Entry:
+    """Canonical artifacts of one lineage shape (labels = 0..k-1)."""
+
+    __slots__ = ("cnf", "ddnnf")
+
+    def __init__(self) -> None:
+        self.cnf: Cnf | None = None
+        self.ddnnf: Circuit | None = None
+
+
+def _relabel_cnf(cnf: Cnf, mapping: Mapping[Hashable, Hashable]) -> Cnf:
+    """A copy of ``cnf`` with labels translated through ``mapping``.
+
+    Clause tuples are shared (immutable); only the label dictionaries
+    are rebuilt, so relabelling is O(#labelled vars), not O(formula).
+    """
+    clone = Cnf.__new__(Cnf)
+    clone.num_vars = cnf.num_vars
+    clone.clauses = list(cnf.clauses)
+    clone.labels = {var: mapping[lbl] for var, lbl in cnf.labels.items()}
+    clone._by_label = {lbl: var for var, lbl in clone.labels.items()}
+    return clone
+
+
+class CircuitArtifacts:
+    """Handle binding one circuit to its cache slot.
+
+    Obtained from :meth:`ArtifactCache.open`; computes the canonical
+    signature once and serves both artifacts from it.
+    """
+
+    __slots__ = ("_cache", "_entry", "signature", "labels", "_flat")
+
+    def __init__(
+        self,
+        cache: "ArtifactCache",
+        entry: _Entry,
+        signature: tuple,
+        labels: tuple,
+        flat: Circuit,
+    ) -> None:
+        self._cache = cache
+        self._entry = entry
+        self.signature = signature
+        self.labels = labels
+        self._flat = flat
+
+    def _to_canonical(self) -> dict[Hashable, int]:
+        return {label: index for index, label in enumerate(self.labels)}
+
+    def _to_actual(self) -> dict[int, Hashable]:
+        return dict(enumerate(self.labels))
+
+    def _canonical_cnf(self) -> tuple[Cnf, bool]:
+        """The canonical CNF of this shape, plus whether it was a hit."""
+        with self._cache._lock:
+            canonical = self._entry.cnf
+        if canonical is not None:
+            return canonical, True
+        # Tseytin numbers CNF variables by gate order, which is
+        # label-independent, so transforming the actual-labelled circuit
+        # and canonicalizing its label map is equivalent to (and cheaper
+        # than) transforming a canonically renamed copy.
+        real = tseytin_transform(self._flat)
+        canonical = _relabel_cnf(real, self._to_canonical())
+        with self._cache._lock:
+            if self._entry.cnf is None:
+                self._entry.cnf = canonical
+            else:
+                canonical = self._entry.cnf
+        return canonical, False
+
+    def cnf(self) -> Cnf:
+        """The Tseytin CNF of the circuit, labelled with its facts."""
+        canonical, hit = self._canonical_cnf()
+        stats = self._cache.stats
+        with self._cache._lock:
+            if hit:
+                stats.cnf_hits += 1
+            else:
+                stats.cnf_misses += 1
+        return _relabel_cnf(canonical, self._to_actual())
+
+    def ddnnf(self, budget: CompilationBudget | None = None) -> Circuit:
+        """The auxiliary-eliminated d-DNNF, labelled with the circuit's
+        facts.
+
+        On a hit the (possibly expensive) compilation is skipped
+        entirely and only an O(size) rename is paid, regardless of
+        ``budget``.  On a miss, compilation runs under ``budget`` and
+        :class:`~repro.compiler.knowledge.BudgetExceeded` propagates;
+        failures are not cached, so a later call with a larger budget
+        retries.
+        """
+        cache = self._cache
+        with cache._lock:
+            canonical = self._entry.ddnnf
+        if canonical is None:
+            cnf, _ = self._canonical_cnf()
+            with cache._lock:
+                cache.stats.compile_calls += 1
+            try:
+                compiled = compile_cnf(cnf, budget=budget)
+            except BudgetExceeded:
+                with cache._lock:
+                    cache.stats.compile_failures += 1
+                    cache.stats.ddnnf_misses += 1
+                raise
+            canonical = eliminate_auxiliary(
+                compiled.circuit, set(cnf.labels.values())
+            )
+            with cache._lock:
+                if self._entry.ddnnf is None:
+                    self._entry.ddnnf = canonical
+                else:
+                    canonical = self._entry.ddnnf
+                cache.stats.ddnnf_misses += 1
+        else:
+            with cache._lock:
+                cache.stats.ddnnf_hits += 1
+        return canonical.rename(self._to_actual())
+
+
+class ArtifactCache:
+    """Memoizes Tseytin CNFs and compiled d-DNNFs across lineages.
+
+    Keys are canonical structural signatures, so any two isomorphic
+    circuits (same shape, different fact labels) share one slot.  The
+    cache is safe to share across threads — a
+    :class:`~repro.engine.session.ExplainSession` hands one instance to
+    every worker — and across engines: the exact, hybrid, and CNF-proxy
+    paths all reuse the same CNF artifact.
+
+    ``max_entries`` bounds the number of cached shapes with LRU
+    eviction; ``None`` means unbounded, ``0`` disables storage while
+    keeping the accounting (useful to measure the uncached baseline).
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def signature_of(self, circuit: Circuit) -> tuple[tuple, tuple]:
+        """Canonical ``(signature, labels)`` of a lineage circuit, as
+        used for cache keys (constant-propagated and flattened first,
+        mirroring the Tseytin preprocessing)."""
+        flat = circuit.condition({}).flatten()
+        return flat.structural_signature()
+
+    def open(self, circuit: Circuit) -> CircuitArtifacts:
+        """Bind ``circuit`` to its cache slot and return the handle."""
+        flat = circuit.condition({}).flatten()
+        signature, labels = flat.structural_signature()
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                entry = _Entry()
+                self._entries[signature] = entry
+                if self.max_entries is not None:
+                    while len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
+                        self.stats.evictions += 1
+            else:
+                self._entries.move_to_end(signature)
+        return CircuitArtifacts(self, entry, signature, labels, flat)
+
+    def cnf_for(self, circuit: Circuit) -> Cnf:
+        """Tseytin CNF of ``circuit``, served from the cache."""
+        return self.open(circuit).cnf()
+
+    def ddnnf_for(
+        self, circuit: Circuit, budget: CompilationBudget | None = None
+    ) -> Circuit:
+        """Auxiliary-eliminated d-DNNF of ``circuit``, served from the
+        cache (compiling under ``budget`` on a miss)."""
+        return self.open(circuit).ddnnf(budget=budget)
+
+    def clear(self) -> None:
+        """Drop every cached artifact (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"ArtifactCache(entries={len(self)}, "
+            f"hits={s.hits}, misses={s.misses}, "
+            f"compiles={s.compile_calls})"
+        )

@@ -1,0 +1,76 @@
+"""Name → engine registry.
+
+Every method of the paper registers here (see
+:mod:`repro.engine.adapters`), and every entry point — the CLI, the
+benchmark harness, :func:`repro.core.attribution.attribute`, the
+examples — resolves methods with :func:`get_engine` instead of keeping
+its own if/elif chain.  Registering a new backend is one decorated
+class:
+
+>>> @register_engine
+... class MyEngine(Engine):
+...     name = "mine"
+...     exact = False
+...     def explain_circuit(self, circuit, players, options=None): ...
+"""
+
+from __future__ import annotations
+
+from .base import Engine
+
+#: Canonical name -> engine class, in registration order.
+_REGISTRY: dict[str, type[Engine]] = {}
+#: Alias -> canonical name.
+_ALIASES: dict[str, str] = {}
+#: Shared stateless instances, created on first use.
+_INSTANCES: dict[str, Engine] = {}
+
+
+def register_engine(cls: type[Engine] | None = None, *, aliases: tuple[str, ...] = ()):
+    """Class decorator adding an :class:`Engine` subclass under its
+    ``name`` (plus optional ``aliases``).
+
+    Re-registering a name replaces the previous engine — deliberate, so
+    applications can override a stock method with a tuned backend.
+    """
+
+    def _register(engine_cls: type[Engine]) -> type[Engine]:
+        name = getattr(engine_cls, "name", None)
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                f"engine class {engine_cls.__name__} must define a non-empty "
+                "string `name`"
+            )
+        _REGISTRY[name] = engine_cls
+        _INSTANCES.pop(name, None)
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return engine_cls
+
+    if cls is not None:
+        return _register(cls)
+    return _register
+
+
+def available_engines() -> tuple[str, ...]:
+    """Canonical engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_engine(name: str) -> Engine:
+    """The shared instance of the engine registered under ``name``.
+
+    Raises :class:`ValueError` (listing the available names) for
+    unknown names, which callers surface directly to users.
+    """
+    canonical = _ALIASES.get(name, name)
+    cls = _REGISTRY.get(canonical)
+    if cls is None:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {available_engines()}"
+        )
+    instance = _INSTANCES.get(canonical)
+    if instance is None:
+        instance = cls()
+        _INSTANCES[canonical] = instance
+    return instance

@@ -1,0 +1,7 @@
+"""Test package marker.
+
+Several test modules share fixtures through relative imports
+(``from .test_circuit import nested_exprs``); making ``tests/`` a
+package lets pytest import them consistently under rootdir-based
+collection.
+"""
