@@ -30,15 +30,19 @@ HEADERS = [
 ]
 
 
-def _run(record, name, seed):
+def _run(record, name, seed, cache=None):
     players = sorted(record.values)
-    options = EngineOptions(samples_per_fact=BUDGET, seed=seed)
+    # The sampling engines ignore `cache`; CNF Proxy serves its Tseytin
+    # CNF from the session's shared two-tier store.
+    options = EngineOptions(samples_per_fact=BUDGET, seed=seed, cache=cache)
     return get_engine(ENGINES[name]).explain_circuit(
         record.circuit, players, options
     )
 
 
-def test_fig7_by_provenance_size(ground_truth_records, results_dir, capsys, benchmark):
+def test_fig7_by_provenance_size(
+    ground_truth_records, shared_cache, results_dir, capsys, benchmark
+):
     records = ground_truth_records
     buckets: dict[str, dict[str, dict[str, list[float]]]] = {}
     for index, record in enumerate(records):
@@ -47,7 +51,7 @@ def test_fig7_by_provenance_size(ground_truth_records, results_dir, capsys, benc
             continue
         truth = {f: float(v) for f, v in record.values.items()}
         for name in ENGINES:
-            result = _run(record, name, index)
+            result = _run(record, name, index, cache=shared_cache)
             estimate = {f: float(v) for f, v in result.values.items()}
             cell = buckets.setdefault(bucket, {}).setdefault(
                 name, {"time": [], "ndcg": [], "p10": []}

@@ -27,14 +27,17 @@ ENGINES = [
 HEADERS = ["metric"] + [display for display, _ in ENGINES]
 
 
-def _evaluate_method(records, engine_name, seed=0):
+def _evaluate_method(records, engine_name, seed=0, cache=None):
     engine = get_engine(engine_name)
     stats = {metric: [] for metric in METRICS}
     for index, record in enumerate(records):
         truth = {f: float(v) for f, v in record.values.items()}
         players = sorted(record.values)
+        # `cache` only matters to CNF Proxy (the sampling engines never
+        # compile); it serves Tseytin CNFs from the session's shared
+        # two-tier artifact store.
         options = EngineOptions(
-            samples_per_fact=SAMPLES_PER_FACT, seed=seed + index
+            samples_per_fact=SAMPLES_PER_FACT, seed=seed + index, cache=cache
         )
         result = engine.explain_circuit(record.circuit, players, options)
         estimate = {f: float(v) for f, v in result.values.items()}
@@ -47,10 +50,11 @@ def _evaluate_method(records, engine_name, seed=0):
     return stats
 
 
-def test_table2(ground_truth_records, results_dir, capsys, benchmark):
+def test_table2(ground_truth_records, shared_cache, results_dir, capsys, benchmark):
     records = ground_truth_records
     by_method = {
-        display: _evaluate_method(records, name) for display, name in ENGINES
+        display: _evaluate_method(records, name, cache=shared_cache)
+        for display, name in ENGINES
     }
 
     rows = []

@@ -21,6 +21,7 @@ if _SRC not in sys.path:
 
 from repro.bench import run_suite  # noqa: E402
 from repro.compiler import CompilationBudget  # noqa: E402
+from repro.engine import ArtifactCache, PersistentArtifactStore  # noqa: E402
 from repro.workloads import (  # noqa: E402
     IMDB_QUERIES,
     TPCH_QUERIES,
@@ -57,20 +58,36 @@ def imdb_db():
 
 
 @pytest.fixture(scope="session")
-def tpch_runs(tpch_db):
+def artifact_store(tmp_path_factory) -> PersistentArtifactStore:
+    """One disk-backed artifact store shared by every driver of the
+    session: the suite fixtures below populate it and fig6/fig7/fig8/
+    table2 reuse the same canonical artifacts instead of recompiling
+    or re-Tseytin-ing per driver."""
+    return PersistentArtifactStore(tmp_path_factory.mktemp("artifact-store"))
+
+
+@pytest.fixture(scope="session")
+def shared_cache(artifact_store) -> ArtifactCache:
+    """The session-wide two-tier artifact cache over ``artifact_store``."""
+    return ArtifactCache(store=artifact_store)
+
+
+@pytest.fixture(scope="session")
+def tpch_runs(tpch_db, shared_cache):
     """Exact pipeline over every output tuple of the TPC-H suite."""
     return run_suite(
-        tpch_db, TPCH_QUERIES, "TPC-H", budget=EXACT_BUDGET, keep_values=True
+        tpch_db, TPCH_QUERIES, "TPC-H", budget=EXACT_BUDGET,
+        keep_values=True, cache=shared_cache,
     )
 
 
 @pytest.fixture(scope="session")
-def imdb_runs(imdb_db):
+def imdb_runs(imdb_db, shared_cache):
     """Exact pipeline over every output tuple of the IMDB suite (the
     largest-output queries are capped to keep the session short)."""
     return run_suite(
         imdb_db, IMDB_QUERIES, "IMDB", budget=EXACT_BUDGET,
-        keep_values=True, max_outputs=40,
+        keep_values=True, max_outputs=40, cache=shared_cache,
     )
 
 

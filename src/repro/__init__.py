@@ -39,6 +39,7 @@ from .engine import (
     EngineOptions,
     EngineResult,
     ExplainSession,
+    PersistentArtifactStore,
     available_engines,
     get_engine,
     register_engine,
@@ -56,6 +57,7 @@ __all__ = [
     "EngineOptions",
     "EngineResult",
     "ExplainSession",
+    "PersistentArtifactStore",
     "available_engines",
     "get_engine",
     "register_engine",

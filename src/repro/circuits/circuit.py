@@ -528,6 +528,80 @@ class Circuit:
         return result
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self, root: int | None = None) -> dict:
+        """A JSON-serializable rendering of the gates reachable from
+        ``root``, suitable for :meth:`from_payload`.
+
+        Gate structure is preserved verbatim (no simplification on the
+        way out or back in), so a deserialized d-DNNF is structurally
+        identical to the original — determinism and decomposability
+        survive the round trip.  Variable labels must themselves be
+        JSON-serializable; the engine layer's persistent store only
+        serializes *canonical* circuits, whose labels are small ints.
+        """
+        if root is None:
+            root = self.output_gate()
+        flags = self.reachable(root)
+        dense: dict[int, int] = {}
+        kinds: list[int] = []
+        children: list[list[int]] = []
+        labels: list[Hashable | None] = []
+        for gate in range(root + 1):
+            if not flags[gate]:
+                continue
+            dense[gate] = len(kinds)
+            kinds.append(int(self._kinds[gate]))
+            children.append([dense[c] for c in self._children[gate]])
+            labels.append(self._labels[gate])
+        return {
+            "kinds": kinds,
+            "children": children,
+            "labels": labels,
+            "output": dense[root],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Circuit":
+        """Rebuild a circuit written by :meth:`to_payload`.
+
+        Raises :class:`CircuitError` on malformed payloads (missing
+        keys, dangling child references, bad gate kinds) so callers can
+        treat truncated/corrupt artifacts as cache misses.
+        """
+        try:
+            kinds = payload["kinds"]
+            children = payload["children"]
+            labels = payload["labels"]
+            output = payload["output"]
+        except (KeyError, TypeError) as exc:
+            raise CircuitError(f"malformed circuit payload: {exc}") from None
+        if not (len(kinds) == len(children) == len(labels)):
+            raise CircuitError("malformed circuit payload: ragged gate arrays")
+        circuit = cls()
+        valid_kinds = {int(k) for k in GateKind}
+        for gate, (kind, kids, label) in enumerate(zip(kinds, children, labels)):
+            if kind not in valid_kinds:
+                raise CircuitError(f"malformed circuit payload: kind {kind!r}")
+            kids = tuple(kids)
+            if any(not isinstance(c, int) or not 0 <= c < gate for c in kids):
+                raise CircuitError(
+                    f"malformed circuit payload: gate {gate} has bad children"
+                )
+            circuit._kinds.append(kind)
+            circuit._children.append(kids)
+            circuit._labels.append(label)
+            if kind == VAR:
+                circuit._var_gates[label] = gate
+            circuit._cache[(kind, kids, label)] = gate
+        if not isinstance(output, int) or not 0 <= output < len(kinds):
+            raise CircuitError("malformed circuit payload: bad output gate")
+        circuit.output = output
+        return circuit
+
+    # ------------------------------------------------------------------
     # Introspection / debugging
     # ------------------------------------------------------------------
 

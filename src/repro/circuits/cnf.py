@@ -190,6 +190,42 @@ class Cnf:
         return forced, clauses, False
 
     # ------------------------------------------------------------------
+    # Payload serialization (engine artifact store)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A JSON-serializable rendering for :meth:`from_payload`.
+
+        Labels are stored as ``[var, label]`` pairs (JSON objects only
+        allow string keys); they must themselves be JSON-serializable,
+        which holds for the canonical formulas the engine layer persists
+        (labels are small ints there).
+        """
+        return {
+            "num_vars": self.num_vars,
+            "clauses": [list(clause) for clause in self.clauses],
+            "labels": [[var, lbl] for var, lbl in self.labels.items()],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Cnf":
+        """Rebuild a formula written by :meth:`to_payload`, raising
+        :class:`CnfError` on malformed input."""
+        try:
+            num_vars = payload["num_vars"]
+            clauses = payload["clauses"]
+            labels = payload["labels"]
+        except (KeyError, TypeError) as exc:
+            raise CnfError(f"malformed CNF payload: {exc}") from None
+        if not isinstance(num_vars, int) or num_vars < 0:
+            raise CnfError(f"malformed CNF payload: num_vars={num_vars!r}")
+        try:
+            label_map = {var: lbl for var, lbl in labels}
+            return cls(num_vars, clauses, label_map)
+        except (TypeError, ValueError) as exc:
+            raise CnfError(f"malformed CNF payload: {exc}") from None
+
+    # ------------------------------------------------------------------
     # DIMACS I/O
     # ------------------------------------------------------------------
 

@@ -30,7 +30,13 @@ from .compiler import CompilationBudget
 from .core import to_plan
 from .core.attribution import attribute
 from .db import lineage
-from .engine import ArtifactCache, EngineOptions, ExplainSession, available_engines
+from .engine import (
+    ArtifactCache,
+    EngineOptions,
+    ExplainSession,
+    PersistentArtifactStore,
+    available_engines,
+)
 from .db.database import Database
 from .db.io import load_database, save_database
 from .workloads import (
@@ -88,6 +94,15 @@ def cmd_queries(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_cache(args: argparse.Namespace) -> ArtifactCache | None:
+    """The artifact cache implied by ``--cache-dir`` (None = engine
+    default): a two-tier cache whose disk store persists canonical
+    compiled artifacts across invocations and processes."""
+    if not getattr(args, "cache_dir", None):
+        return None
+    return ArtifactCache(store=PersistentArtifactStore(args.cache_dir))
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     db = _build_db(args)
     query = _resolve_query(args, db)
@@ -103,6 +118,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             samples_per_fact=args.samples,
             seed=args.seed,
+            cache=_build_cache(args),
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -124,14 +140,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit("--jobs must be a positive integer")
     db = _build_db(args)
     query = _resolve_query(args, db)
+    if args.no_cache and args.cache_dir:
+        raise SystemExit("--no-cache and --cache-dir are mutually exclusive")
+    store = (
+        PersistentArtifactStore(args.cache_dir) if args.cache_dir else None
+    )
+    if args.no_cache:
+        cache = ArtifactCache(max_entries=0)
+    else:
+        cache = ArtifactCache(store=store)
     session = ExplainSession(
         db,
         method="exact",
         options=EngineOptions(
             budget=CompilationBudget(max_seconds=args.timeout), timeout=None
         ),
-        cache=ArtifactCache(max_entries=0) if args.no_cache else ArtifactCache(),
+        cache=cache,
         max_workers=args.jobs,
+        executor=args.jobs_mode,
     )
     start = time.perf_counter()
     results = session.explain_many(query)
@@ -145,6 +171,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"{stats['answers_explained']} answers "
           f"({stats['unique_shapes']} distinct lineage shapes, "
           f"{stats['ddnnf_hits']} d-DNNF hits)")
+    if store is not None:
+        print(f"store: {stats['store_hits']} hits, "
+              f"{stats['store_misses']} misses, "
+              f"{stats['store_writes']} writes, "
+              f"{stats['store_corruptions']} corrupt "
+              f"({len(store)} artifacts in {args.cache_dir})")
     return 0
 
 
@@ -192,6 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--samples", type=int, default=20,
                    help="samples per fact for the sampling methods")
     e.add_argument("--top", type=int, default=10)
+    e.add_argument("--cache-dir",
+                   help="persistent artifact store directory (compiled "
+                        "artifacts are reused across invocations)")
     e.set_defaults(func=cmd_explain)
 
     b = sub.add_parser("bench", help="quick exact-pipeline smoke benchmark")
@@ -200,9 +235,16 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--query")
     b.add_argument("--timeout", type=float, default=2.5)
     b.add_argument("--jobs", type=int, default=None,
-                   help="thread-pool width for the batched run")
+                   help="pool width for the batched run")
+    b.add_argument("--jobs-mode", choices=("thread", "process"),
+                   default="thread",
+                   help="fan answers out over threads (shared in-memory "
+                        "cache) or processes (workers share --cache-dir)")
     b.add_argument("--no-cache", action="store_true",
                    help="disable the artifact cache (baseline timing)")
+    b.add_argument("--cache-dir",
+                   help="persistent artifact store directory; a second "
+                        "bench run with the same directory compiles nothing")
     b.set_defaults(func=cmd_bench)
     return parser
 

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Hashable
 
 from ..db.database import Database
 from ..db.evaluate import lineage
-from ..engine.base import EngineOptions
+from ..engine.base import EngineOptions, derive_answer_seed
 from ..engine.registry import available_engines, get_engine
 from .metrics import ranking as _ranking
 from .pipeline import QueryLike, to_plan
@@ -88,7 +88,12 @@ def attribute(
     samples_per_fact:
         Budget for the sampling baselines (the paper sweeps 10..50).
     seed:
-        RNG seed for the sampling baselines.
+        RNG seed for the sampling baselines.  The effective per-answer
+        seed is :func:`~repro.engine.base.derive_answer_seed` of
+        ``(seed, answer)`` — the same derivation the batched
+        :meth:`~repro.engine.ExplainSession.explain_many` uses, so
+        explaining an answer alone or in any batch/order yields the
+        same sampled values.
     cache:
         Optional shared :class:`~repro.engine.cache.ArtifactCache`; for
         many answers prefer
@@ -113,7 +118,7 @@ def attribute(
     options = EngineOptions(
         timeout=timeout,
         samples_per_fact=samples_per_fact,
-        seed=seed,
+        seed=derive_answer_seed(seed, answer) if seed is not None else None,
         cache=cache,
     )
     outcome = engine.explain_circuit(circuit, endo, options)

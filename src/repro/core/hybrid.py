@@ -20,7 +20,7 @@ from .metrics import ranking
 from .pipeline import ExactOutcome, run_exact
 
 if TYPE_CHECKING:  # pragma: no cover - engine imports this module
-    from ..engine.cache import ArtifactCache
+    from ..engine.cache import ArtifactCache, CircuitArtifacts
 
 
 @dataclass
@@ -54,6 +54,7 @@ def hybrid_shapley(
     max_nodes: int | None = None,
     method: str = "derivative",
     cache: "ArtifactCache | None" = None,
+    artifacts: "CircuitArtifacts | None" = None,
 ) -> HybridResult:
     """Exact-within-timeout, else CNF Proxy (Section 6.3).
 
@@ -62,16 +63,23 @@ def hybrid_shapley(
     ``max_nodes`` optionally caps compilation memory as well.  A shared
     ``cache`` serves both branches: a lineage shape compiled once makes
     later isomorphic answers exact even under a timeout they would
-    otherwise blow, and the proxy fallback reuses the cached CNF.
+    otherwise blow, and the proxy fallback reuses the cached CNF.  A
+    prebuilt ``artifacts`` handle (see :func:`~repro.core.pipeline.run_exact`)
+    short-circuits re-canonicalization in both branches.
     """
     endo = list(endogenous_facts)
     start = time.perf_counter()
     budget = CompilationBudget(max_nodes=max_nodes, max_seconds=timeout)
-    outcome = run_exact(circuit, endo, budget=budget, method=method, cache=cache)
+    outcome = run_exact(
+        circuit, endo, budget=budget, method=method,
+        cache=cache, artifacts=artifacts,
+    )
     elapsed = time.perf_counter() - start
     if outcome.ok and outcome.values is not None:
         return HybridResult("exact", outcome.values, outcome, elapsed)
-    if cache is not None:
+    if artifacts is not None:
+        proxy = cnf_proxy_values(artifacts.cnf(), endo)
+    elif cache is not None:
         proxy = cnf_proxy_values(cache.cnf_for(circuit), endo)
     else:
         proxy = cnf_proxy_from_circuit(circuit, endo)

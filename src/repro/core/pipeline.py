@@ -31,7 +31,7 @@ from ..db.sql import plan_sql
 from .shapley import ShapleyTimeout, shapley_all_facts
 
 if TYPE_CHECKING:  # pragma: no cover - engine imports this module
-    from ..engine.cache import ArtifactCache
+    from ..engine.cache import ArtifactCache, CircuitArtifacts
 
 QueryLike = str | Operator | ConjunctiveQuery | UnionOfConjunctiveQueries
 
@@ -115,6 +115,7 @@ def run_exact(
     budget: CompilationBudget | None = None,
     method: str = "derivative",
     cache: "ArtifactCache | None" = None,
+    artifacts: "CircuitArtifacts | None" = None,
 ) -> ExactOutcome:
     """Run the knowledge-compilation pipeline on one lineage circuit,
     catching budget events into the outcome.
@@ -125,6 +126,11 @@ def run_exact(
     entirely and only pay a rename, while Shapley values stay identical
     to the uncached path (the renamed d-DNNF computes the same function
     over the same labels).
+
+    ``artifacts`` may carry a prebuilt
+    :class:`~repro.engine.cache.CircuitArtifacts` handle for this very
+    circuit; the pipeline then reuses its canonicalization pass instead
+    of conditioning and signing the circuit again.
     """
     endo = list(endogenous_facts)
     stats = ProvenanceStats()
@@ -136,10 +142,16 @@ def run_exact(
         else None
     )
 
-    simplified = circuit.condition({})
-    stats.n_facts = len(simplified.reachable_vars())
-    stats.circuit_size = len(simplified)
-    artifacts = cache.open(simplified) if cache is not None else None
+    if artifacts is not None:
+        stats.n_facts = len(artifacts.labels)
+        stats.circuit_size = artifacts.source_size
+        simplified = None
+    else:
+        simplified = circuit.condition({})
+        stats.n_facts = len(simplified.reachable_vars())
+        stats.circuit_size = len(simplified)
+        if cache is not None:
+            artifacts = cache.open(simplified)
 
     t0 = time.perf_counter()
     cnf = artifacts.cnf() if artifacts is not None else tseytin_transform(simplified)

@@ -7,15 +7,26 @@
 * :mod:`~repro.engine.adapters` — the paper's five methods as engines;
 * :mod:`~repro.engine.cache` — the :class:`ArtifactCache` memoizing
   Tseytin CNFs and compiled d-DNNFs across isomorphic lineages;
+* :mod:`~repro.engine.store` — the disk-backed
+  :class:`PersistentArtifactStore`, the cache's second tier sharing
+  canonical artifacts across processes and runs;
 * :mod:`~repro.engine.session` — :class:`ExplainSession` with the
-  batched, deduplicating :meth:`~ExplainSession.explain_many`.
+  batched, deduplicating :meth:`~ExplainSession.explain_many` and its
+  thread/process executors.
 
 See README.md ("Engine architecture") for the 30-second tour and the
 steps to register a new backend.
 """
 
-from .base import DEFAULT_OPTIONS, Engine, EngineOptions, EngineResult
+from .base import (
+    DEFAULT_OPTIONS,
+    Engine,
+    EngineOptions,
+    EngineResult,
+    derive_answer_seed,
+)
 from .cache import ArtifactCache, CacheStats, CircuitArtifacts
+from .store import PersistentArtifactStore, StoreStats
 from .registry import available_engines, get_engine, register_engine
 from .adapters import (
     CnfProxyEngine,
@@ -28,7 +39,9 @@ from .session import ExplainSession
 
 __all__ = [
     "DEFAULT_OPTIONS", "Engine", "EngineOptions", "EngineResult",
+    "derive_answer_seed",
     "ArtifactCache", "CacheStats", "CircuitArtifacts",
+    "PersistentArtifactStore", "StoreStats",
     "available_engines", "get_engine", "register_engine",
     "CnfProxyEngine", "ExactEngine", "HybridEngine",
     "KernelShapEngine", "MonteCarloEngine",

@@ -48,6 +48,7 @@ class ExactEngine(Engine):
             budget=options.compilation_budget(),
             method=options.mode,
             cache=options.cache,
+            artifacts=options.artifacts,
         )
         seconds = time.perf_counter() - start
         return EngineResult(
@@ -79,6 +80,7 @@ class HybridEngine(Engine):
             max_nodes=budget.max_nodes if budget is not None else None,
             method=options.mode,
             cache=options.cache,
+            artifacts=options.artifacts,
         )
         return EngineResult(
             self.name, result.values, result.is_exact, "ok",
@@ -102,7 +104,9 @@ class CnfProxyEngine(Engine):
     ) -> EngineResult:
         options = options or DEFAULT_OPTIONS
         start = time.perf_counter()
-        if options.cache is not None:
+        if options.artifacts is not None:
+            values = cnf_proxy_values(options.artifacts.cnf(), players)
+        elif options.cache is not None:
             cnf = options.cache.cnf_for(circuit)
             values = cnf_proxy_values(cnf, players)
         else:

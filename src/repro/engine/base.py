@@ -12,6 +12,7 @@ sharded or remote execution) plug in the same way.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
@@ -21,7 +22,20 @@ from ..compiler.knowledge import CompilationBudget
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..circuits.circuit import Circuit
-    from .cache import ArtifactCache
+    from .cache import ArtifactCache, CircuitArtifacts
+
+
+def derive_answer_seed(seed: int, answer: tuple) -> int:
+    """A stable per-answer RNG seed for the sampling engines.
+
+    Derived from a cryptographic hash of ``(seed, answer)`` rather than
+    the answer's position in some enumeration, so the same answer gets
+    the same RNG stream whether it is explained alone, in a batch, in a
+    reordered batch, or in a subset — and across processes (``repr`` of
+    the plain-value answer tuples is independent of hash randomization).
+    """
+    digest = hashlib.sha256(f"{seed!r}|{answer!r}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -33,6 +47,14 @@ class EngineOptions:
     (the paper's single ``t`` parameter).  ``mode`` selects Algorithm 1's
     all-facts strategy (``derivative`` / ``conditioning``); ``cache`` is
     the shared :class:`~repro.engine.cache.ArtifactCache`, if any.
+
+    ``artifacts`` optionally carries a prebuilt
+    :class:`~repro.engine.cache.CircuitArtifacts` handle for the *same*
+    circuit the engine is invoked on.  Callers that already
+    canonicalized the circuit (e.g. the batched session, which groups
+    answers by signature) thread the handle through so the
+    canonicalization pass runs exactly once per answer; engines that
+    compile read it in preference to re-opening ``cache``.
     """
 
     budget: CompilationBudget | None = None
@@ -41,6 +63,7 @@ class EngineOptions:
     seed: int | None = None
     mode: str = "derivative"
     cache: "ArtifactCache | None" = field(default=None, repr=False)
+    artifacts: "CircuitArtifacts | None" = field(default=None, repr=False)
 
     def compilation_budget(self) -> CompilationBudget | None:
         """The budget for knowledge compilation, deriving one from

@@ -15,6 +15,11 @@ answer tuples — and across methods sharing one cache — therefore
 compile once.  The renamed d-DNNF represents exactly the same Boolean
 function over the requested labels, so Algorithm 1 returns Shapley
 values identical to the uncached path.
+
+With a :class:`~repro.engine.store.PersistentArtifactStore` attached,
+the cache becomes the first tier of a two-tier hierarchy: in-memory
+misses consult the disk store before compiling, and fresh compilations
+are written back, extending compile-once across processes and runs.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from ..circuits.cnf import Cnf
 from ..circuits.dnnf import eliminate_auxiliary
 from ..circuits.tseytin import tseytin_transform
 from ..compiler.knowledge import BudgetExceeded, CompilationBudget, compile_cnf
+from .store import PersistentArtifactStore
 
 
 @dataclass
@@ -97,10 +103,15 @@ class CircuitArtifacts:
     """Handle binding one circuit to its cache slot.
 
     Obtained from :meth:`ArtifactCache.open`; computes the canonical
-    signature once and serves both artifacts from it.
+    signature once and serves both artifacts from it.  The handle can
+    be threaded to an engine through
+    :attr:`~repro.engine.base.EngineOptions.artifacts` so the (single)
+    canonicalization pass it already paid is never repeated downstream.
     """
 
-    __slots__ = ("_cache", "_entry", "signature", "labels", "_flat")
+    __slots__ = (
+        "_cache", "_entry", "signature", "labels", "_flat", "source_size"
+    )
 
     def __init__(
         self,
@@ -109,12 +120,16 @@ class CircuitArtifacts:
         signature: tuple,
         labels: tuple,
         flat: Circuit,
+        source_size: int,
     ) -> None:
         self._cache = cache
         self._entry = entry
         self.signature = signature
         self.labels = labels
         self._flat = flat
+        #: gate count of the constant-propagated (pre-flatten) circuit,
+        #: mirroring what the uncached pipeline reports as circuit_size
+        self.source_size = source_size
 
     def _to_canonical(self) -> dict[Hashable, int]:
         return {label: index for index, label in enumerate(self.labels)}
@@ -128,18 +143,29 @@ class CircuitArtifacts:
             canonical = self._entry.cnf
         if canonical is not None:
             return canonical, True
+        store = self._cache.store
+        if store is not None:
+            canonical = store.load_cnf(self.signature)
+            if canonical is not None:
+                return self._publish_cnf(canonical), False
         # Tseytin numbers CNF variables by gate order, which is
         # label-independent, so transforming the actual-labelled circuit
         # and canonicalizing its label map is equivalent to (and cheaper
         # than) transforming a canonically renamed copy.
         real = tseytin_transform(self._flat)
-        canonical = _relabel_cnf(real, self._to_canonical())
+        canonical = self._publish_cnf(
+            _relabel_cnf(real, self._to_canonical())
+        )
+        if store is not None:
+            store.store_cnf(self.signature, canonical)
+        return canonical, False
+
+    def _publish_cnf(self, canonical: Cnf) -> Cnf:
+        """Install a freshly built/loaded CNF, losing races gracefully."""
         with self._cache._lock:
             if self._entry.cnf is None:
                 self._entry.cnf = canonical
-            else:
-                canonical = self._entry.cnf
-        return canonical, False
+            return self._entry.cnf
 
     def cnf(self) -> Cnf:
         """The Tseytin CNF of the circuit, labelled with its facts."""
@@ -167,29 +193,46 @@ class CircuitArtifacts:
         with cache._lock:
             canonical = self._entry.ddnnf
         if canonical is None:
-            cnf, _ = self._canonical_cnf()
-            with cache._lock:
-                cache.stats.compile_calls += 1
-            try:
-                compiled = compile_cnf(cnf, budget=budget)
-            except BudgetExceeded:
-                with cache._lock:
-                    cache.stats.compile_failures += 1
-                    cache.stats.ddnnf_misses += 1
-                raise
-            canonical = eliminate_auxiliary(
-                compiled.circuit, set(cnf.labels.values())
-            )
-            with cache._lock:
-                if self._entry.ddnnf is None:
-                    self._entry.ddnnf = canonical
-                else:
-                    canonical = self._entry.ddnnf
-                cache.stats.ddnnf_misses += 1
+            canonical = self._miss_ddnnf(budget)
         else:
             with cache._lock:
                 cache.stats.ddnnf_hits += 1
         return canonical.rename(self._to_actual())
+
+    def _miss_ddnnf(self, budget: CompilationBudget | None) -> Circuit:
+        """Memory-tier miss: consult the persistent store, then compile."""
+        cache = self._cache
+        store = cache.store
+        if store is not None:
+            loaded = store.load_ddnnf(self.signature)
+            if loaded is not None:
+                with cache._lock:
+                    if self._entry.ddnnf is None:
+                        self._entry.ddnnf = loaded
+                    cache.stats.ddnnf_misses += 1
+                    return self._entry.ddnnf
+        cnf, _ = self._canonical_cnf()
+        with cache._lock:
+            cache.stats.compile_calls += 1
+        try:
+            compiled = compile_cnf(cnf, budget=budget)
+        except BudgetExceeded:
+            with cache._lock:
+                cache.stats.compile_failures += 1
+                cache.stats.ddnnf_misses += 1
+            raise
+        canonical = eliminate_auxiliary(
+            compiled.circuit, set(cnf.labels.values())
+        )
+        with cache._lock:
+            if self._entry.ddnnf is None:
+                self._entry.ddnnf = canonical
+            else:
+                canonical = self._entry.ddnnf
+            cache.stats.ddnnf_misses += 1
+        if store is not None:
+            store.store_ddnnf(self.signature, canonical)
+        return canonical
 
 
 class ArtifactCache:
@@ -205,10 +248,23 @@ class ArtifactCache:
     ``max_entries`` bounds the number of cached shapes with LRU
     eviction; ``None`` means unbounded, ``0`` disables storage while
     keeping the accounting (useful to measure the uncached baseline).
+
+    ``store`` optionally attaches a
+    :class:`~repro.engine.store.PersistentArtifactStore` as a second,
+    disk-backed tier: in-memory misses consult the store before
+    compiling, and freshly compiled artifacts are written back, so the
+    compile-once property extends across processes and across runs.
+    The store keeps its own hit/miss/corruption stats, merged into
+    :meth:`stats_dict`.
     """
 
-    def __init__(self, max_entries: int | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        store: PersistentArtifactStore | None = None,
+    ) -> None:
         self.max_entries = max_entries
+        self.store = store
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
         self._lock = threading.RLock()
@@ -217,17 +273,20 @@ class ArtifactCache:
         with self._lock:
             return len(self._entries)
 
-    def signature_of(self, circuit: Circuit) -> tuple[tuple, tuple]:
-        """Canonical ``(signature, labels)`` of a lineage circuit, as
-        used for cache keys (constant-propagated and flattened first,
-        mirroring the Tseytin preprocessing)."""
-        flat = circuit.condition({}).flatten()
-        return flat.structural_signature()
-
     def open(self, circuit: Circuit) -> CircuitArtifacts:
         """Bind ``circuit`` to its cache slot and return the handle."""
-        flat = circuit.condition({}).flatten()
+        conditioned = circuit.condition({})
+        flat = conditioned.flatten()
         signature, labels = flat.structural_signature()
+        source_size = len(conditioned)
+        if self.max_entries == 0:
+            # Storage disabled: hand out an unstored slot instead of
+            # inserting and immediately evicting it, so ``evictions``
+            # only counts real capacity evictions.  A persistent store,
+            # if attached, still serves the handle's misses.
+            return CircuitArtifacts(
+                self, _Entry(), signature, labels, flat, source_size
+            )
         with self._lock:
             entry = self._entries.get(signature)
             if entry is None:
@@ -239,7 +298,7 @@ class ArtifactCache:
                         self.stats.evictions += 1
             else:
                 self._entries.move_to_end(signature)
-        return CircuitArtifacts(self, entry, signature, labels, flat)
+        return CircuitArtifacts(self, entry, signature, labels, flat, source_size)
 
     def cnf_for(self, circuit: Circuit) -> Cnf:
         """Tseytin CNF of ``circuit``, served from the cache."""
@@ -252,8 +311,20 @@ class ArtifactCache:
         cache (compiling under ``budget`` on a miss)."""
         return self.open(circuit).ddnnf(budget=budget)
 
+    def stats_dict(self) -> dict[str, int]:
+        """Hit/miss stats of both tiers as one flat dict.
+
+        The in-memory tier's counters come first; when a persistent
+        store is attached its ``store_*`` counters are appended.
+        """
+        merged = self.stats.as_dict()
+        if self.store is not None:
+            merged.update(self.store.stats.as_dict())
+        return merged
+
     def clear(self) -> None:
-        """Drop every cached artifact (statistics are kept)."""
+        """Drop every cached in-memory artifact (statistics and the
+        persistent store, if any, are kept)."""
         with self._lock:
             self._entries.clear()
 

@@ -2,33 +2,85 @@
 
 :meth:`ExplainSession.explain_many` is the multi-answer counterpart of
 :func:`repro.core.attribution.attribute`: it computes the query's
-lineage once, groups the answer tuples by canonical circuit shape
-(:meth:`~repro.engine.cache.ArtifactCache.signature_of`), and fans the
-work out over a :class:`concurrent.futures.ThreadPoolExecutor`.  Each
-distinct shape is explained first (a warm-up wave, so every shape
-compiles exactly once), then the remaining answers run as pure cache
-hits.  Per-tuple budget/timeout outcomes are preserved: each answer
-gets its own :class:`~repro.engine.base.EngineResult` with its own
-status, exactly as the per-answer path reports them.
+lineage once, opens each answer's circuit against the shared
+:class:`~repro.engine.cache.ArtifactCache` (one canonicalization pass
+per answer, whose :class:`~repro.engine.cache.CircuitArtifacts` handle
+is threaded through to the engine), groups answers by canonical shape,
+and fans the work out over an executor.  Each distinct shape is
+explained first (a warm-up wave, so every shape compiles exactly once),
+then the remaining answers run as pure cache hits.  Per-tuple
+budget/timeout outcomes are preserved: each answer gets its own
+:class:`~repro.engine.base.EngineResult` with its own status, exactly
+as the per-answer path reports them.
+
+Two executors are supported:
+
+* ``"thread"`` (default) — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  sharing the session's in-memory cache;
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  The warm-up wave still runs in the parent (populating the session's
+  cache and, when attached, its persistent
+  :class:`~repro.engine.store.PersistentArtifactStore`); worker
+  processes then build their own cache over the *same* store directory,
+  so they reload compiled artifacts from disk instead of recompiling.
+  Without a store, workers fall back to compiling independently.
 
 Determinism: exact results are independent of scheduling (Fractions
-from structure); for the sampling engines each answer's RNG is seeded
-with ``options.seed + answer_index``, so batched runs are reproducible
-regardless of thread interleaving.
+from structure); for the sampling engines each answer's RNG seed is
+:func:`~repro.engine.base.derive_answer_seed` — a stable hash of
+``(options.seed, answer)`` — so batched runs are reproducible regardless
+of interleaving, invariant to answer order and subsetting, and agree
+with the single-answer path at the same seed.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 from ..core.pipeline import QueryLike, to_plan
 from ..db.database import Database
 from ..db.evaluate import lineage
-from .base import EngineOptions, EngineResult
+from .base import EngineOptions, EngineResult, derive_answer_seed
 from .cache import ArtifactCache
 from .registry import get_engine
+from .store import PersistentArtifactStore
+
+#: Executor kinds accepted by :class:`ExplainSession`.
+EXECUTORS = ("thread", "process")
+
+#: Per-process artifact cache of pool workers, keyed by store directory
+#: (None = no persistent store).  Lives for the worker's lifetime so
+#: repeated tasks in one worker also get in-memory hits.
+_WORKER_CACHES: dict[str | None, ArtifactCache] = {}
+
+
+def _worker_cache(store_dir: str | None) -> ArtifactCache:
+    cache = _WORKER_CACHES.get(store_dir)
+    if cache is None:
+        store = PersistentArtifactStore(store_dir) if store_dir else None
+        cache = ArtifactCache(store=store)
+        _WORKER_CACHES[store_dir] = cache
+    return cache
+
+
+def _process_explain(
+    engine_name: str,
+    circuit,
+    players: list,
+    options: EngineOptions,
+    store_dir: str | None,
+) -> EngineResult:
+    """Top-level worker body of the ``"process"`` executor.
+
+    Runs in a pool worker: rebuilds a per-process cache over the shared
+    store directory (cache handles are not picklable, so the parent
+    ships only the directory path) and dispatches through the registry.
+    """
+    cache = _worker_cache(store_dir)
+    options = options.with_(cache=cache)
+    return get_engine(engine_name).explain_circuit(circuit, players, options)
 
 
 @dataclass
@@ -38,6 +90,7 @@ class _Job:
     circuit: object
     players: list
     options: EngineOptions
+    signature: object = None
 
 
 class ExplainSession:
@@ -54,10 +107,15 @@ class ExplainSession:
         Engine options; the session's cache is injected into them.
     cache:
         Shared :class:`ArtifactCache`.  ``None`` creates a fresh one;
-        pass ``ArtifactCache(max_entries=0)`` to measure uncached runs.
+        pass ``ArtifactCache(max_entries=0)`` to measure uncached runs,
+        or ``ArtifactCache(store=PersistentArtifactStore(dir))`` to
+        share compiled artifacts across processes and runs.
     max_workers:
-        Thread-pool width for :meth:`explain_many` (``None`` = executor
+        Pool width for :meth:`explain_many` (``None`` = executor
         default).
+    executor:
+        ``"thread"`` (default) or ``"process"`` — the default pool kind
+        of :meth:`explain_many`.
     """
 
     def __init__(
@@ -67,13 +125,19 @@ class ExplainSession:
         options: EngineOptions | None = None,
         cache: ArtifactCache | None = None,
         max_workers: int | None = None,
+        executor: str = "thread",
     ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
         self.database = database
         self.engine = get_engine(method)
         self.cache = cache if cache is not None else ArtifactCache()
         base = options if options is not None else EngineOptions()
         self.options = base.with_(cache=self.cache)
         self.max_workers = max_workers
+        self.executor = executor
         self._answers_explained = 0
         self._unique_shapes = 0
 
@@ -89,12 +153,19 @@ class ExplainSession:
         self,
         query: QueryLike,
         answers: Sequence[tuple] | None = None,
+        executor: str | None = None,
     ) -> dict[tuple, EngineResult]:
         """Explain every answer of ``query`` (or the given subset).
 
         Returns one :class:`EngineResult` per answer, keyed by answer
-        tuple and ordered like the query's answer list.
+        tuple and ordered like the query's answer list.  ``executor``
+        overrides the session default for this call.
         """
+        executor = executor if executor is not None else self.executor
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
         result = lineage(
             to_plan(query, self.database), self.database, endogenous_only=True
         )
@@ -107,14 +178,30 @@ class ExplainSession:
                 if answer not in known:
                     raise ValueError(f"{answer!r} is not an answer of the query")
 
+        uses_cache = self.engine.uses_cache
         jobs: list[_Job] = []
         for index, answer in enumerate(answers):
             circuit = result.lineage_of(answer)
-            players = sorted(circuit.reachable_vars())
             options = self.options
             if options.seed is not None:
-                options = options.with_(seed=options.seed + index)
-            jobs.append(_Job(index, answer, circuit, players, options))
+                options = options.with_(
+                    seed=derive_answer_seed(options.seed, answer)
+                )
+            if uses_cache:
+                # One canonicalization pass per answer: the handle both
+                # keys the dedup groups below and rides into the engine
+                # through options.artifacts, so explain_circuit never
+                # recomputes the signature.
+                handle = self.cache.open(circuit)
+                options = options.with_(artifacts=handle)
+                players = sorted(handle.labels)
+                signature = handle.signature
+            else:
+                players = sorted(circuit.reachable_vars())
+                signature = None
+            jobs.append(
+                _Job(index, answer, circuit, players, options, signature)
+            )
 
         # Dedupe up front: one representative per canonical shape runs
         # in the first wave and populates the cache; everything else is
@@ -122,11 +209,10 @@ class ExplainSession:
         # cold shape would each compile it.  Engines that never touch
         # the cache (the sampling baselines) skip the signature pass
         # and run everything in one wave.
-        if self.engine.uses_cache:
-            groups: dict[tuple, list[_Job]] = {}
+        if uses_cache:
+            groups: dict[object, list[_Job]] = {}
             for job in jobs:
-                signature, _ = self.cache.signature_of(job.circuit)
-                groups.setdefault(signature, []).append(job)
+                groups.setdefault(job.signature, []).append(job)
             first_wave = [group[0] for group in groups.values()]
             second_wave = [job for group in groups.values() for job in group[1:]]
             n_shapes = len(groups)
@@ -134,6 +220,20 @@ class ExplainSession:
             first_wave, second_wave = jobs, []
             n_shapes = len(jobs)
 
+        if executor == "process":
+            outcomes = self._run_process(first_wave, second_wave)
+        else:
+            outcomes = self._run_thread(first_wave, second_wave)
+
+        self._answers_explained += len(jobs)
+        self._unique_shapes += n_shapes
+        return {job.answer: outcomes[job.index] for job in jobs}
+
+    # ------------------------------------------------------------------
+
+    def _run_thread(
+        self, first_wave: list[_Job], second_wave: list[_Job]
+    ) -> dict[int, EngineResult]:
         outcomes: dict[int, EngineResult] = {}
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             for wave in (first_wave, second_wave):
@@ -146,24 +246,71 @@ class ExplainSession:
                 }
                 for future, job in futures.items():
                     outcomes[job.index] = future.result()
+        return outcomes
 
-        self._answers_explained += len(jobs)
-        self._unique_shapes += n_shapes
-        return {job.answer: outcomes[job.index] for job in jobs}
+    def _run_process(
+        self, first_wave: list[_Job], second_wave: list[_Job]
+    ) -> dict[int, EngineResult]:
+        """Warm up shapes in-process, then fan the rest out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+        For cache-using engines the warm-up wave runs in the parent so
+        every distinct shape compiles exactly once and — when the
+        session cache has a persistent store — lands on disk before any
+        worker asks for it (workloads where every answer has a distinct
+        shape therefore compile in the parent; the pool only pays off
+        through shape reuse).  Engines that never compile have no
+        warm-up to do, so their single wave goes straight to the pool.
+        Workers receive only picklable state (circuit, players, options
+        stripped of the cache/handle, the store directory) and reload
+        artifacts through their own store-backed cache.
+        """
+        outcomes: dict[int, EngineResult] = {}
+        store = self.cache.store
+        store_dir = str(store.directory) if store is not None else None
+        if self.engine.uses_cache:
+            for job in first_wave:
+                outcomes[job.index] = self.engine.explain_circuit(
+                    job.circuit, job.players, job.options
+                )
+            pooled = second_wave
+        else:
+            pooled = first_wave + second_wave
+        if not pooled:
+            return outcomes
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _process_explain,
+                    self.engine.name,
+                    job.circuit,
+                    job.players,
+                    job.options.with_(cache=None, artifacts=None),
+                    store_dir,
+                ): job
+                for job in pooled
+            }
+            for future, job in futures.items():
+                outcomes[job.index] = future.result()
+        return outcomes
 
     # ------------------------------------------------------------------
 
     @property
     def stats(self) -> dict[str, int]:
-        """Session counters merged with the cache's hit/miss stats.
+        """Session counters merged with both cache tiers' stats.
 
         ``compile_calls`` vs ``answers_explained`` is the headline
         number: with repeated lineage shapes it is strictly smaller.
+        With a persistent store attached, ``store_*`` counters report
+        the disk tier (note: worker processes of the ``"process"``
+        executor keep their own local counters; only their artifact
+        *files* are shared).
         """
         return {
             "answers_explained": self._answers_explained,
             "unique_shapes": self._unique_shapes,
-            **self.cache.stats.as_dict(),
+            **self.cache.stats_dict(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

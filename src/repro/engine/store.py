@@ -1,0 +1,261 @@
+"""Disk-backed artifact store: compiled artifacts shared across processes.
+
+Knowledge compilation dominates the exact pipeline, and the in-memory
+:class:`~repro.engine.cache.ArtifactCache` already makes isomorphic
+lineages compile once — but only within one process.
+:class:`PersistentArtifactStore` is the second tier underneath it: the
+*canonical* artifacts (Tseytin CNFs and auxiliary-eliminated d-DNNFs,
+labels replaced by canonical indices 0..k-1) are serialized to a
+directory keyed by the circuit's structural signature, so every later
+process — another benchmark run, a CLI invocation, a worker of a
+:class:`~concurrent.futures.ProcessPoolExecutor` — reloads them instead
+of recompiling.  Because the stored circuit is reconstructed gate for
+gate, the Shapley values computed from a reloaded d-DNNF are *exactly*
+(as :class:`~fractions.Fraction` objects) the values of the cold run.
+
+File format (version 1)
+-----------------------
+One file per artifact, named ``<sha256(signature)>.<cnf|dnnf>``::
+
+    repro-artifact <format-version> <kind> <sha256(payload)>\\n
+    <payload JSON>
+
+Writes go through a temp file in the same directory followed by
+:func:`os.replace`, so concurrent readers never observe a torn
+artifact.  Readers verify the header and the payload checksum; any
+mismatch (truncation, partial disk write, bad JSON) counts as a
+*corruption*, the file is discarded, and the caller falls back to
+recompilation.  A format-version bump simply turns old files into
+misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..circuits.circuit import Circuit, CircuitError
+from ..circuits.cnf import Cnf, CnfError
+
+#: Bump when the header or payload layout changes; older files are then
+#: treated as misses and rewritten on the next compile.
+FORMAT_VERSION = 1
+
+_MAGIC = "repro-artifact"
+_KINDS = ("cnf", "dnnf")
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/corruption accounting of one store instance.
+
+    ``corruptions`` counts artifacts that existed on disk but failed
+    validation (truncated file, checksum mismatch, malformed payload);
+    each one is removed and recompiled, never silently trusted.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corruptions: int = 0
+    writes: int = 0
+    write_failures: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "store_hits": self.hits,
+            "store_misses": self.misses,
+            "store_corruptions": self.corruptions,
+            "store_writes": self.writes,
+            "store_write_failures": self.write_failures,
+        }
+
+
+class _CorruptArtifact(Exception):
+    """Internal: the on-disk artifact failed validation."""
+
+
+def signature_digest(signature: tuple) -> str:
+    """Stable hex digest of a canonical structural signature.
+
+    Signature entries may mix plain ints and :class:`~enum.IntEnum`
+    gate kinds depending on how the circuit was built; both compare
+    equal but repr differently, so every entry is normalized to ``int``
+    before hashing.  The digest is therefore identical across processes
+    and Python versions for equal signatures.
+    """
+    normalized = repr(
+        tuple(tuple(int(part) for part in gate) for gate in signature)
+    )
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()
+
+
+class PersistentArtifactStore:
+    """A directory of canonical compiled artifacts, safe to share across
+    processes.
+
+    Hand one (or several instances pointing at the same directory) to
+    :class:`~repro.engine.cache.ArtifactCache` via its ``store``
+    parameter; the cache consults it on every in-memory miss and writes
+    back whatever it compiles.  All methods are thread-safe, and the
+    atomic-rename write protocol makes concurrent *processes* safe too:
+    the worst case is two processes compiling the same shape and one
+    overwriting the other's identical artifact.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def path_for(self, signature: tuple, kind: str) -> Path:
+        """The on-disk path of one artifact (``kind``: cnf / dnnf)."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        return self.directory / f"{signature_digest(signature)}.{kind}"
+
+    def __len__(self) -> int:
+        """Number of artifact files currently in the directory."""
+        return sum(
+            1 for p in self.directory.iterdir()
+            if p.suffix in (".cnf", ".dnnf")
+        )
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def load_cnf(self, signature: tuple) -> Cnf | None:
+        """The stored canonical CNF of ``signature``, or ``None``."""
+        payload = self._load(signature, "cnf")
+        if payload is None:
+            return None
+        try:
+            cnf = Cnf.from_payload(payload)
+        except CnfError:
+            return self._corrupt(self.path_for(signature, "cnf"))
+        self._hit()
+        return cnf
+
+    def load_ddnnf(self, signature: tuple) -> Circuit | None:
+        """The stored canonical d-DNNF of ``signature``, or ``None``."""
+        payload = self._load(signature, "dnnf")
+        if payload is None:
+            return None
+        try:
+            circuit = Circuit.from_payload(payload)
+        except CircuitError:
+            return self._corrupt(self.path_for(signature, "dnnf"))
+        self._hit()
+        return circuit
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+
+    def store_cnf(self, signature: tuple, cnf: Cnf) -> None:
+        """Persist the canonical CNF of ``signature`` (atomic)."""
+        self._store(signature, "cnf", cnf.to_payload())
+
+    def store_ddnnf(self, signature: tuple, circuit: Circuit) -> None:
+        """Persist the canonical d-DNNF of ``signature`` (atomic)."""
+        self._store(signature, "dnnf", circuit.to_payload())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _hit(self) -> None:
+        with self._lock:
+            self.stats.hits += 1
+
+    def _corrupt(self, path: Path) -> None:
+        """Count a corruption, drop the bad file, report a miss."""
+        with self._lock:
+            self.stats.corruptions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+    def _load(self, signature: tuple, kind: str) -> dict | None:
+        path = self.path_for(signature, kind)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except OSError:
+            return self._corrupt(path)
+        newline = blob.find(b"\n")
+        if newline < 0:
+            return self._corrupt(path)
+        header = blob[:newline].decode("utf-8", errors="replace").split()
+        payload = blob[newline + 1 :]
+        if len(header) != 4 or header[0] != _MAGIC or header[2] != kind:
+            return self._corrupt(path)
+        if header[1] != str(FORMAT_VERSION):
+            # An older/newer format is a clean miss, not a corruption:
+            # the artifact was valid for the version that wrote it.
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        if hashlib.sha256(payload).hexdigest() != header[3]:
+            return self._corrupt(path)
+        try:
+            return json.loads(payload)
+        except ValueError:
+            return self._corrupt(path)
+
+    def _store(self, signature: tuple, kind: str, payload_dict: dict) -> None:
+        path = self.path_for(signature, kind)
+        payload = json.dumps(payload_dict, separators=(",", ":")).encode("utf-8")
+        header = (
+            f"{_MAGIC} {FORMAT_VERSION} {kind} "
+            f"{hashlib.sha256(payload).hexdigest()}\n"
+        ).encode("ascii")
+        # Atomic publish: write a sibling temp file, fsync-free rename.
+        # Concurrent writers race benignly (identical content); readers
+        # only ever see a complete old or new file.
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{kind}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(header)
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # The store is an accelerator, never a correctness
+            # dependency: a full disk or vanished directory must not
+            # fail the computation that produced the artifact.
+            with self._lock:
+                self.stats.write_failures += 1
+            return
+        with self._lock:
+            self.stats.writes += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"PersistentArtifactStore({str(self.directory)!r}, "
+            f"hits={s.hits}, misses={s.misses}, corrupt={s.corruptions})"
+        )

@@ -112,6 +112,39 @@ class TestCli:
         out = capsys.readouterr().out
         assert "100.0%" in out
 
+    def test_bench_cache_dir_second_run_compiles_nothing(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert main(["bench", "--workload", "flights",
+                     "--cache-dir", store]) == 0
+        cold = capsys.readouterr().out
+        assert "store:" in cold and "0 compilations" not in cold
+        assert main(["bench", "--workload", "flights",
+                     "--cache-dir", store]) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 0 compilations" in warm
+        assert "0 corrupt" in warm
+
+    def test_bench_jobs_mode_process(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert main(["bench", "--workload", "flights", "--jobs-mode",
+                     "process", "--jobs", "2", "--cache-dir", store]) == 0
+        assert "100.0%" in capsys.readouterr().out
+
+    def test_bench_no_cache_conflicts_with_cache_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["bench", "--workload", "flights", "--no-cache",
+                  "--cache-dir", str(tmp_path / "s")])
+
+    def test_explain_cache_dir(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        for _ in range(2):
+            assert main(["explain", "--workload", "flights",
+                         "--method", "exact", "--top", "2",
+                         "--cache-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "+0.409524" in out  # same values as the uncached path
+        assert any((tmp_path / "artifacts").iterdir())
+
     def test_sql_option(self, capsys):
         code = main(["explain", "--workload", "flights",
                      "--sql", "SELECT src FROM Flights WHERE dest = 'ORY'",
