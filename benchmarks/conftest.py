@@ -62,8 +62,12 @@ def artifact_store(tmp_path_factory) -> PersistentArtifactStore:
     """One disk-backed artifact store shared by every driver of the
     session: the suite fixtures below populate it and fig6/fig7/fig8/
     table2 reuse the same canonical artifacts instead of recompiling
-    or re-Tseytin-ing per driver."""
-    return PersistentArtifactStore(tmp_path_factory.mktemp("artifact-store"))
+    or re-Tseytin-ing per driver.  The byte budget is generous (the
+    suites fit well under it) but keeps a long-lived results machine
+    from growing the directory without bound."""
+    return PersistentArtifactStore(
+        tmp_path_factory.mktemp("artifact-store"), max_bytes=512 << 20
+    )
 
 
 @pytest.fixture(scope="session")

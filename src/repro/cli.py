@@ -13,7 +13,16 @@ Commands
 ``bench``
     A quick smoke benchmark: the exact engine over one suite query,
     batched through :class:`~repro.engine.session.ExplainSession` with
-    artifact caching.
+    artifact caching (``--json`` for machine-readable results).
+``serve`` / ``worker``
+    The socket shard service: ``serve`` runs a coordinator, ``worker``
+    a long-lived worker that answers its task requests (workers given
+    the same ``--cache-dir`` share one persistent artifact store).  See
+    README.md ("Running a shard service").
+``cache``
+    Operate on a persistent artifact store directory without running a
+    benchmark: ``stats``, ``ls``, and ``gc --max-bytes`` (LRU
+    eviction down to the byte budget).
 
 Method dispatch goes through the engine registry
 (:func:`repro.engine.get_engine`): ``--method`` accepts any registered
@@ -23,8 +32,10 @@ engine name and new backends show up here automatically.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from .compiler import CompilationBudget
 from .core import to_plan
@@ -32,11 +43,14 @@ from .core.attribution import attribute
 from .db import lineage
 from .engine import (
     ArtifactCache,
+    Coordinator,
     EngineOptions,
     ExplainSession,
     PersistentArtifactStore,
     available_engines,
+    run_worker,
 )
+from .engine.service.protocol import parse_address
 from .db.database import Database
 from .db.io import load_database, save_database
 from .workloads import (
@@ -94,16 +108,68 @@ def cmd_queries(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected at parse time (a clean
+    two-line usage error instead of a deep stack trace)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _byte_size(text: str) -> int:
+    """argparse type: a positive byte count, with optional k/m/g suffix
+    (binary units: ``64m`` = 64 MiB)."""
+    raw = text.strip().lower()
+    scale = 1
+    for suffix, factor in (("k", 1 << 10), ("m", 1 << 20), ("g", 1 << 30)):
+        if raw.endswith(suffix):
+            raw, scale = raw[: -len(suffix)], factor
+            break
+    try:
+        value = int(raw) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a byte size (examples: 1048576, 512k, 64m, 2g)"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
+    return value
+
+
+def _address(text: str) -> tuple[str, int]:
+    """argparse type: ``host:port``."""
+    try:
+        return parse_address(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _build_store(args: argparse.Namespace) -> PersistentArtifactStore | None:
+    if not getattr(args, "cache_dir", None):
+        return None
+    return PersistentArtifactStore(
+        args.cache_dir, max_bytes=getattr(args, "max_store_bytes", None)
+    )
+
+
 def _build_cache(args: argparse.Namespace) -> ArtifactCache | None:
     """The artifact cache implied by ``--cache-dir`` (None = engine
     default): a two-tier cache whose disk store persists canonical
-    compiled artifacts across invocations and processes."""
-    if not getattr(args, "cache_dir", None):
+    compiled artifacts across invocations and processes, bounded by
+    ``--max-store-bytes`` when given."""
+    store = _build_store(args)
+    if store is None:
         return None
-    return ArtifactCache(store=PersistentArtifactStore(args.cache_dir))
+    return ArtifactCache(store=store)
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
+    if args.max_store_bytes is not None and not args.cache_dir:
+        raise SystemExit("--max-store-bytes needs --cache-dir")
     db = _build_db(args)
     query = _resolve_query(args, db)
     answer = tuple(args.answer) if args.answer else None
@@ -136,20 +202,26 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if args.jobs is not None and args.jobs < 1:
-        raise SystemExit("--jobs must be a positive integer")
-    db = _build_db(args)
-    query = _resolve_query(args, db)
     if args.no_cache and args.cache_dir:
         raise SystemExit("--no-cache and --cache-dir are mutually exclusive")
-    store = (
-        PersistentArtifactStore(args.cache_dir) if args.cache_dir else None
-    )
+    if args.max_store_bytes is not None and not args.cache_dir:
+        raise SystemExit("--max-store-bytes needs --cache-dir")
+    if args.jobs_mode == "socket" and args.coordinator is None:
+        raise SystemExit("--jobs-mode socket needs --coordinator host:port")
+    if args.jobs_mode != "socket" and (
+        args.coordinator is not None or args.min_workers is not None
+    ):
+        raise SystemExit(
+            "--coordinator/--min-workers only apply to --jobs-mode socket"
+        )
+    db = _build_db(args)
+    query = _resolve_query(args, db)
+    store = _build_store(args)
     if args.no_cache:
         cache = ArtifactCache(max_entries=0)
     else:
         cache = ArtifactCache(store=store)
-    session = ExplainSession(
+    with ExplainSession(
         db,
         method="exact",
         options=EngineOptions(
@@ -158,15 +230,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
         cache=cache,
         max_workers=args.jobs,
         executor=args.jobs_mode,
-    )
-    start = time.perf_counter()
-    results = session.explain_many(query)
-    elapsed = time.perf_counter() - start
+        coordinator=args.coordinator,
+        min_workers=args.min_workers,
+    ) as session:
+        start = time.perf_counter()
+        results = session.explain_many(query)
+        elapsed = time.perf_counter() - start
+        stats = session.stats
     total = len(results)
     ok = sum(r.ok for r in results.values())
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "transport": args.jobs_mode,
+            "jobs": args.jobs,
+            "outputs": total,
+            "ok": ok,
+            "seconds": round(elapsed, 6),
+            "stats": stats,
+            "store_artifacts": len(store) if store is not None else None,
+        }, sort_keys=True))
+        return 0
     print(f"{total} outputs, {ok} exact successes "
           f"({ok / total:.1%}) in {elapsed:.2f}s")
-    stats = session.stats
     print(f"cache: {stats['compile_calls']} compilations for "
           f"{stats['answers_explained']} answers "
           f"({stats['unique_shapes']} distinct lineage shapes, "
@@ -177,6 +263,100 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{stats['store_writes']} writes, "
               f"{stats['store_corruptions']} corrupt "
               f"({len(store)} artifacts in {args.cache_dir})")
+    if "remote_compile_calls" in stats:
+        print(f"workers: {stats['remote_workers']} reporting, "
+              f"{stats['remote_compile_calls']} compilations, "
+              f"{stats['remote_store_hits']} store hits "
+              f"(cumulative since worker start)")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    coordinator = Coordinator(args.host, args.port)
+    host, port = coordinator.address
+    print(f"coordinator listening on {host}:{port} "
+          f"(connect workers with: repro worker --connect {host}:{port})",
+          flush=True)
+    try:
+        coordinator.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.shutdown()
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    if args.max_store_bytes is not None and not args.cache_dir:
+        raise SystemExit("--max-store-bytes needs --cache-dir")
+    host, port = args.connect
+    where = f" over store {args.cache_dir}" if args.cache_dir else ""
+    print(f"worker connecting to {host}:{port}{where}", flush=True)
+    try:
+        executed = run_worker(
+            (host, port),
+            cache_dir=args.cache_dir,
+            max_store_bytes=args.max_store_bytes,
+        )
+    except OSError as error:
+        print(f"error: cannot reach coordinator at {host}:{port}: {error}",
+              file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
+    print(f"worker done ({executed} tasks)", flush=True)
+    return 0
+
+
+def _open_store(directory: str) -> PersistentArtifactStore:
+    if not Path(directory).expanduser().is_dir():
+        raise SystemExit(f"error: {directory!r} is not a directory")
+    return PersistentArtifactStore(directory)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    store = _open_store(args.dir)
+    if args.cache_command == "stats":
+        entries = store.entries()
+        by_kind = {"cnf": 0, "dnnf": 0}
+        for entry in entries:
+            by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        payload = {
+            "directory": str(store.directory),
+            "artifacts": len(entries),
+            "cnf": by_kind["cnf"],
+            "dnnf": by_kind["dnnf"],
+            "total_bytes": sum(e.size for e in entries),
+        }
+        if args.json:
+            print(json.dumps(payload, sort_keys=True))
+        else:
+            print(f"{payload['artifacts']} artifacts "
+                  f"({payload['cnf']} cnf, {payload['dnnf']} dnnf), "
+                  f"{payload['total_bytes']} bytes in {payload['directory']}")
+        return 0
+    if args.cache_command == "ls":
+        entries = sorted(
+            store.entries(), key=lambda e: e.mtime_ns, reverse=True
+        )
+        if args.limit is not None:
+            entries = entries[: args.limit]
+        for entry in entries:  # most recently used first
+            when = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(entry.mtime_ns / 1e9)
+            )
+            print(f"{entry.digest[:16]}  {entry.kind:5s} "
+                  f"{entry.size:>10d}  {when}")
+        return 0
+    # gc
+    report = store.gc(max_bytes=args.max_bytes)
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+    else:
+        print(f"evicted {report.evicted} artifacts "
+              f"({report.reclaimed_bytes} bytes reclaimed); "
+              f"{report.remaining_files} artifacts / "
+              f"{report.remaining_bytes} bytes remain")
     return 0
 
 
@@ -227,6 +407,9 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--cache-dir",
                    help="persistent artifact store directory (compiled "
                         "artifacts are reused across invocations)")
+    e.add_argument("--max-store-bytes", type=_byte_size, default=None,
+                   help="byte budget of --cache-dir (suffixes k/m/g); "
+                        "writes past it evict LRU artifacts")
     e.set_defaults(func=cmd_explain)
 
     b = sub.add_parser("bench", help="quick exact-pipeline smoke benchmark")
@@ -234,18 +417,80 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--sql")
     b.add_argument("--query")
     b.add_argument("--timeout", type=float, default=2.5)
-    b.add_argument("--jobs", type=int, default=None,
-                   help="pool width for the batched run")
-    b.add_argument("--jobs-mode", choices=("thread", "process"),
+    b.add_argument("--jobs", type=_positive_int, default=None,
+                   help="pool width for the batched run (>= 1)")
+    b.add_argument("--jobs-mode", choices=("thread", "process", "socket"),
                    default="thread",
                    help="fan answers out over threads (shared in-memory "
-                        "cache) or processes (workers share --cache-dir)")
+                        "cache), processes (workers share --cache-dir), or "
+                        "a socket coordinator's workers (--coordinator)")
+    b.add_argument("--coordinator", type=_address, default=None,
+                   metavar="HOST:PORT",
+                   help="coordinator address for --jobs-mode socket "
+                        "(started with 'repro serve')")
+    b.add_argument("--min-workers", type=_positive_int, default=None,
+                   help="socket mode: wait until this many workers joined")
     b.add_argument("--no-cache", action="store_true",
                    help="disable the artifact cache (baseline timing)")
     b.add_argument("--cache-dir",
                    help="persistent artifact store directory; a second "
                         "bench run with the same directory compiles nothing")
+    b.add_argument("--max-store-bytes", type=_byte_size, default=None,
+                   help="byte budget of --cache-dir (suffixes k/m/g); "
+                        "writes past it evict LRU artifacts")
+    b.add_argument("--json", action="store_true",
+                   help="emit one machine-readable JSON object instead of "
+                        "the human summary")
     b.set_defaults(func=cmd_bench)
+
+    s = sub.add_parser(
+        "serve",
+        help="run a shard-service coordinator (pair with 'repro worker')",
+    )
+    s.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind (trusted networks only: the "
+                        "wire protocol is pickle)")
+    s.add_argument("--port", type=int, default=7341,
+                   help="port to bind (0 picks a free port)")
+    s.set_defaults(func=cmd_serve)
+
+    w = sub.add_parser(
+        "worker",
+        help="run a long-lived explanation worker against a coordinator",
+    )
+    w.add_argument("--connect", type=_address, required=True,
+                   metavar="HOST:PORT",
+                   help="coordinator address (from 'repro serve')")
+    w.add_argument("--cache-dir",
+                   help="persistent artifact store directory; give every "
+                        "worker the same one to compile each shape once "
+                        "fleet-wide")
+    w.add_argument("--max-store-bytes", type=_byte_size, default=None,
+                   help="byte budget of --cache-dir (suffixes k/m/g); "
+                        "this worker's writes evict LRU artifacts past it")
+    w.set_defaults(func=cmd_worker)
+
+    c = sub.add_parser(
+        "cache", help="inspect or trim a persistent artifact store"
+    )
+    csub = c.add_subparsers(dest="cache_command", required=True)
+    cs = csub.add_parser("stats", help="artifact counts and total bytes")
+    cs.add_argument("dir", help="store directory")
+    cs.add_argument("--json", action="store_true")
+    cs.set_defaults(func=cmd_cache)
+    cl = csub.add_parser("ls", help="list artifacts, most recently used first")
+    cl.add_argument("dir", help="store directory")
+    cl.add_argument("--limit", type=_positive_int, default=None,
+                    help="show at most this many entries")
+    cl.set_defaults(func=cmd_cache)
+    cg = csub.add_parser(
+        "gc", help="evict least-recently-used artifacts down to a budget"
+    )
+    cg.add_argument("dir", help="store directory")
+    cg.add_argument("--max-bytes", type=_byte_size, required=True,
+                    help="byte budget to trim to (suffixes k/m/g)")
+    cg.add_argument("--json", action="store_true")
+    cg.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -10,12 +10,18 @@
 * :mod:`~repro.engine.store` — the disk-backed
   :class:`PersistentArtifactStore`, the cache's second tier sharing
   canonical artifacts across processes and runs;
-* :mod:`~repro.engine.session` — :class:`ExplainSession` with the
-  batched, deduplicating :meth:`~ExplainSession.explain_many` and its
-  thread/process executors.
+* :mod:`~repro.engine.scheduler` — pure placement logic: shape dedup,
+  warm-up planning (:func:`plan_batch`) and shard assignment with
+  shape affinity (:func:`assign_shards`);
+* :mod:`~repro.engine.service` — the transport layer executing batch
+  plans: in-process threads, a persistent process pool, and the socket
+  coordinator/worker pair behind ``repro serve`` / ``repro worker``;
+* :mod:`~repro.engine.session` — :class:`ExplainSession`, a thin
+  context-managed facade binding a database, an engine, a cache, and a
+  transport for batched :meth:`~ExplainSession.explain_many` calls.
 
-See README.md ("Engine architecture") for the 30-second tour and the
-steps to register a new backend.
+See README.md ("Engine architecture" and "Running a shard service")
+for the 30-second tour and the steps to register a new backend.
 """
 
 from .base import (
@@ -26,8 +32,18 @@ from .base import (
     derive_answer_seed,
 )
 from .cache import ArtifactCache, CacheStats, CircuitArtifacts
-from .store import PersistentArtifactStore, StoreStats
+from .store import GcReport, PersistentArtifactStore, StoreEntry, StoreStats
 from .registry import available_engines, get_engine, register_engine
+from .scheduler import BatchPlan, Job, assign_shards, plan_batch
+from .service import (
+    Coordinator,
+    InProcessTransport,
+    ProcessPoolTransport,
+    SocketTransport,
+    Transport,
+    TransportError,
+    run_worker,
+)
 from .adapters import (
     CnfProxyEngine,
     ExactEngine,
@@ -41,8 +57,11 @@ __all__ = [
     "DEFAULT_OPTIONS", "Engine", "EngineOptions", "EngineResult",
     "derive_answer_seed",
     "ArtifactCache", "CacheStats", "CircuitArtifacts",
-    "PersistentArtifactStore", "StoreStats",
+    "PersistentArtifactStore", "StoreStats", "StoreEntry", "GcReport",
     "available_engines", "get_engine", "register_engine",
+    "BatchPlan", "Job", "assign_shards", "plan_batch",
+    "Transport", "TransportError", "InProcessTransport",
+    "ProcessPoolTransport", "SocketTransport", "Coordinator", "run_worker",
     "CnfProxyEngine", "ExactEngine", "HybridEngine",
     "KernelShapEngine", "MonteCarloEngine",
     "ExplainSession",

@@ -1,0 +1,156 @@
+"""Pure scheduling and placement logic for batched explanation.
+
+Extracted from :class:`~repro.engine.session.ExplainSession` so that the
+decisions — which answers share a lineage shape, which job warms each
+shape, and which shard (worker) each job lands on — are plain data
+transformations, unit-testable without a database, an executor, or a
+socket.  The session builds :class:`Job` objects (binding an answer to
+its circuit, player list, and per-answer options), hands them to
+:func:`plan_batch`, and passes the resulting :class:`BatchPlan` to a
+transport (:mod:`repro.engine.service`); the socket coordinator reuses
+:func:`assign_shards` to place jobs on workers with shape affinity.
+
+Scheduling invariants
+---------------------
+* **Warm-up planning** — for cache-using engines, exactly one job per
+  canonical shape (the batch's first occurrence) goes into the warm
+  wave; every other job of that shape is a guaranteed cache/store hit
+  once its representative has run.
+* **Shape affinity** — :func:`assign_shards` keeps all jobs of one
+  shape on one shard, so a worker that compiled a shape serves its
+  siblings from its own in-memory cache even without a shared store.
+* **Determinism** — both functions are pure: same jobs in, same plan
+  out, regardless of thread timing or worker arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence, TypeVar
+
+from .base import EngineOptions
+
+T = TypeVar("T")
+
+
+@dataclass
+class Job:
+    """One answer's unit of work: a prepared circuit plus options.
+
+    ``options`` already carries everything answer-specific (the derived
+    sampling seed, the canonicalization handle); ``signature`` is the
+    canonical structural signature for cache-using engines, ``None``
+    for engines that never compile.
+    """
+
+    index: int
+    answer: tuple
+    circuit: object
+    players: list
+    options: EngineOptions
+    signature: object = None
+
+    def portable(self) -> "Job":
+        """A copy safe to ship to another process or host.
+
+        The in-memory cache and canonicalization handle are process-
+        local (and unpicklable), so they are stripped — remote workers
+        attach their own cache — and the signature is replaced by its
+        stable hex digest, which is all placement needs.
+        """
+        from .store import signature_digest  # local import: avoid cycle
+
+        signature = (
+            self.signature
+            if self.signature is None or isinstance(self.signature, str)
+            else signature_digest(self.signature)
+        )
+        return replace(
+            self,
+            options=self.options.with_(cache=None, artifacts=None),
+            signature=signature,
+        )
+
+    def affinity(self) -> str:
+        """The placement key: jobs with equal keys share a shard."""
+        if self.signature is None:
+            return f"job:{self.index}"
+        if isinstance(self.signature, str):
+            return self.signature
+        from .store import signature_digest  # local import: avoid cycle
+
+        return signature_digest(self.signature)
+
+
+@dataclass
+class BatchPlan:
+    """The execution plan of one ``explain_many`` batch.
+
+    ``jobs`` is every job in answer order; ``warm_wave`` holds one
+    representative per distinct shape (empty when ``deduplicated`` is
+    false — sampling engines have nothing to warm), ``main_wave`` the
+    rest.  Transports honour the one barrier that matters: a shape's
+    main-wave jobs must not start before its warm representative has
+    finished (or before the whole warm wave, which is a coarser but
+    equally correct cut).
+    """
+
+    engine: str
+    jobs: list[Job]
+    warm_wave: list[Job]
+    main_wave: list[Job]
+    n_shapes: int
+    deduplicated: bool
+
+
+def plan_batch(
+    engine: str, jobs: Sequence[Job], deduplicate: bool
+) -> BatchPlan:
+    """Group ``jobs`` by canonical shape and plan the warm-up wave.
+
+    With ``deduplicate`` false (engines that never touch the cache)
+    every job is its own shape and the whole batch is one wave.  Jobs
+    whose ``signature`` is ``None`` never share a group even when
+    deduplicating — an unknown shape must not alias another.
+    """
+    jobs = list(jobs)
+    if not deduplicate:
+        return BatchPlan(engine, jobs, [], list(jobs), len(jobs), False)
+    groups: dict[object, list[Job]] = {}
+    for job in jobs:
+        key = job.signature if job.signature is not None else ("\0job", job.index)
+        groups.setdefault(key, []).append(job)
+    warm_wave = [group[0] for group in groups.values()]
+    main_wave = [job for group in groups.values() for job in group[1:]]
+    return BatchPlan(engine, jobs, warm_wave, main_wave, len(groups), True)
+
+
+def assign_shards(
+    items: Sequence[T],
+    n_shards: int,
+    key: Callable[[T], str],
+) -> list[list[T]]:
+    """Partition ``items`` into at most ``n_shards`` affinity-preserving
+    shards of balanced size.
+
+    Items with equal ``key`` always land in the same shard, in their
+    input order (so a group's warm representative stays first).  Groups
+    are placed largest-first onto the least-loaded shard — the classic
+    greedy bound: no shard exceeds the ideal share by more than the
+    largest group.  Deterministic: ties break by group key, then shard
+    position.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    groups: dict[str, list[T]] = {}
+    for item in items:
+        groups.setdefault(key(item), []).append(item)
+    shards: list[list[T]] = [[] for _ in range(n_shards)]
+    loads = [0] * n_shards
+    for group_key, group in sorted(
+        groups.items(), key=lambda kv: (-len(kv[1]), kv[0])
+    ):
+        target = min(range(n_shards), key=lambda i: (loads[i], i))
+        shards[target].extend(group)
+        loads[target] += len(group)
+    return shards

@@ -1,0 +1,38 @@
+"""The service layer: pluggable transports executing a batch plan.
+
+A :class:`~repro.engine.service.base.Transport` takes the
+:class:`~repro.engine.scheduler.BatchPlan` produced by the scheduler
+and returns one :class:`~repro.engine.base.EngineResult` per job.
+Three interchangeable backends ship here:
+
+* :class:`InProcessTransport` — a long-lived thread pool sharing the
+  session's in-memory cache (the default; what ``executor="thread"``
+  always meant);
+* :class:`ProcessPoolTransport` — a *persistent*
+  :class:`~concurrent.futures.ProcessPoolExecutor` reused across
+  ``explain_many`` calls; the warm wave compiles in the parent so
+  workers reload artifacts from the shared persistent store;
+* :class:`SocketTransport` — a client of the socket
+  :class:`Coordinator` (``repro serve``), which routes shape-affine
+  shards to long-lived ``repro worker`` processes sharing one
+  :class:`~repro.engine.store.PersistentArtifactStore` directory.
+
+All three produce identical results for the same batch: exact engines
+return equal :class:`~fractions.Fraction` objects, sampling engines
+equal values for equal seeds (per-answer seeds are derived before the
+plan ever reaches a transport).
+"""
+
+from .base import Transport, TransportError
+from .coordinator import Coordinator
+from .local import InProcessTransport, ProcessPoolTransport
+from .protocol import format_address, parse_address
+from .remote import SocketTransport
+from .worker import run_worker
+
+__all__ = [
+    "Transport", "TransportError",
+    "InProcessTransport", "ProcessPoolTransport", "SocketTransport",
+    "Coordinator", "run_worker",
+    "parse_address", "format_address",
+]

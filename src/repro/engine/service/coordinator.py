@@ -1,0 +1,374 @@
+"""The socket coordinator: routes batch shards to long-lived workers.
+
+One :class:`Coordinator` listens on a TCP port.  Two kinds of peers
+connect (see :mod:`~repro.engine.service.protocol` for the wire format
+and its trusted-network caveat):
+
+* **workers** (``repro worker``) introduce themselves and then answer
+  ``task`` requests for the rest of their life.  Workers keep their own
+  :class:`~repro.engine.cache.ArtifactCache` — ideally over one shared
+  :class:`~repro.engine.store.PersistentArtifactStore` directory, so a
+  shape any worker compiled is a disk hit for every other worker and
+  for every later batch;
+* **clients** (:class:`~repro.engine.service.remote.SocketTransport`,
+  i.e. an ``ExplainSession`` with ``executor="socket"``) submit batches
+  and read back one result per job.
+
+Placement uses :func:`~repro.engine.scheduler.assign_shards`: all jobs
+of one canonical shape go to one worker, representative first, so the
+shape compiles (or store-loads) once on that worker and its siblings
+are in-memory hits — no cross-worker barrier needed.  A worker that
+dies mid-shard has its unfinished jobs redistributed to the survivors;
+the batch only fails when no workers remain.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import threading
+
+from ..base import EngineResult
+from ..scheduler import assign_shards
+from .protocol import recv_msg, send_msg
+
+
+def _idle_link_dead(sock: socket.socket) -> bool:
+    """Whether an *idle* worker socket has hung up.
+
+    Idle workers never send unsolicited data, so the socket being
+    readable means EOF (or a protocol violation — treated the same).
+    A zero-timeout select keeps this a cheap, non-blocking probe.
+    """
+    try:
+        readable, _, _ = select.select([sock], [], [], 0)
+        if not readable:
+            return False
+        return sock.recv(1, socket.MSG_PEEK) == b""
+    except OSError:
+        return True
+
+
+class _WorkerLink:
+    """One registered worker connection, used synchronously."""
+
+    def __init__(self, sock: socket.socket, peer: str) -> None:
+        self.sock = sock
+        self.peer = peer
+        self.lock = threading.Lock()
+        self.alive = True
+
+    def request(self, message: dict) -> dict:
+        """Send one request and read its reply (serialized per link)."""
+        with self.lock:
+            send_msg(self.sock, message)
+            reply = recv_msg(self.sock)
+        if reply is None:
+            raise ConnectionError(f"worker {self.peer} closed the connection")
+        return reply
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _BatchFailed(RuntimeError):
+    """No live workers remained for part of a batch."""
+
+
+class Coordinator:
+    """A coordinator service bound to ``host:port`` (``port=0`` picks a
+    free port; read the actual one from :attr:`address`).
+
+    Use :meth:`start` for a background thread (tests, embedding) or
+    :meth:`serve_forever` to block (the ``repro serve`` CLI).  Batches
+    from concurrent clients are serialized — workers are a shared
+    resource and interleaving two batches would break both batches'
+    shape-affinity assumptions.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.create_server((host, port), reuse_port=False)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._workers: list[_WorkerLink] = []
+        self._cond = threading.Condition()
+        self._batch_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Coordinator":
+        """Accept connections on a background daemon thread."""
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="repro-coordinator", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` (for the CLI process)."""
+        self.start()
+        self._stop.wait()
+
+    def shutdown(self) -> None:
+        """Stop accepting, dismiss every worker, release the port."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._cond:
+            workers, self._workers = self._workers, []
+            self._cond.notify_all()
+        for link in workers:
+            try:
+                with link.lock:
+                    send_msg(link.sock, {"op": "shutdown"})
+            except OSError:
+                pass
+            link.close()
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        """Count of *live* workers (links that hung up while idle are
+        swept out before counting)."""
+        with self._cond:
+            self._sweep_dead_locked()
+            return len(self._workers)
+
+    def wait_for_workers(self, n: int, timeout: float | None = None) -> int:
+        """Block until at least ``n`` *live* workers are registered (or
+        the timeout passes); returns the current count either way.
+
+        Every check sweeps links whose peers disconnected while idle,
+        so a dead worker never satisfies the barrier."""
+        with self._cond:
+            def enough() -> bool:
+                self._sweep_dead_locked()
+                return len(self._workers) >= n
+
+            self._cond.wait_for(enough, timeout)
+            return len(self._workers)
+
+    def _sweep_dead_locked(self) -> None:
+        """Drop links whose idle sockets report EOF (caller holds the
+        condition lock).  Links busy in a batch are skipped — their
+        dispatcher owns failure detection there."""
+        for link in list(self._workers):
+            if link.lock.locked():
+                continue  # mid-request: the dispatcher will notice
+            if _idle_link_dead(link.sock):
+                link.close()
+                self._workers.remove(link)
+
+    def _register_worker(self, link: _WorkerLink) -> None:
+        with self._cond:
+            self._workers.append(link)
+            self._cond.notify_all()
+
+    def _discard_worker(self, link: _WorkerLink) -> None:
+        link.close()
+        with self._cond:
+            if link in self._workers:
+                self._workers.remove(link)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                break  # listener closed by shutdown()
+            threading.Thread(
+                target=self._handle_connection,
+                args=(conn, f"{peer[0]}:{peer[1]}"),
+                name=f"repro-peer-{peer[1]}",
+                daemon=True,
+            ).start()
+
+    def _handle_connection(self, conn: socket.socket, peer: str) -> None:
+        try:
+            hello = recv_msg(conn)
+        except Exception:
+            conn.close()
+            return
+        if not isinstance(hello, dict) or hello.get("op") != "hello":
+            conn.close()
+            return
+        if hello.get("role") == "worker":
+            # Registration is all this thread does: the link is driven
+            # synchronously by batch dispatchers from here on.
+            self._register_worker(_WorkerLink(conn, peer))
+            return
+        self._serve_client(conn)
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    message = recv_msg(conn)
+                except Exception:
+                    return
+                if message is None:
+                    return
+                op = message.get("op")
+                if op == "ping":
+                    send_msg(conn, {"op": "pong", "workers": self.n_workers})
+                elif op == "shutdown":
+                    send_msg(conn, {"op": "ok"})
+                    self.shutdown()
+                    return
+                elif op == "batch":
+                    try:
+                        reply = self._run_batch(message)
+                    except _BatchFailed as error:
+                        reply = {"op": "error", "message": str(error)}
+                    except Exception as error:  # defensive: report, don't die
+                        reply = {
+                            "op": "error",
+                            "message": f"{type(error).__name__}: {error}",
+                        }
+                    send_msg(conn, reply)
+                else:
+                    send_msg(
+                        conn, {"op": "error", "message": f"unknown op {op!r}"}
+                    )
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def _run_batch(self, message: dict) -> dict:
+        engine = message["engine"]
+        tasks = message["tasks"]
+        min_workers = max(1, int(message.get("min_workers") or 1))
+        wait_timeout = message.get("wait_timeout", 60.0)
+        with self._batch_lock:
+            if self.wait_for_workers(min_workers, wait_timeout) < min_workers:
+                raise _BatchFailed(
+                    f"{min_workers} worker(s) required, "
+                    f"{self.n_workers} connected after {wait_timeout}s"
+                )
+            results: dict[int, EngineResult] = {}
+            pending = list(tasks)
+            # Redistribute until done or the fleet is gone: survivors
+            # absorb the shards of any worker that died mid-batch (they
+            # reload finished shapes from the shared store, or
+            # recompile without one).  Each failing round discards at
+            # least one dead worker, so this terminates.
+            while pending:
+                with self._cond:
+                    workers = [w for w in self._workers if w.alive]
+                if not workers:
+                    raise _BatchFailed(
+                        f"no live workers for {len(pending)} task(s)"
+                    )
+                pending = self._dispatch(engine, pending, workers, results)
+            worker_stats, n_reporting = self._collect_stats()
+        return {
+            "op": "results",
+            "results": results,
+            "worker_stats": worker_stats,
+            "workers": n_reporting,
+        }
+
+    def _dispatch(
+        self,
+        engine: str,
+        tasks: list[dict],
+        workers: list[_WorkerLink],
+        results: dict[int, EngineResult],
+    ) -> list[dict]:
+        """Run one placement round; returns the tasks that failed on a
+        dead worker (distinct result keys make the shared dict safe)."""
+        shards = assign_shards(
+            tasks, len(workers), key=lambda task: task["affinity"]
+        )
+        failed: list[dict] = []
+        threads = []
+        for worker, shard in zip(workers, shards):
+            if not shard:
+                continue
+            thread = threading.Thread(
+                target=self._run_shard,
+                args=(engine, worker, shard, results, failed),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+        return failed
+
+    def _run_shard(
+        self,
+        engine: str,
+        worker: _WorkerLink,
+        shard: list[dict],
+        results: dict[int, EngineResult],
+        failed: list[dict],
+    ) -> None:
+        for position, task in enumerate(shard):
+            try:
+                reply = worker.request({
+                    "op": "task",
+                    "id": task["id"],
+                    "engine": engine,
+                    "circuit": task["circuit"],
+                    "players": task["players"],
+                    "options": task["options"],
+                })
+                if reply.get("op") != "result" or reply.get("id") != task["id"]:
+                    raise ConnectionError(
+                        f"worker {worker.peer} answered out of protocol"
+                    )
+            except Exception:
+                self._discard_worker(worker)
+                failed.extend(shard[position:])
+                return
+            results[task["id"]] = reply["result"]
+
+    def _collect_stats(self) -> tuple[dict[str, int], int]:
+        """Sum every live worker's cache counters (best-effort)."""
+        totals: dict[str, int] = {}
+        reporting = 0
+        with self._cond:
+            workers = [w for w in self._workers if w.alive]
+        for worker in workers:
+            try:
+                reply = worker.request({"op": "stats"})
+                stats = reply.get("stats", {})
+            except Exception:
+                self._discard_worker(worker)
+                continue
+            reporting += 1
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals, reporting
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        host, port = self.address
+        return f"Coordinator({host}:{port}, workers={self.n_workers})"

@@ -1,0 +1,169 @@
+"""Local transports: a shared thread pool and a persistent process pool.
+
+Both keep their executor alive across batches (created lazily on the
+first batch, released by :meth:`close`), which removes the per-call
+pool start-up and — for processes — keeps each worker's per-process
+artifact cache warm between ``explain_many`` calls.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..base import EngineOptions, EngineResult
+from ..cache import ArtifactCache
+from ..registry import get_engine
+from ..scheduler import BatchPlan, Job
+from ..store import PersistentArtifactStore
+from .base import Transport
+
+#: Per-process artifact cache of pool workers, keyed by store directory
+#: (None = no persistent store).  Lives for the worker's lifetime so
+#: repeated tasks in one worker also get in-memory hits.
+_WORKER_CACHES: dict[str | None, ArtifactCache] = {}
+
+
+def _worker_cache(store_dir: str | None) -> ArtifactCache:
+    cache = _WORKER_CACHES.get(store_dir)
+    if cache is None:
+        store = PersistentArtifactStore(store_dir) if store_dir else None
+        cache = ArtifactCache(store=store)
+        _WORKER_CACHES[store_dir] = cache
+    return cache
+
+
+def _process_explain(
+    engine_name: str,
+    circuit,
+    players: list,
+    options: EngineOptions,
+    store_dir: str | None,
+) -> EngineResult:
+    """Top-level body of one :class:`ProcessPoolTransport` task.
+
+    Runs in a pool worker: rebuilds a per-process cache over the shared
+    store directory (cache handles are not picklable, so the parent
+    ships only the directory path) and dispatches through the registry.
+    """
+    cache = _worker_cache(store_dir)
+    options = options.with_(cache=cache)
+    return get_engine(engine_name).explain_circuit(circuit, players, options)
+
+
+def _collect(futures: dict[Future, Job], outcomes: dict[int, EngineResult]):
+    """Drain ``futures`` into ``outcomes``; on any failure cancel what
+    has not started so an aborted batch never leaks queued work."""
+    try:
+        for future, job in futures.items():
+            outcomes[job.index] = future.result()
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+
+
+class InProcessTransport(Transport):
+    """Thread-pool execution against the session's in-memory cache."""
+
+    kind = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-explain",
+            )
+        return self._pool
+
+    def run_batch(self, plan: BatchPlan) -> dict[int, EngineResult]:
+        engine = get_engine(plan.engine)
+        pool = self._ensure_pool()
+        outcomes: dict[int, EngineResult] = {}
+        # Warm wave first, then the rest: the barrier guarantees every
+        # shape's representative populated the cache before its
+        # siblings run as hits.
+        for wave in (plan.warm_wave, plan.main_wave):
+            futures = {
+                pool.submit(
+                    engine.explain_circuit, job.circuit, job.players, job.options
+                ): job
+                for job in wave
+            }
+            _collect(futures, outcomes)
+        return outcomes
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ProcessPoolTransport(Transport):
+    """Persistent :class:`ProcessPoolExecutor` workers over a shared
+    persistent store.
+
+    The warm wave runs in the parent (with the session cache, so every
+    distinct shape compiles exactly once and — when a store is attached
+    — lands on disk before any worker asks for it); the main wave fans
+    out to long-lived pool workers that rebuild a cache over the same
+    store directory.  Without a store, workers compile independently —
+    the pool then only pays off through in-worker shape reuse.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self, max_workers: int | None = None, store_dir: str | None = None
+    ) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+        self.store_dir = store_dir
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def run_batch(self, plan: BatchPlan) -> dict[int, EngineResult]:
+        engine = get_engine(plan.engine)
+        outcomes: dict[int, EngineResult] = {}
+        for job in plan.warm_wave:
+            outcomes[job.index] = engine.explain_circuit(
+                job.circuit, job.players, job.options
+            )
+        if not plan.main_wave:
+            return outcomes
+        pool = self._ensure_pool()
+        futures = {}
+        for job in plan.main_wave:
+            portable = job.portable()
+            futures[
+                pool.submit(
+                    _process_explain,
+                    plan.engine,
+                    portable.circuit,
+                    portable.players,
+                    portable.options,
+                    self.store_dir,
+                )
+            ] = job
+        try:
+            _collect(futures, outcomes)
+        except BrokenProcessPool:
+            # A dead worker poisons the whole executor; drop it so the
+            # next batch gets a fresh pool instead of failing forever.
+            self._pool = None
+            raise
+        return outcomes
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,108 @@
+"""Wire protocol of the socket transport: length-prefixed pickles.
+
+Every message is one Python object (a dict with an ``"op"`` key),
+pickled and prefixed with its 8-byte big-endian length.  Pickle keeps
+circuits, options, and :class:`~fractions.Fraction`-valued results
+byte-faithful with zero translation code — at the usual price: **the
+coordinator port must only be reachable by trusted peers** (pickle
+deserialization executes code; this is an intra-cluster protocol, not
+an internet-facing one).  The README's shard-service section repeats
+this warning where operators will read it.
+
+Message vocabulary
+------------------
+Peers introduce themselves with ``{"op": "hello", "role": ...}``
+(``"worker"`` or ``"client"``).  Workers then answer ``task`` /
+``stats`` / ``shutdown`` requests; clients send ``batch`` / ``ping`` /
+``shutdown`` and read a single reply per request.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import time
+
+#: 8-byte big-endian frame length prefix.
+_HEADER = struct.Struct(">Q")
+
+#: Refuse absurd frames (a corrupted prefix would otherwise make the
+#: reader try to allocate petabytes).
+MAX_FRAME_BYTES = 1 << 32
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent a malformed or oversized frame."""
+
+
+def send_msg(sock: socket.socket, message: object) -> None:
+    """Serialize ``message`` and write one framed message."""
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_msg(sock: socket.socket) -> object | None:
+    """Read one framed message; ``None`` on clean EOF at a frame
+    boundary (the peer closed the connection)."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the limit")
+    data = _recv_exact(sock, length, eof_ok=False)
+    return pickle.loads(data)
+
+
+def _recv_exact(sock: socket.socket, n: int, eof_ok: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_address(text: str | tuple) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (tuples pass through)."""
+    if isinstance(text, tuple):
+        host, port = text
+        return str(host), int(port)
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {text!r} is not of the form host:port")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"address {text!r} has a non-numeric port") from None
+
+
+def format_address(address: tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+def connect(
+    address: str | tuple[str, int],
+    timeout: float = 10.0,
+    retry_for: float = 0.0,
+) -> socket.socket:
+    """TCP-connect to ``address``, optionally retrying for up to
+    ``retry_for`` seconds (workers and CI scripts start before the
+    coordinator finishes binding; a brief retry loop absorbs that)."""
+    address = parse_address(address)
+    deadline = time.monotonic() + retry_for
+    while True:
+        try:
+            sock = socket.create_connection(address, timeout=timeout)
+            sock.settimeout(None)  # task execution has its own budget
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)

@@ -1,0 +1,100 @@
+"""The client-side socket transport: ship a batch to a coordinator.
+
+:class:`SocketTransport` is what an
+:class:`~repro.engine.session.ExplainSession` constructed with
+``executor="socket"`` talks through.  The whole plan goes over the wire
+(jobs made portable: handles stripped, signatures digested) and the
+coordinator does the placement — the session never compiles locally,
+so a client on a laptop can drive a fleet of workers that share a
+store on the far side.
+"""
+
+from __future__ import annotations
+
+from ..base import EngineResult
+from ..scheduler import BatchPlan
+from .base import Transport, TransportError
+from .protocol import connect, parse_address, recv_msg, send_msg
+
+
+class SocketTransport(Transport):
+    """Submits batches to a :class:`~.coordinator.Coordinator`.
+
+    ``min_workers`` makes the coordinator hold the batch until that
+    many workers registered (bounded by ``wait_timeout``) — the knob CI
+    and cold-started fleets use instead of sleeping.  One connection is
+    opened per batch; the coordinator and its workers are the long-
+    lived parts of this transport.
+    """
+
+    kind = "socket"
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        min_workers: int | None = None,
+        wait_timeout: float = 60.0,
+        connect_retry_for: float = 10.0,
+    ) -> None:
+        super().__init__()
+        self.address = parse_address(address)
+        self.min_workers = min_workers
+        self.wait_timeout = wait_timeout
+        self.connect_retry_for = connect_retry_for
+        #: Worker count that served the last batch.
+        self.remote_workers = 0
+
+    def run_batch(self, plan: BatchPlan) -> dict[int, EngineResult]:
+        tasks = []
+        for job in plan.jobs:  # answer order: group representatives first
+            portable = job.portable()
+            tasks.append({
+                "id": portable.index,
+                "circuit": portable.circuit,
+                "players": portable.players,
+                "options": portable.options,
+                "affinity": portable.affinity(),
+            })
+        try:
+            sock = connect(self.address, retry_for=self.connect_retry_for)
+        except OSError as error:
+            raise TransportError(
+                f"cannot reach coordinator at "
+                f"{self.address[0]}:{self.address[1]}: {error}"
+            ) from error
+        try:
+            send_msg(sock, {"op": "hello", "role": "client"})
+            send_msg(sock, {
+                "op": "batch",
+                "engine": plan.engine,
+                "tasks": tasks,
+                "min_workers": self.min_workers,
+                "wait_timeout": self.wait_timeout,
+            })
+            reply = recv_msg(sock)
+        finally:
+            sock.close()
+        if reply is None:
+            raise TransportError("coordinator closed the connection mid-batch")
+        if reply.get("op") != "results":
+            raise TransportError(
+                reply.get("message", f"unexpected reply {reply!r}")
+            )
+        # Cumulative since each worker started (workers outlive batches
+        # by design); the session surfaces them under remote_* keys.
+        self.remote_stats = dict(reply.get("worker_stats", {}))
+        self.remote_workers = int(reply.get("workers", 0))
+        return dict(reply["results"])
+
+    def ping(self) -> int:
+        """Worker count currently registered at the coordinator."""
+        sock = connect(self.address, retry_for=self.connect_retry_for)
+        try:
+            send_msg(sock, {"op": "hello", "role": "client"})
+            send_msg(sock, {"op": "ping"})
+            reply = recv_msg(sock)
+        finally:
+            sock.close()
+        if not isinstance(reply, dict) or reply.get("op") != "pong":
+            raise TransportError(f"unexpected ping reply {reply!r}")
+        return int(reply["workers"])

@@ -1,0 +1,98 @@
+"""The worker loop behind ``repro worker``.
+
+A worker dials the coordinator, introduces itself, and then answers
+requests until told to stop (or until the coordinator goes away).  It
+owns one :class:`~repro.engine.cache.ArtifactCache` for its whole life
+— point ``cache_dir`` at the store directory shared by the fleet and
+every shape any worker compiled becomes a disk hit here; add
+``max_store_bytes`` and the worker's writes also keep that directory
+under budget (each write may trigger an LRU GC pass).
+
+Engine-level failures never kill the worker: an exception while
+explaining one circuit is returned as an ``EngineResult`` with
+``status="error"`` and the loop continues.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from ..base import EngineResult
+from ..cache import ArtifactCache
+from ..registry import get_engine
+from ..store import PersistentArtifactStore
+from .protocol import connect, recv_msg, send_msg
+
+
+def run_worker(
+    address: str | tuple[str, int],
+    cache_dir: str | None = None,
+    max_store_bytes: int | None = None,
+    connect_retry_for: float = 10.0,
+    on_ready: Callable[[], None] | None = None,
+) -> int:
+    """Serve tasks from the coordinator at ``address`` until shutdown.
+
+    Returns the number of tasks executed.  ``connect_retry_for`` keeps
+    retrying the initial dial for that many seconds, so workers can be
+    launched alongside (or slightly before) ``repro serve``.
+    ``on_ready`` fires once registered — tests use it as a barrier.
+    """
+    sock = connect(address, retry_for=connect_retry_for)
+    store = (
+        PersistentArtifactStore(cache_dir, max_bytes=max_store_bytes)
+        if cache_dir
+        else None
+    )
+    cache = ArtifactCache(store=store)
+    executed = 0
+    try:
+        send_msg(sock, {"op": "hello", "role": "worker", "pid": os.getpid()})
+        if on_ready is not None:
+            on_ready()
+        while True:
+            try:
+                message = recv_msg(sock)
+            except Exception:
+                break  # coordinator vanished; nothing left to serve
+            if message is None or message.get("op") == "shutdown":
+                break
+            op = message.get("op")
+            if op == "task":
+                send_msg(sock, {
+                    "op": "result",
+                    "id": message["id"],
+                    "result": _execute(cache, message),
+                })
+                executed += 1
+            elif op == "stats":
+                send_msg(sock, {"op": "stats", "stats": cache.stats_dict()})
+            else:
+                send_msg(
+                    sock, {"op": "error", "message": f"unknown op {op!r}"}
+                )
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return executed
+
+
+def _execute(cache: ArtifactCache, message: dict) -> EngineResult:
+    engine_name = message["engine"]
+    try:
+        engine = get_engine(engine_name)
+        options = message["options"].with_(cache=cache)
+        return engine.explain_circuit(
+            message["circuit"], message["players"], options
+        )
+    except Exception as error:
+        return EngineResult(
+            method=engine_name,
+            values=None,
+            exact=False,
+            status="error",
+            error=f"{type(error).__name__}: {error}",
+        )

@@ -1,42 +1,46 @@
-"""Batched explanation sessions: dedupe circuits, fan out answers.
+"""Batched explanation sessions: a thin facade over scheduler + service.
 
 :meth:`ExplainSession.explain_many` is the multi-answer counterpart of
 :func:`repro.core.attribution.attribute`: it computes the query's
 lineage once, opens each answer's circuit against the shared
 :class:`~repro.engine.cache.ArtifactCache` (one canonicalization pass
 per answer, whose :class:`~repro.engine.cache.CircuitArtifacts` handle
-is threaded through to the engine), groups answers by canonical shape,
-and fans the work out over an executor.  Each distinct shape is
-explained first (a warm-up wave, so every shape compiles exactly once),
-then the remaining answers run as pure cache hits.  Per-tuple
+is threaded through to the engine), and hands the resulting jobs to the
+scheduler/service layer: :func:`~repro.engine.scheduler.plan_batch`
+groups answers by canonical shape and plans the warm-up wave, and a
+:class:`~repro.engine.service.Transport` executes the plan.  Per-tuple
 budget/timeout outcomes are preserved: each answer gets its own
 :class:`~repro.engine.base.EngineResult` with its own status, exactly
 as the per-answer path reports them.
 
-Two executors are supported:
+Three executors are supported, all long-lived (created once per
+session, reused across ``explain_many`` calls, released by
+:meth:`close` or by leaving the session's ``with`` block):
 
-* ``"thread"`` (default) — a :class:`~concurrent.futures.ThreadPoolExecutor`
+* ``"thread"`` (default) —
+  :class:`~repro.engine.service.InProcessTransport`, a thread pool
   sharing the session's in-memory cache;
-* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
-  The warm-up wave still runs in the parent (populating the session's
-  cache and, when attached, its persistent
-  :class:`~repro.engine.store.PersistentArtifactStore`); worker
-  processes then build their own cache over the *same* store directory,
-  so they reload compiled artifacts from disk instead of recompiling.
-  Without a store, workers fall back to compiling independently.
+* ``"process"`` — :class:`~repro.engine.service.ProcessPoolTransport`,
+  a *persistent* :class:`~concurrent.futures.ProcessPoolExecutor`.
+  The warm-up wave runs in the parent (populating the session's cache
+  and, when attached, its persistent store); the long-lived workers
+  rebuild caches over the same store directory and keep them warm
+  between calls;
+* ``"socket"`` — :class:`~repro.engine.service.SocketTransport`, a
+  client of a ``repro serve`` coordinator routing shape-affine shards
+  to ``repro worker`` processes that share one store directory (pass
+  ``coordinator="host:port"``).
 
 Determinism: exact results are independent of scheduling (Fractions
 from structure); for the sampling engines each answer's RNG seed is
 :func:`~repro.engine.base.derive_answer_seed` — a stable hash of
 ``(options.seed, answer)`` — so batched runs are reproducible regardless
-of interleaving, invariant to answer order and subsetting, and agree
-with the single-answer path at the same seed.
+of interleaving or transport, invariant to answer order and subsetting,
+and agree with the single-answer path at the same seed.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 from ..core.pipeline import QueryLike, to_plan
@@ -45,56 +49,29 @@ from ..db.evaluate import lineage
 from .base import EngineOptions, EngineResult, derive_answer_seed
 from .cache import ArtifactCache
 from .registry import get_engine
-from .store import PersistentArtifactStore
+from .scheduler import Job, plan_batch
+from .service import (
+    InProcessTransport,
+    ProcessPoolTransport,
+    SocketTransport,
+    Transport,
+)
 
 #: Executor kinds accepted by :class:`ExplainSession`.
-EXECUTORS = ("thread", "process")
-
-#: Per-process artifact cache of pool workers, keyed by store directory
-#: (None = no persistent store).  Lives for the worker's lifetime so
-#: repeated tasks in one worker also get in-memory hits.
-_WORKER_CACHES: dict[str | None, ArtifactCache] = {}
-
-
-def _worker_cache(store_dir: str | None) -> ArtifactCache:
-    cache = _WORKER_CACHES.get(store_dir)
-    if cache is None:
-        store = PersistentArtifactStore(store_dir) if store_dir else None
-        cache = ArtifactCache(store=store)
-        _WORKER_CACHES[store_dir] = cache
-    return cache
-
-
-def _process_explain(
-    engine_name: str,
-    circuit,
-    players: list,
-    options: EngineOptions,
-    store_dir: str | None,
-) -> EngineResult:
-    """Top-level worker body of the ``"process"`` executor.
-
-    Runs in a pool worker: rebuilds a per-process cache over the shared
-    store directory (cache handles are not picklable, so the parent
-    ships only the directory path) and dispatches through the registry.
-    """
-    cache = _worker_cache(store_dir)
-    options = options.with_(cache=cache)
-    return get_engine(engine_name).explain_circuit(circuit, players, options)
-
-
-@dataclass
-class _Job:
-    index: int
-    answer: tuple
-    circuit: object
-    players: list
-    options: EngineOptions
-    signature: object = None
+EXECUTORS = ("thread", "process", "socket")
 
 
 class ExplainSession:
     """A database + method + cache bound together for batched work.
+
+    The session is a context manager; transports (pools, worker
+    connections) are created lazily, reused across calls, and shut down
+    deterministically::
+
+        with ExplainSession(db, executor="process") as session:
+            first = session.explain_many(query)       # pool starts here
+            second = session.explain_many(query)      # same warm pool
+        # pool is gone, even if a batch raised
 
     Parameters
     ----------
@@ -112,10 +89,16 @@ class ExplainSession:
         share compiled artifacts across processes and runs.
     max_workers:
         Pool width for :meth:`explain_many` (``None`` = executor
-        default).
+        default; local transports only).
     executor:
-        ``"thread"`` (default) or ``"process"`` — the default pool kind
-        of :meth:`explain_many`.
+        ``"thread"`` (default), ``"process"``, or ``"socket"`` — the
+        default transport of :meth:`explain_many`.
+    coordinator:
+        ``"host:port"`` (or a ``(host, port)`` tuple) of a running
+        coordinator; required for the ``"socket"`` executor.
+    min_workers:
+        Socket executor only: have the coordinator hold each batch
+        until at least this many workers registered.
     """
 
     def __init__(
@@ -126,6 +109,8 @@ class ExplainSession:
         cache: ArtifactCache | None = None,
         max_workers: int | None = None,
         executor: str = "thread",
+        coordinator: str | tuple[str, int] | None = None,
+        min_workers: int | None = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -138,9 +123,82 @@ class ExplainSession:
         self.options = base.with_(cache=self.cache)
         self.max_workers = max_workers
         self.executor = executor
+        self.coordinator = coordinator
+        self.min_workers = min_workers
+        self._transports: dict[str, Transport] = {}
+        self._closed = False
         self._answers_explained = 0
         self._unique_shapes = 0
+        self._socket_batches = False
+        self._remote_stats: dict[str, int] = {}
+        self._remote_workers = 0
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down every transport this session created (idempotent).
+
+        Thread and process pools are joined; the socket transport's
+        coordinator and workers live in their own processes and are
+        *not* stopped — they are shared infrastructure.
+        """
+        self._closed = True
+        transports, self._transports = self._transports, {}
+        errors = []
+        for transport in transports.values():
+            try:
+                transport.close()
+            except Exception as error:  # keep closing the rest
+                errors.append(error)
+        if errors:
+            raise errors[0]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ExplainSession":
+        if self._closed:
+            raise RuntimeError("session is closed")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if not self._closed and self._transports:
+                self.close()
+        except Exception:
+            pass
+
+    def _transport(self, kind: str) -> Transport:
+        transport = self._transports.get(kind)
+        if transport is not None:
+            return transport
+        if kind == "thread":
+            transport = InProcessTransport(self.max_workers)
+        elif kind == "process":
+            store = self.cache.store
+            transport = ProcessPoolTransport(
+                self.max_workers,
+                str(store.directory) if store is not None else None,
+            )
+        else:
+            if self.coordinator is None:
+                raise ValueError(
+                    "executor='socket' needs coordinator='host:port'"
+                )
+            transport = SocketTransport(
+                self.coordinator, min_workers=self.min_workers
+            )
+        self._transports[kind] = transport
+        return transport
+
+    # ------------------------------------------------------------------
+    # Explaining
     # ------------------------------------------------------------------
 
     def explain_one(
@@ -161,11 +219,34 @@ class ExplainSession:
         tuple and ordered like the query's answer list.  ``executor``
         overrides the session default for this call.
         """
+        if self._closed:
+            raise RuntimeError("session is closed")
         executor = executor if executor is not None else self.executor
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; choose from {EXECUTORS}"
             )
+        jobs = self._build_jobs(query, answers)
+        plan = plan_batch(self.engine.name, jobs, self.engine.uses_cache)
+        transport = self._transport(executor)
+        outcomes = transport.run_batch(plan)
+        if transport.kind == "socket":
+            # Cumulative per worker lifetime, latest snapshot wins (no
+            # summing across batches — that would double count).  An
+            # empty snapshot is still a snapshot: it replaces stale
+            # numbers from an earlier batch rather than keeping them.
+            self._socket_batches = True
+            self._remote_stats = dict(transport.remote_stats)
+            self._remote_workers = getattr(transport, "remote_workers", 0)
+        self._answers_explained += len(jobs)
+        self._unique_shapes += plan.n_shapes
+        return {job.answer: outcomes[job.index] for job in plan.jobs}
+
+    def _build_jobs(
+        self, query: QueryLike, answers: Sequence[tuple] | None
+    ) -> list[Job]:
+        """One :class:`Job` per requested answer: lineage circuit,
+        canonicalization handle, and per-answer options."""
         result = lineage(
             to_plan(query, self.database), self.database, endogenous_only=True
         )
@@ -179,7 +260,7 @@ class ExplainSession:
                     raise ValueError(f"{answer!r} is not an answer of the query")
 
         uses_cache = self.engine.uses_cache
-        jobs: list[_Job] = []
+        jobs: list[Job] = []
         for index, answer in enumerate(answers):
             circuit = result.lineage_of(answer)
             options = self.options
@@ -189,9 +270,9 @@ class ExplainSession:
                 )
             if uses_cache:
                 # One canonicalization pass per answer: the handle both
-                # keys the dedup groups below and rides into the engine
-                # through options.artifacts, so explain_circuit never
-                # recomputes the signature.
+                # keys the dedup groups in the plan and rides into the
+                # engine through options.artifacts, so explain_circuit
+                # never recomputes the signature.
                 handle = self.cache.open(circuit)
                 options = options.with_(artifacts=handle)
                 players = sorted(handle.labels)
@@ -200,99 +281,9 @@ class ExplainSession:
                 players = sorted(circuit.reachable_vars())
                 signature = None
             jobs.append(
-                _Job(index, answer, circuit, players, options, signature)
+                Job(index, answer, circuit, players, options, signature)
             )
-
-        # Dedupe up front: one representative per canonical shape runs
-        # in the first wave and populates the cache; everything else is
-        # a hit.  Without this, concurrent workers racing on the same
-        # cold shape would each compile it.  Engines that never touch
-        # the cache (the sampling baselines) skip the signature pass
-        # and run everything in one wave.
-        if uses_cache:
-            groups: dict[object, list[_Job]] = {}
-            for job in jobs:
-                groups.setdefault(job.signature, []).append(job)
-            first_wave = [group[0] for group in groups.values()]
-            second_wave = [job for group in groups.values() for job in group[1:]]
-            n_shapes = len(groups)
-        else:
-            first_wave, second_wave = jobs, []
-            n_shapes = len(jobs)
-
-        if executor == "process":
-            outcomes = self._run_process(first_wave, second_wave)
-        else:
-            outcomes = self._run_thread(first_wave, second_wave)
-
-        self._answers_explained += len(jobs)
-        self._unique_shapes += n_shapes
-        return {job.answer: outcomes[job.index] for job in jobs}
-
-    # ------------------------------------------------------------------
-
-    def _run_thread(
-        self, first_wave: list[_Job], second_wave: list[_Job]
-    ) -> dict[int, EngineResult]:
-        outcomes: dict[int, EngineResult] = {}
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            for wave in (first_wave, second_wave):
-                futures = {
-                    pool.submit(
-                        self.engine.explain_circuit,
-                        job.circuit, job.players, job.options,
-                    ): job
-                    for job in wave
-                }
-                for future, job in futures.items():
-                    outcomes[job.index] = future.result()
-        return outcomes
-
-    def _run_process(
-        self, first_wave: list[_Job], second_wave: list[_Job]
-    ) -> dict[int, EngineResult]:
-        """Warm up shapes in-process, then fan the rest out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor`.
-
-        For cache-using engines the warm-up wave runs in the parent so
-        every distinct shape compiles exactly once and — when the
-        session cache has a persistent store — lands on disk before any
-        worker asks for it (workloads where every answer has a distinct
-        shape therefore compile in the parent; the pool only pays off
-        through shape reuse).  Engines that never compile have no
-        warm-up to do, so their single wave goes straight to the pool.
-        Workers receive only picklable state (circuit, players, options
-        stripped of the cache/handle, the store directory) and reload
-        artifacts through their own store-backed cache.
-        """
-        outcomes: dict[int, EngineResult] = {}
-        store = self.cache.store
-        store_dir = str(store.directory) if store is not None else None
-        if self.engine.uses_cache:
-            for job in first_wave:
-                outcomes[job.index] = self.engine.explain_circuit(
-                    job.circuit, job.players, job.options
-                )
-            pooled = second_wave
-        else:
-            pooled = first_wave + second_wave
-        if not pooled:
-            return outcomes
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {
-                pool.submit(
-                    _process_explain,
-                    self.engine.name,
-                    job.circuit,
-                    job.players,
-                    job.options.with_(cache=None, artifacts=None),
-                    store_dir,
-                ): job
-                for job in pooled
-            }
-            for future, job in futures.items():
-                outcomes[job.index] = future.result()
-        return outcomes
+        return jobs
 
     # ------------------------------------------------------------------
 
@@ -303,15 +294,22 @@ class ExplainSession:
         ``compile_calls`` vs ``answers_explained`` is the headline
         number: with repeated lineage shapes it is strictly smaller.
         With a persistent store attached, ``store_*`` counters report
-        the disk tier (note: worker processes of the ``"process"``
-        executor keep their own local counters; only their artifact
-        *files* are shared).
+        the disk tier.  Pool workers of the ``"process"`` executor keep
+        their own local counters (only their artifact *files* are
+        shared); socket workers *do* report back — the coordinator's
+        per-batch aggregate appears under ``remote_*`` keys, cumulative
+        since each worker started.
         """
-        return {
+        merged = {
             "answers_explained": self._answers_explained,
             "unique_shapes": self._unique_shapes,
             **self.cache.stats_dict(),
         }
+        if self._socket_batches:
+            merged["remote_workers"] = self._remote_workers
+            for key, value in self._remote_stats.items():
+                merged[f"remote_{key}"] = value
+        return merged
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

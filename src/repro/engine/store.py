@@ -27,6 +27,20 @@ mismatch (truncation, partial disk write, bad JSON) counts as a
 *corruption*, the file is discarded, and the caller falls back to
 recompilation.  A format-version bump simply turns old files into
 misses.
+
+Bounded disk usage (GC)
+-----------------------
+A store constructed with ``max_bytes`` keeps the directory under that
+budget: every successful read refreshes the artifact's mtime (the LRU
+clock), and :meth:`gc` evicts least-recently-used artifacts until the
+total size fits.  Eviction is *generation-safe* — each candidate is
+re-checked immediately before deletion and skipped if a concurrent
+writer or reader refreshed it since the scan — and always safe against
+concurrent use: a reader that loses the race simply sees a miss and
+recompiles (the store is an accelerator, never a correctness
+dependency), while an in-flight write (temp file) is never a GC
+candidate and republishes atomically even if its target was just
+evicted.  ``StoreStats`` counts ``evictions`` and ``reclaimed_bytes``.
 """
 
 from __future__ import annotations
@@ -64,6 +78,8 @@ class StoreStats:
     corruptions: int = 0
     writes: int = 0
     write_failures: int = 0
+    evictions: int = 0
+    reclaimed_bytes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -72,11 +88,46 @@ class StoreStats:
             "store_corruptions": self.corruptions,
             "store_writes": self.writes,
             "store_write_failures": self.write_failures,
+            "store_evictions": self.evictions,
+            "store_reclaimed_bytes": self.reclaimed_bytes,
         }
 
 
 class _CorruptArtifact(Exception):
     """Internal: the on-disk artifact failed validation."""
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One artifact file as seen by a directory scan."""
+
+    path: Path
+    kind: str
+    size: int
+    mtime_ns: int
+
+    @property
+    def digest(self) -> str:
+        """The signature digest the artifact is filed under."""
+        return self.path.stem
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """Outcome of one :meth:`PersistentArtifactStore.gc` pass."""
+
+    evicted: int
+    reclaimed_bytes: int
+    remaining_files: int
+    remaining_bytes: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "evicted": self.evicted,
+            "reclaimed_bytes": self.reclaimed_bytes,
+            "remaining_files": self.remaining_files,
+            "remaining_bytes": self.remaining_bytes,
+        }
 
 
 def signature_digest(signature: tuple) -> str:
@@ -107,11 +158,22 @@ class PersistentArtifactStore:
     overwriting the other's identical artifact.
     """
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.directory = Path(directory).expanduser()
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self.stats = StoreStats()
         self._lock = threading.Lock()
+        #: Running estimate of the directory size, maintained on writes
+        #: so the budget check does not re-scan the directory each time;
+        #: ``None`` until the first budgeted write (or GC) measures it.
+        self._estimated_bytes: int | None = None
 
     # ------------------------------------------------------------------
     # Paths
@@ -125,10 +187,32 @@ class PersistentArtifactStore:
 
     def __len__(self) -> int:
         """Number of artifact files currently in the directory."""
-        return sum(
-            1 for p in self.directory.iterdir()
-            if p.suffix in (".cnf", ".dnnf")
-        )
+        return len(self.entries())
+
+    def entries(self) -> list[StoreEntry]:
+        """A snapshot of every artifact file (in-flight temp files and
+        foreign files are skipped; files vanishing mid-scan are
+        tolerated)."""
+        found: list[StoreEntry] = []
+        try:
+            candidates = list(self.directory.iterdir())
+        except OSError:
+            return found
+        for path in candidates:
+            if path.suffix not in (".cnf", ".dnnf"):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # evicted or replaced by a concurrent process
+            found.append(
+                StoreEntry(path, path.suffix[1:], stat.st_size, stat.st_mtime_ns)
+            )
+        return found
+
+    def total_bytes(self) -> int:
+        """Total size of every artifact file currently in the store."""
+        return sum(entry.size for entry in self.entries())
 
     # ------------------------------------------------------------------
     # Loads
@@ -143,7 +227,7 @@ class PersistentArtifactStore:
             cnf = Cnf.from_payload(payload)
         except CnfError:
             return self._corrupt(self.path_for(signature, "cnf"))
-        self._hit()
+        self._hit(self.path_for(signature, "cnf"))
         return cnf
 
     def load_ddnnf(self, signature: tuple) -> Circuit | None:
@@ -155,8 +239,69 @@ class PersistentArtifactStore:
             circuit = Circuit.from_payload(payload)
         except CircuitError:
             return self._corrupt(self.path_for(signature, "dnnf"))
-        self._hit()
+        self._hit(self.path_for(signature, "dnnf"))
         return circuit
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def gc(self, max_bytes: int | None = None) -> GcReport:
+        """Evict least-recently-used artifacts until the directory fits
+        under ``max_bytes`` (defaulting to the store's own budget).
+
+        Safe to run while other threads and *processes* read and write
+        the same directory: candidates are re-checked right before
+        deletion and skipped when their generation changed (a writer
+        republished, or a reader's hit refreshed the LRU clock), a
+        vanished file is simply someone else's eviction, and any reader
+        that loses the race falls back to recompiling.  The report and
+        the ``evictions`` / ``reclaimed_bytes`` counters describe this
+        pass only / this instance's lifetime respectively.
+        """
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        if budget is None:
+            raise ValueError("gc() needs max_bytes (none set on the store)")
+        if budget <= 0:
+            raise ValueError(f"max_bytes must be positive, got {budget}")
+        entries = self.entries()
+        total = sum(entry.size for entry in entries)
+        evicted = 0
+        reclaimed = 0
+        # Oldest mtime first = least recently used first (reads refresh
+        # mtime); path name breaks ties deterministically.
+        for entry in sorted(entries, key=lambda e: (e.mtime_ns, e.path.name)):
+            if total <= budget:
+                break
+            try:
+                stat = entry.path.stat()
+            except OSError:
+                total -= entry.size  # already gone: concurrent eviction
+                continue
+            if stat.st_mtime_ns != entry.mtime_ns:
+                # New generation since the scan — recently written or
+                # read.  It is now MRU, so keep it; a follow-up pass
+                # will see the refreshed clock.
+                continue
+            try:
+                entry.path.unlink()
+            except FileNotFoundError:
+                total -= entry.size
+                continue
+            except OSError:
+                continue  # permissions/IO hiccup: skip, never fail GC
+            total -= stat.st_size
+            evicted += 1
+            reclaimed += stat.st_size
+        with self._lock:
+            self.stats.evictions += evicted
+            self.stats.reclaimed_bytes += reclaimed
+            self._estimated_bytes = total
+        remaining = self.entries()
+        return GcReport(
+            evicted, reclaimed, len(remaining),
+            sum(entry.size for entry in remaining),
+        )
 
     # ------------------------------------------------------------------
     # Stores
@@ -174,9 +319,16 @@ class PersistentArtifactStore:
     # Internals
     # ------------------------------------------------------------------
 
-    def _hit(self) -> None:
+    def _hit(self, path: Path) -> None:
         with self._lock:
             self.stats.hits += 1
+        # Refresh the LRU clock: an artifact read now is the last one a
+        # budgeted GC should evict.  Best-effort — the file may already
+        # be gone (concurrent eviction) or read-only.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     def _corrupt(self, path: Path) -> None:
         """Count a corruption, drop the bad file, report a miss."""
@@ -252,6 +404,33 @@ class PersistentArtifactStore:
             return
         with self._lock:
             self.stats.writes += 1
+        self._after_write(len(header) + len(payload))
+
+    def _after_write(self, written: int) -> None:
+        """Budget check after a successful write, amortized through a
+        running size estimate so the common case is O(1).
+
+        Overwrites of an existing artifact inflate the estimate (both
+        generations are counted) — that only triggers GC *earlier*, and
+        each pass resets the estimate to the measured total.
+        """
+        if self.max_bytes is None:
+            return
+        with self._lock:
+            if self._estimated_bytes is not None:
+                self._estimated_bytes += written
+                over = self._estimated_bytes > self.max_bytes
+                measure = False
+            else:
+                over = False
+                measure = True
+        if measure:
+            total = self.total_bytes()
+            with self._lock:
+                self._estimated_bytes = total
+            over = total > self.max_bytes
+        if over:
+            self.gc()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.stats

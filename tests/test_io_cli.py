@@ -151,3 +151,136 @@ class TestCli:
                      "--answer", "LHR", "--method", "exact"])
         assert code == 0
         assert "exact" in capsys.readouterr().out
+
+    def test_bench_json_output(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "artifacts")
+        assert main(["bench", "--workload", "flights",
+                     "--cache-dir", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outputs"] == payload["ok"] == 1
+        assert payload["transport"] == "thread"
+        assert payload["stats"]["compile_calls"] > 0
+        assert payload["stats"]["store_writes"] > 0
+        assert payload["store_artifacts"] == 2
+
+
+class TestCliValidation:
+    """Bad numeric flags die at argparse level (exit 2, a usage line)
+    instead of surfacing a deep stack trace."""
+
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["bench", "--workload", "flights", "--jobs", "0"])
+        assert exit_info.value.code == 2
+        assert "--jobs: must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_must_be_an_integer(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["bench", "--workload", "flights", "--jobs", "two"])
+        assert exit_info.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_max_store_bytes_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["bench", "--workload", "flights",
+                  "--max-store-bytes", "0"])
+        assert exit_info.value.code == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_max_store_bytes_accepts_suffixes(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert main(["bench", "--workload", "flights", "--cache-dir", store,
+                     "--max-store-bytes", "64m"]) == 0
+        capsys.readouterr()
+
+    def test_socket_mode_requires_coordinator(self):
+        with pytest.raises(SystemExit, match="--coordinator"):
+            main(["bench", "--workload", "flights",
+                  "--jobs-mode", "socket"])
+
+    def test_max_store_bytes_requires_cache_dir(self):
+        with pytest.raises(SystemExit, match="needs --cache-dir"):
+            main(["bench", "--workload", "flights",
+                  "--max-store-bytes", "64m"])
+        with pytest.raises(SystemExit, match="needs --cache-dir"):
+            main(["explain", "--workload", "flights",
+                  "--max-store-bytes", "64m"])
+
+    def test_coordinator_flags_require_socket_mode(self):
+        with pytest.raises(SystemExit, match="only apply"):
+            main(["bench", "--workload", "flights",
+                  "--coordinator", "127.0.0.1:7341"])
+        with pytest.raises(SystemExit, match="only apply"):
+            main(["bench", "--workload", "flights", "--min-workers", "2"])
+
+    def test_bad_coordinator_address_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["bench", "--workload", "flights", "--jobs-mode", "socket",
+                  "--coordinator", "noport"])
+        assert exit_info.value.code == 2
+        assert "host:port" in capsys.readouterr().err
+
+
+class TestCacheCli:
+    def _populate(self, tmp_path, capsys) -> str:
+        store = str(tmp_path / "artifacts")
+        assert main(["bench", "--workload", "flights",
+                     "--cache-dir", store]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_stats(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        assert main(["cache", "stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 artifacts (1 cnf, 1 dnnf)" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        store = self._populate(tmp_path, capsys)
+        assert main(["cache", "stats", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["artifacts"] == 2
+        assert payload["total_bytes"] > 0
+
+    def test_ls_lists_artifacts_mru_first(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        assert main(["cache", "ls", store]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert {line.split()[1] for line in lines} == {"cnf", "dnnf"}
+        assert main(["cache", "ls", store, "--limit", "1"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+    def test_gc_trims_to_budget(self, tmp_path, capsys):
+        import json
+
+        store = self._populate(tmp_path, capsys)
+        assert main(["cache", "gc", store, "--max-bytes", "1", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted"] == 2
+        assert report["remaining_files"] == 0
+        assert main(["cache", "stats", store]) == 0
+        assert "0 artifacts" in capsys.readouterr().out
+
+    def test_gc_requires_max_bytes(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["cache", "gc", str(tmp_path)])
+        assert exit_info.value.code == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_missing_directory_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["cache", "stats", str(tmp_path / "nope")])
+
+    def test_bench_with_budget_keeps_store_bounded(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert main(["bench", "--workload", "flights", "--cache-dir", store,
+                     "--max-store-bytes", "1k"]) == 0
+        capsys.readouterr()
+        from repro.engine import PersistentArtifactStore
+
+        assert PersistentArtifactStore(store).total_bytes() <= 1024

@@ -1,0 +1,324 @@
+"""Tests for the service layer: transport parity (the acceptance
+criterion — all three transports produce identical Shapley values),
+session lifecycle (context manager, deterministic shutdown, transport
+reuse), and coordinator/worker behaviour over real sockets."""
+
+import socket
+import threading
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import (
+    ArtifactCache,
+    Coordinator,
+    EngineOptions,
+    ExplainSession,
+    PersistentArtifactStore,
+    TransportError,
+    run_worker,
+)
+from repro.engine.scheduler import plan_batch
+from repro.engine.service.local import InProcessTransport, ProcessPoolTransport
+from repro.engine.service.protocol import parse_address, recv_msg, send_msg
+from repro.engine.service.remote import SocketTransport
+
+from .test_store import JOIN_QUERY, join_database
+
+
+def values_of(results):
+    return {answer: result.values for answer, result in results.items()}
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    """A live coordinator with two in-thread workers sharing a store."""
+    coordinator = Coordinator().start()
+    store_dir = str(tmp_path / "fleet-store")
+    ready = threading.Barrier(3, timeout=10)
+    threads = [
+        threading.Thread(
+            target=run_worker,
+            args=(coordinator.address,),
+            kwargs={"cache_dir": store_dir, "on_ready": ready.wait},
+            daemon=True,
+        )
+        for _ in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    ready.wait()
+    coordinator.wait_for_workers(2, timeout=10)
+    yield coordinator
+    coordinator.shutdown()
+    for thread in threads:
+        thread.join(timeout=10)
+
+
+class TestTransportParity:
+    def test_exact_identical_fractions_across_all_three_transports(
+        self, fleet
+    ):
+        db = join_database(6, 2)
+        baseline = ExplainSession(db, method="exact").explain_many(JOIN_QUERY)
+        with ExplainSession(
+            db, method="exact", max_workers=2,
+            coordinator=fleet.address, min_workers=2,
+        ) as session:
+            by_process = session.explain_many(JOIN_QUERY, executor="process")
+            by_socket = session.explain_many(JOIN_QUERY, executor="socket")
+        expected = values_of(baseline)
+        assert values_of(by_process) == expected
+        assert values_of(by_socket) == expected
+        for result in expected.values():
+            assert all(isinstance(v, Fraction) for v in result.values())
+
+    def test_sampling_identical_values_for_equal_seeds(self, fleet):
+        db = join_database(4, 2)
+        options = EngineOptions(seed=99)
+        runs = []
+        for executor in ("thread", "process", "socket"):
+            with ExplainSession(
+                db, method="monte_carlo", options=options, max_workers=2,
+                executor=executor, coordinator=fleet.address,
+            ) as session:
+                runs.append(values_of(session.explain_many(JOIN_QUERY)))
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_socket_workers_share_the_store(self, fleet):
+        db = join_database(6, 2)
+        with ExplainSession(
+            db, method="exact", executor="socket",
+            coordinator=fleet.address, min_workers=2,
+        ) as session:
+            session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        # six isomorphic answers, one shape: exactly one compile across
+        # the whole fleet (shape affinity keeps the shape on one
+        # worker; the store shares it with the other).
+        assert stats["remote_workers"] == 2
+        assert stats["remote_compile_calls"] == 1
+        assert stats["compile_calls"] == 0  # the client never compiles
+
+
+class TestSessionLifecycle:
+    def test_context_manager_closes_transports(self):
+        db = join_database(2, 1)
+        with ExplainSession(db, method="exact") as session:
+            session.explain_many(JOIN_QUERY)
+            transport = session._transports["thread"]
+            assert transport._pool is not None
+        assert session.closed
+        assert transport._pool is None
+        with pytest.raises(RuntimeError, match="closed"):
+            session.explain_many(JOIN_QUERY)
+        with pytest.raises(RuntimeError, match="closed"):
+            session.__enter__()
+
+    def test_close_is_idempotent(self):
+        session = ExplainSession(join_database(1, 1))
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_transports_are_reused_across_calls(self):
+        db = join_database(3, 1)
+        with ExplainSession(db, method="exact", max_workers=2) as session:
+            session.explain_many(JOIN_QUERY)
+            first = session._transports["thread"]
+            first_pool = first._pool
+            session.explain_many(JOIN_QUERY)
+            assert session._transports["thread"] is first
+            assert first._pool is first_pool
+
+    def test_process_pool_persists_across_batches(self):
+        db = join_database(3, 1)
+        with ExplainSession(
+            db, method="monte_carlo", options=EngineOptions(seed=5),
+            max_workers=2, executor="process",
+        ) as session:
+            session.explain_many(JOIN_QUERY)
+            transport = session._transports["process"]
+            pool = transport._pool
+            assert pool is not None
+            session.explain_many(JOIN_QUERY)
+            assert transport._pool is pool
+        assert transport._pool is None  # closed deterministically
+
+    def test_exception_mid_batch_leaves_session_usable_and_closeable(self):
+        from repro.engine.base import Engine
+        from repro.engine.registry import register_engine
+
+        calls = {"n": 0}
+
+        @register_engine
+        class _FlakyEngine(Engine):
+            name = "_test_flaky"
+            exact = False
+
+            def explain_circuit(self, circuit, players, options=None):
+                calls["n"] += 1
+                raise ValueError("engine exploded")
+
+        db = join_database(3, 1)
+        with ExplainSession(db, method="_test_flaky") as session:
+            with pytest.raises(ValueError, match="engine exploded"):
+                session.explain_many(JOIN_QUERY)
+            # the pool survived the failed batch and still works
+            with pytest.raises(ValueError, match="engine exploded"):
+                session.explain_many(JOIN_QUERY)
+        assert session.closed
+
+    def test_socket_executor_requires_coordinator(self):
+        with pytest.raises(ValueError, match="coordinator"):
+            ExplainSession(
+                join_database(1, 1), executor="socket"
+            ).explain_many(JOIN_QUERY)
+
+    def test_unknown_executor_still_rejected(self):
+        db = join_database(1, 1)
+        with pytest.raises(ValueError, match="unknown executor"):
+            ExplainSession(db, executor="gpu")
+        with pytest.raises(ValueError, match="unknown executor"):
+            ExplainSession(db).explain_many(JOIN_QUERY, executor="gpu")
+
+
+class TestCoordinator:
+    def test_ping_reports_worker_count(self, fleet):
+        transport = SocketTransport(fleet.address)
+        assert transport.ping() == 2
+
+    def test_unreachable_coordinator_is_a_transport_error(self):
+        db = join_database(1, 1)
+        transport = SocketTransport(
+            ("127.0.0.1", 1), connect_retry_for=0.0
+        )
+        session = ExplainSession(db, method="exact")
+        plan = plan_batch("exact", session._build_jobs(JOIN_QUERY, None), True)
+        with pytest.raises(TransportError, match="cannot reach"):
+            transport.run_batch(plan)
+
+    def test_min_workers_timeout_fails_the_batch(self):
+        with Coordinator() as coordinator:
+            db = join_database(1, 1)
+            transport = SocketTransport(
+                coordinator.address, min_workers=3, wait_timeout=0.2
+            )
+            session = ExplainSession(db, method="exact")
+            plan = plan_batch(
+                "exact", session._build_jobs(JOIN_QUERY, None), True
+            )
+            with pytest.raises(TransportError, match="worker"):
+                transport.run_batch(plan)
+
+    def test_idle_dead_workers_are_swept_from_the_barrier(self):
+        # A "worker" that registers and immediately hangs up must not
+        # count towards n_workers or satisfy the min_workers barrier.
+        with Coordinator() as coordinator:
+            ghost = socket.create_connection(coordinator.address, timeout=5)
+            send_msg(ghost, {"op": "hello", "role": "worker", "pid": -1})
+            coordinator.wait_for_workers(1, timeout=10)
+            ghost.close()
+            assert coordinator.wait_for_workers(1, timeout=0.3) == 0
+            assert coordinator.n_workers == 0
+
+    def test_mid_batch_death_is_redistributed_to_survivors(
+        self, tmp_path
+    ):
+        # A worker that accepts its first task and then hangs up: the
+        # coordinator must discard it and let the survivor absorb its
+        # unfinished shard.  The traitor registers *first* so the
+        # single-shape batch is deterministically placed on it.
+        with Coordinator() as coordinator:
+            died = threading.Event()
+
+            def traitor():
+                sock = socket.create_connection(coordinator.address, timeout=5)
+                send_msg(sock, {"op": "hello", "role": "worker", "pid": -1})
+                recv_msg(sock)  # first task of our shard arrives...
+                sock.close()    # ...and we die without answering
+                died.set()
+
+            threading.Thread(target=traitor, daemon=True).start()
+            coordinator.wait_for_workers(1, timeout=10)
+            survivor = threading.Thread(
+                target=run_worker,
+                args=(coordinator.address,),
+                kwargs={"cache_dir": str(tmp_path / "store")},
+                daemon=True,
+            )
+            survivor.start()
+            coordinator.wait_for_workers(2, timeout=10)
+
+            db = join_database(6, 2)
+            with ExplainSession(
+                db, method="exact", executor="socket",
+                coordinator=coordinator.address,
+            ) as session:
+                results = session.explain_many(JOIN_QUERY)
+            assert died.wait(timeout=10)
+            assert len(results) == 6
+            assert all(r.ok for r in results.values())
+            baseline = ExplainSession(
+                db, method="exact"
+            ).explain_many(JOIN_QUERY)
+            assert values_of(results) == values_of(baseline)
+
+    def test_worker_survives_engine_errors(self, fleet):
+        from repro.engine.base import Engine
+        from repro.engine.registry import register_engine
+
+        @register_engine
+        class _BoomEngine(Engine):
+            name = "_test_boom"
+            exact = False
+
+            def explain_circuit(self, circuit, players, options=None):
+                raise RuntimeError("kaboom")
+
+        db = join_database(2, 1)
+        with ExplainSession(
+            db, method="_test_boom", executor="socket",
+            coordinator=fleet.address,
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+        assert all(r.status == "error" for r in results.values())
+        assert all("kaboom" in r.error for r in results.values())
+        # the same workers still serve healthy batches afterwards
+        with ExplainSession(
+            db, method="exact", executor="socket", coordinator=fleet.address,
+        ) as session:
+            healthy = session.explain_many(JOIN_QUERY)
+        assert all(r.ok for r in healthy.values())
+
+    def test_parse_address(self):
+        assert parse_address("host:123") == ("host", 123)
+        assert parse_address(("h", 9)) == ("h", 9)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+        with pytest.raises(ValueError):
+            parse_address("host:abc")
+
+
+class TestLocalTransports:
+    def test_inprocess_transport_runs_a_plan_directly(self):
+        db = join_database(3, 1)
+        session = ExplainSession(db, method="exact")
+        plan = plan_batch("exact", session._build_jobs(JOIN_QUERY, None), True)
+        with InProcessTransport(max_workers=2) as transport:
+            outcomes = transport.run_batch(plan)
+        assert sorted(outcomes) == [0, 1, 2]
+        assert all(result.ok for result in outcomes.values())
+
+    def test_process_transport_uses_store_dir(self, tmp_path):
+        store = PersistentArtifactStore(tmp_path / "store")
+        cache = ArtifactCache(store=store)
+        db = join_database(4, 2)
+        session = ExplainSession(db, method="exact", cache=cache)
+        plan = plan_batch("exact", session._build_jobs(JOIN_QUERY, None), True)
+        with ProcessPoolTransport(
+            max_workers=2, store_dir=str(store.directory)
+        ) as transport:
+            outcomes = transport.run_batch(plan)
+        assert all(result.ok for result in outcomes.values())
+        assert store.stats.writes >= 2  # warm wave published cnf+dnnf
