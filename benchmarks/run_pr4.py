@@ -1,0 +1,197 @@
+"""PR 4 acceptance driver: writes BENCH_4.json at the repo root.
+
+Checks, in one run:
+
+1. **Warm-store tape reuse** — ``bench --json`` over a persistent store
+   twice: the second run must report 0 circuit compilations *and* 0
+   tape compilations.
+2. **Kernel/mode parity** — on the fig6/fig7/table2 ground-truth
+   records, every numeric kernel x all-facts mode returns byte-identical
+   exact Fractions.
+3. **Smoothing-free vs smoothed** — on the largest fig7 instance, the
+   smoothing-free derivative pass must beat the legacy smoothed pass
+   wall-clock (median of repeats).
+
+Run with ``PYTHONPATH=src python benchmarks/run_pr4.py``.
+"""
+
+import io
+import json
+import random
+import statistics
+import sys
+import tempfile
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import run_suite  # noqa: E402
+from repro.circuits import eliminate_auxiliary, tseytin_transform  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.compiler import CompilationBudget, compile_cnf  # noqa: E402
+from repro.core import shapley_all_facts  # noqa: E402
+from repro.core.numerics import HAS_NUMPY, available_kernels, get_kernel  # noqa: E402
+from repro.engine import ArtifactCache, PersistentArtifactStore  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    IMDB_QUERIES,
+    TPCH_QUERIES,
+    ImdbConfig,
+    TpchConfig,
+    generate_imdb,
+    generate_tpch,
+)
+
+EXACT_BUDGET = CompilationBudget(max_nodes=400_000, max_seconds=2.5)
+MODES = ("conditioning", "smoothed", "derivative")
+TIMING_REPEATS = 7
+
+
+def _bench_json(store_dir: str) -> dict:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = cli_main([
+            "bench", "--workload", "flights",
+            "--cache-dir", store_dir, "--json",
+        ])
+    assert code == 0, buffer.getvalue()
+    return json.loads(buffer.getvalue())
+
+
+def warm_store_check() -> dict:
+    with tempfile.TemporaryDirectory() as store_dir:
+        cold = _bench_json(store_dir)
+        warm = _bench_json(store_dir)
+    assert cold["stats"]["compile_calls"] > 0, cold
+    assert cold["stats"]["tape_compilations"] > 0, cold
+    assert warm["stats"]["compile_calls"] == 0, warm
+    assert warm["stats"]["tape_compilations"] == 0, warm
+    assert warm["ok"] == cold["ok"] == cold["outputs"], (cold, warm)
+    return {
+        "cold": {
+            "compile_calls": cold["stats"]["compile_calls"],
+            "tape_compilations": cold["stats"]["tape_compilations"],
+            "store_writes": cold["stats"]["store_writes"],
+        },
+        "warm": {
+            "compile_calls": warm["stats"]["compile_calls"],
+            "tape_compilations": warm["stats"]["tape_compilations"],
+            "store_hits": warm["stats"]["store_hits"],
+        },
+    }
+
+
+def ground_truth_records():
+    """The same record selection as benchmarks/conftest.py (the pool
+    fig6/fig7/table2 draw from)."""
+    store = PersistentArtifactStore(tempfile.mkdtemp(prefix="pr4-store-"))
+    cache = ArtifactCache(store=store)
+    tpch = run_suite(
+        generate_tpch(TpchConfig(scale_factor=0.0005)), TPCH_QUERIES,
+        "TPC-H", budget=EXACT_BUDGET, keep_values=True, cache=cache,
+    )
+    imdb = run_suite(
+        generate_imdb(ImdbConfig()), IMDB_QUERIES, "IMDB",
+        budget=EXACT_BUDGET, keep_values=True, max_outputs=40, cache=cache,
+    )
+    records = []
+    for run in tpch + imdb:
+        records.extend(run.records)
+    ok = [r for r in records if r.ok and r.values and r.n_facts >= 2]
+    rng = random.Random(1234)
+    rng.shuffle(ok)
+    return ok[:120]
+
+
+def _compiled(record):
+    cnf = tseytin_transform(record.circuit)
+    ddnnf = eliminate_auxiliary(
+        compile_cnf(cnf).circuit, set(cnf.labels.values())
+    )
+    return ddnnf, sorted(record.values)
+
+
+def parity_check(records) -> dict:
+    kernels = [get_kernel(name) for name in available_kernels()]
+    checked = 0
+    for record in records:
+        ddnnf, players = _compiled(record)
+        for kernel in kernels:
+            for mode in MODES:
+                values = shapley_all_facts(
+                    ddnnf, players, method=mode, kernel=kernel
+                )
+                assert values == record.values, (kernel.name, mode)
+        checked += 1
+    return {
+        "records_checked": checked,
+        "kernels": list(available_kernels()),
+        "modes": list(MODES),
+        "identical_fractions": True,
+    }
+
+
+def _median_seconds(fn, repeats=TIMING_REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def smoothing_free_check(records) -> dict:
+    biggest = max(records, key=lambda r: r.n_facts)
+    ddnnf, players = _compiled(biggest)
+    smoothed = _median_seconds(
+        lambda: shapley_all_facts(ddnnf, players, method="smoothed")
+    )
+    derivative = _median_seconds(
+        lambda: shapley_all_facts(ddnnf, players, method="derivative")
+    )
+    assert derivative < smoothed, (derivative, smoothed)
+    return {
+        "largest_fig7_instance": {
+            "n_facts": biggest.n_facts,
+            "ddnnf_gates": len(ddnnf),
+        },
+        "smoothed_seconds_median": round(smoothed, 6),
+        "smoothing_free_seconds_median": round(derivative, 6),
+        "speedup": round(smoothed / derivative, 3),
+        "timing_repeats": TIMING_REPEATS,
+    }
+
+
+def main() -> int:
+    started = time.time()
+    print("PR 4 acceptance: warm-store tape reuse ...", flush=True)
+    warm = warm_store_check()
+    print("PR 4 acceptance: building fig6/fig7/table2 ground truth ...",
+          flush=True)
+    records = ground_truth_records()
+    print(f"  {len(records)} ground-truth records", flush=True)
+    print("PR 4 acceptance: kernel/mode parity ...", flush=True)
+    parity = parity_check(records[:30])
+    print("PR 4 acceptance: smoothing-free vs smoothed timing ...",
+          flush=True)
+    timing = smoothing_free_check(records)
+    payload = {
+        "pr": 4,
+        "title": "Pluggable numeric-kernel layer for circuit Shapley",
+        "numpy_available": HAS_NUMPY,
+        "warm_store": warm,
+        "parity": parity,
+        "smoothing_free_vs_smoothed": timing,
+        "total_seconds": round(time.time() - started, 1),
+    }
+    out = ROOT / "BENCH_4.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,6 @@ All counting is done with exact Python integers; weighted counts accept
 from __future__ import annotations
 
 from fractions import Fraction
-from math import comb
 from typing import Hashable, Iterable, Iterator, Mapping
 
 from .circuit import AND, FALSE, NOT, OR, TRUE, VAR, Circuit, CircuitError
@@ -158,7 +157,7 @@ def _top_literals(circuit: Circuit, gate: int, positive: bool) -> set[int]:
 # ----------------------------------------------------------------------
 
 def count_models_by_size(
-    circuit: Circuit, root: int | None = None
+    circuit: Circuit, root: int | None = None, kernel=None
 ) -> tuple[list[int], int]:
     """Compute ``[#SAT_0(C), ..., #SAT_v(C)]`` over ``Vars(C)``.
 
@@ -171,81 +170,44 @@ def count_models_by_size(
       with binomials over the *gap* variables (``Vars(g) \\ Vars(c)``);
     * decomposable AND: convolution of the children counts.
 
+    The traversal is lowered to a
+    :class:`~repro.core.numerics.tape.GateTape` and the arithmetic runs
+    on a numeric kernel (``kernel`` — a
+    :class:`~repro.core.numerics.base.Kernel`, a registered backend
+    name, or ``None`` for the exact big-int reference).  Every backend
+    returns identical exact counts.
+
     Returns ``(counts, num_vars)`` where ``counts[l] = #SAT_l`` and
     ``num_vars = |Vars(C)|``.  Determinism/decomposability are assumed
     (checked elsewhere); results are meaningless otherwise.
     """
-    if root is None:
-        root = circuit.output_gate()
-    var_sets = circuit.gate_var_sets(root)
-    counts: dict[int, list[int]] = {}
-    for gate in sorted(var_sets):
-        kind = circuit.kind(gate)
-        vset = var_sets[gate]
-        nvars = len(vset)
-        if kind == VAR:
-            counts[gate] = [0, 1]
-        elif kind == TRUE:
-            counts[gate] = [1]
-        elif kind == FALSE:
-            counts[gate] = [0]
-        elif kind == NOT:
-            child = circuit.children(gate)[0]
-            child_counts = counts[child]
-            counts[gate] = [comb(nvars, l) - child_counts[l] for l in range(nvars + 1)]
-        elif kind == OR:
-            acc = [0] * (nvars + 1)
-            for child in circuit.children(gate):
-                gap = nvars - len(var_sets[child])
-                child_counts = counts[child]
-                for i, c_i in enumerate(child_counts):
-                    if not c_i:
-                        continue
-                    for j in range(gap + 1):
-                        acc[i + j] += c_i * comb(gap, j)
-            counts[gate] = acc
-        else:  # AND
-            acc = [1]
-            for child in circuit.children(gate):
-                acc = _convolve(acc, counts[child])
-            if len(acc) != nvars + 1:
-                raise NotDecomposableError(
-                    f"AND gate {gate}: children variable sets overlap"
-                )
-            counts[gate] = acc
-    return counts[root], len(var_sets[root])
+    # Imported lazily: repro.core depends on repro.circuits at import
+    # time, so the reverse edge must resolve at call time only.
+    from ..core.numerics import NonDecomposableTape, compile_tape
+    from ..core.numerics.base import Kernel, get_kernel
+
+    if not isinstance(kernel, Kernel):
+        kernel = get_kernel(kernel)
+    tape = compile_tape(circuit, root)
+    try:
+        return tape.root_counts(kernel)
+    except NonDecomposableTape as exc:
+        raise NotDecomposableError(str(exc)) from None
 
 
-def _convolve(a: list[int], b: list[int]) -> list[int]:
-    """Polynomial (sequence) convolution over exact integers."""
-    out = [0] * (len(a) + len(b) - 1)
-    for i, ai in enumerate(a):
-        if not ai:
-            continue
-        for j, bj in enumerate(b):
-            if bj:
-                out[i + j] += ai * bj
-    return out
-
-
-def complete_counts(counts: list[int], extra: int) -> list[int]:
+def complete_counts(counts: list[int], extra: int, kernel=None) -> list[int]:
     """Extend ``#SAT_k`` counts to ``extra`` additional free variables.
 
     Equivalent to conjoining the circuit with ``(x ∨ ¬x)`` for each of
     the ``extra`` variables (line 1 of Algorithm 1) and recounting:
-    ``out[k] = sum_i counts[i] * C(extra, k - i)``.
+    ``out[k] = sum_i counts[i] * C(extra, k - i)`` — realized as the
+    selected kernel's binomial completion.
     """
-    if extra < 0:
-        raise ValueError("extra must be non-negative")
-    if extra == 0:
-        return list(counts)
-    out = [0] * (len(counts) + extra)
-    for i, c_i in enumerate(counts):
-        if not c_i:
-            continue
-        for j in range(extra + 1):
-            out[i + j] += c_i * comb(extra, j)
-    return out
+    from ..core.numerics.base import Kernel, get_kernel
+
+    if not isinstance(kernel, Kernel):
+        kernel = get_kernel(kernel)
+    return kernel.complete(counts, extra)
 
 
 def model_count(circuit: Circuit, root: int | None = None) -> int:

@@ -40,6 +40,7 @@ from pathlib import Path
 from .compiler import CompilationBudget
 from .core import to_plan
 from .core.attribution import attribute
+from .core.numerics import HAS_NUMPY, available_kernels
 from .db import lineage
 from .engine import (
     ArtifactCache,
@@ -148,6 +149,17 @@ def _address(text: str) -> tuple[str, int]:
         raise argparse.ArgumentTypeError(str(error))
 
 
+def _numeric_backend(args: argparse.Namespace) -> str | None:
+    """The requested numeric kernel, warning once when an explicit
+    ``numpy`` request will fall back (NumPy not installed)."""
+    backend = getattr(args, "numeric_backend", None)
+    if backend == "numpy" and not HAS_NUMPY:
+        print("warning: NumPy is not installed; "
+              "--numeric-backend numpy falls back to the reference kernel",
+              file=sys.stderr)
+    return backend
+
+
 def _build_store(args: argparse.Namespace) -> PersistentArtifactStore | None:
     if not getattr(args, "cache_dir", None):
         return None
@@ -185,6 +197,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
             samples_per_fact=args.samples,
             seed=args.seed,
             cache=_build_cache(args),
+            numeric_backend=_numeric_backend(args),
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -225,7 +238,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         db,
         method="exact",
         options=EngineOptions(
-            budget=CompilationBudget(max_seconds=args.timeout), timeout=None
+            budget=CompilationBudget(max_seconds=args.timeout), timeout=None,
+            numeric_backend=_numeric_backend(args),
         ),
         cache=cache,
         max_workers=args.jobs,
@@ -253,10 +267,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 0
     print(f"{total} outputs, {ok} exact successes "
           f"({ok / total:.1%}) in {elapsed:.2f}s")
-    print(f"cache: {stats['compile_calls']} compilations for "
+    print(f"cache: {stats['compile_calls']} compilations, "
+          f"{stats['tape_compilations']} tape compilations for "
           f"{stats['answers_explained']} answers "
           f"({stats['unique_shapes']} distinct lineage shapes, "
-          f"{stats['ddnnf_hits']} d-DNNF hits)")
+          f"{stats['ddnnf_hits']} d-DNNF hits, "
+          f"{stats['tape_hits']} tape hits)")
     if store is not None:
         print(f"store: {stats['store_hits']} hits, "
               f"{stats['store_misses']} misses, "
@@ -318,7 +334,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
     store = _open_store(args.dir)
     if args.cache_command == "stats":
         entries = store.entries()
-        by_kind = {"cnf": 0, "dnnf": 0}
+        by_kind = {"cnf": 0, "dnnf": 0, "tape": 0}
         for entry in entries:
             by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
         payload = {
@@ -326,13 +342,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
             "artifacts": len(entries),
             "cnf": by_kind["cnf"],
             "dnnf": by_kind["dnnf"],
+            "tape": by_kind["tape"],
             "total_bytes": sum(e.size for e in entries),
         }
         if args.json:
             print(json.dumps(payload, sort_keys=True))
         else:
             print(f"{payload['artifacts']} artifacts "
-                  f"({payload['cnf']} cnf, {payload['dnnf']} dnnf), "
+                  f"({payload['cnf']} cnf, {payload['dnnf']} dnnf, "
+                  f"{payload['tape']} tape), "
                   f"{payload['total_bytes']} bytes in {payload['directory']}")
         return 0
     if args.cache_command == "ls":
@@ -410,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--max-store-bytes", type=_byte_size, default=None,
                    help="byte budget of --cache-dir (suffixes k/m/g); "
                         "writes past it evict LRU artifacts")
+    e.add_argument("--numeric-backend",
+                   choices=(*available_kernels(), "auto"), default=None,
+                   help="numeric kernel of the exact counting passes "
+                        "(default: the big-int reference; 'numpy' falls "
+                        "back to it when NumPy is not installed)")
     e.set_defaults(func=cmd_explain)
 
     b = sub.add_parser("bench", help="quick exact-pipeline smoke benchmark")
@@ -438,6 +461,11 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--max-store-bytes", type=_byte_size, default=None,
                    help="byte budget of --cache-dir (suffixes k/m/g); "
                         "writes past it evict LRU artifacts")
+    b.add_argument("--numeric-backend",
+                   choices=(*available_kernels(), "auto"), default=None,
+                   help="numeric kernel of the exact counting passes "
+                        "(default: the big-int reference; 'numpy' falls "
+                        "back to it when NumPy is not installed)")
     b.add_argument("--json", action="store_true",
                    help="emit one machine-readable JSON object instead of "
                         "the human summary")

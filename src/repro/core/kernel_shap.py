@@ -21,7 +21,10 @@ import random
 from math import comb
 from typing import Hashable, Iterable
 
-import numpy as np
+try:  # NumPy is optional: the regression falls back to pure Python.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised in the no-NumPy CI tier
+    np = None
 
 from ..circuits.circuit import Circuit
 
@@ -59,72 +62,152 @@ def kernel_shap_values(
         return {facts[0]: float(delta)}
 
     # Kernel weights over coalition sizes 1..n-1 (empty/full handled by
-    # the constraints).
-    size_weights = np.array(
-        [(n - 1) / (s * (n - s)) for s in range(1, n)], dtype=float
-    )
-    size_probs = size_weights / size_weights.sum()
+    # the constraints).  Plain floats: both regression backends (and
+    # the sampler) consume the same values, so seeded runs agree.
+    size_weights = [(n - 1) / (s * (n - s)) for s in range(1, n)]
+    total_weight = sum(size_weights)
+    size_probs = [w / total_weight for w in size_weights]
 
     # Sample coalitions, then deduplicate: each distinct mask enters the
     # regression once with its exact kernel weight.  (This mirrors the
     # reference implementation, where repeated masks accumulate weight;
     # with the exact kernel weight per distinct mask the regression is
     # exact whenever the budget effectively enumerates the coalitions.)
-    sizes = rng.choices(range(1, n), weights=size_probs.tolist(), k=samples)
+    sizes = rng.choices(range(1, n), weights=size_probs, k=samples)
     positions = list(range(n))
     seen: dict[tuple[int, ...], None] = {}
     for size in sizes:
         chosen = tuple(sorted(rng.sample(positions, size)))
         seen.setdefault(chosen, None)
     unique = list(seen)
-    samples = len(unique)
-    masks = np.zeros((samples, n), dtype=np.int8)
-    weights = np.empty(samples, dtype=float)
+    weights = [
+        size_weights[len(chosen) - 1] / comb(n, len(chosen))
+        for chosen in unique
+    ]
+
+    outputs = _evaluate_coalitions(circuit, facts, unique)
+    if np is not None:
+        solution = _lstsq_numpy(unique, outputs, weights, n, base, delta)
+    else:
+        solution = _lstsq_fallback(unique, outputs, weights, n, base, delta)
+    phi = list(solution)
+    phi.append(delta - sum(phi))
+    return {fact: float(phi[i]) for i, fact in enumerate(facts)}
+
+
+def _lstsq_numpy(
+    unique: list[tuple[int, ...]],
+    outputs: list[int],
+    weights: list[float],
+    n: int,
+    base: int,
+    delta: int,
+) -> list[float]:
+    """The vectorized constrained regression (NumPy available).
+
+    Enforces ``sum(phi) = delta`` by eliminating the last coefficient:
+    ``y - z_last * delta = sum_{j<n-1} phi_j (z_j - z_last)``.
+    """
+    masks = np.zeros((len(unique), n), dtype=np.int8)
     for row, chosen in enumerate(unique):
         masks[row, list(chosen)] = 1
-        size = len(chosen)
-        weights[row] = size_weights[size - 1] / comb(n, size)
-
-    outputs = _evaluate_masks(circuit, facts, masks)
-    y = outputs.astype(float) - base
-
-    # Enforce sum(phi) = delta by eliminating the last coefficient:
-    # y - z_last * delta = sum_{j<n-1} phi_j (z_j - z_last).
+    y = np.array(outputs, dtype=float) - base
     z = masks.astype(float)
     z_last = z[:, -1]
     design = z[:, :-1] - z_last[:, None]
     target = y - z_last * delta
-    sqrt_w = np.sqrt(weights)
+    sqrt_w = np.sqrt(np.array(weights, dtype=float))
     lhs = design * sqrt_w[:, None]
     rhs = target * sqrt_w
     solution, *_ = np.linalg.lstsq(lhs, rhs, rcond=None)
-    phi = np.empty(n, dtype=float)
-    phi[:-1] = solution
-    phi[-1] = delta - solution.sum()
-    return {fact: float(phi[i]) for i, fact in enumerate(facts)}
+    return [float(value) for value in solution]
 
 
-def _evaluate_masks(
-    circuit: Circuit, facts: list[Hashable], masks: np.ndarray
-) -> np.ndarray:
-    """Evaluate the circuit on every row of a 0/1 coalition matrix using
-    bit-parallel chunks of 256 assignments."""
-    samples = masks.shape[0]
-    outputs = np.zeros(samples, dtype=np.int8)
+def _lstsq_fallback(
+    unique: list[tuple[int, ...]],
+    outputs: list[int],
+    weights: list[float],
+    n: int,
+    base: int,
+    delta: int,
+) -> list[float]:
+    """Pure-Python weighted least squares over the normal equations.
+
+    Same constrained design as :func:`_lstsq_numpy`; Gaussian
+    elimination with partial pivoting stands in for the SVD solver
+    (rank-deficient systems pin unconstrained coefficients at zero
+    instead of minimizing their norm — an acceptable difference for an
+    approximation baseline, and only reachable without NumPy).
+    """
+    m = n - 1
+    ata = [[0.0] * m for _ in range(m)]
+    aty = [0.0] * m
+    for chosen, output, weight in zip(unique, outputs, weights):
+        members = set(chosen)
+        z_last = 1.0 if (n - 1) in members else 0.0
+        row = [
+            (1.0 if j in members else 0.0) - z_last for j in range(m)
+        ]
+        target = (output - base) - z_last * delta
+        for i in range(m):
+            r_i = row[i]
+            if r_i:
+                aty[i] += weight * r_i * target
+                w_ri = weight * r_i
+                for j in range(m):
+                    if row[j]:
+                        ata[i][j] += w_ri * row[j]
+    return _solve_normal_equations(ata, aty)
+
+
+def _solve_normal_equations(ata: list[list[float]], aty: list[float]) -> list[float]:
+    """Solve ``ata @ x = aty`` by Gaussian elimination with partial
+    pivoting; near-zero pivot columns yield zero coefficients."""
+    m = len(aty)
+    rows = [ata[i][:] + [aty[i]] for i in range(m)]
+    scale = max((max(map(abs, row[:-1]), default=0.0) for row in rows),
+                default=0.0)
+    tolerance = 1e-12 * max(scale, 1.0)
+    pivots: list[tuple[int, int]] = []
+    rank = 0
+    for col in range(m):
+        pivot = max(range(rank, m), key=lambda r: abs(rows[r][col]))
+        if abs(rows[pivot][col]) <= tolerance:
+            continue
+        rows[rank], rows[pivot] = rows[pivot], rows[rank]
+        head = rows[rank][col]
+        for r in range(rank + 1, m):
+            factor = rows[r][col] / head
+            if factor:
+                for c in range(col, m + 1):
+                    rows[r][c] -= factor * rows[rank][c]
+        pivots.append((rank, col))
+        rank += 1
+    x = [0.0] * m
+    for r, col in reversed(pivots):
+        residual = rows[r][m] - sum(
+            rows[r][c] * x[c] for c in range(col + 1, m) if x[c]
+        )
+        x[col] = residual / rows[r][col]
+    return x
+
+
+def _evaluate_coalitions(
+    circuit: Circuit, facts: list[Hashable], coalitions: list[tuple[int, ...]]
+) -> list[int]:
+    """Evaluate the circuit on every coalition (a tuple of fact
+    positions) using bit-parallel chunks of 256 assignments."""
+    outputs: list[int] = []
     chunk = 256
-    for start in range(0, samples, chunk):
-        stop = min(start + chunk, samples)
-        width = stop - start
-        assignments = {}
-        for index, fact in enumerate(facts):
-            bits = 0
-            column = masks[start:stop, index]
-            for offset in range(width):
-                if column[offset]:
-                    bits |= 1 << offset
-            if bits:
-                assignments[fact] = bits
+    for start in range(0, len(coalitions), chunk):
+        batch = coalitions[start : start + chunk]
+        width = len(batch)
+        bits_of: dict[int, int] = {}
+        for offset, chosen in enumerate(batch):
+            mask = 1 << offset
+            for index in chosen:
+                bits_of[index] = bits_of.get(index, 0) | mask
+        assignments = {facts[i]: bits for i, bits in bits_of.items()}
         result = circuit.evaluate_batch(assignments, width)
-        for offset in range(width):
-            outputs[start + offset] = result >> offset & 1
+        outputs.extend(result >> offset & 1 for offset in range(width))
     return outputs

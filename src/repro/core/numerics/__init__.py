@@ -1,0 +1,42 @@
+"""Pluggable numeric kernels for the circuit-Shapley hot path.
+
+* :mod:`~repro.core.numerics.base` — the :class:`Kernel` primitives
+  (poly mul/add, binomial completion, the Equation-3 combination), the
+  registry (``get_kernel`` / ``register_kernel`` /
+  ``available_kernels``), and the cached ``shapley_coefficients``;
+* :mod:`~repro.core.numerics.exact` — the big-int reference backend
+  (``"python"``);
+* :mod:`~repro.core.numerics.vector` — the vectorized NumPy backend
+  (``"numpy"``, optional dependency with graceful fallback);
+* :mod:`~repro.core.numerics.tape` — :class:`GateTape`, the compiled
+  flat instruction form of a d-DNNF executing the smoothing-free
+  forward/backward sweeps; persisted by the engine layer as a third
+  artifact kind.
+
+See README.md ("Numeric kernels") for backend selection and the tape
+artifact life cycle.
+"""
+
+from .base import (
+    Kernel,
+    available_kernels,
+    binomial_row,
+    get_kernel,
+    register_kernel,
+    shapley_coefficients,
+)
+from .exact import PythonKernel
+from .vector import HAS_NUMPY, NumpyKernel
+from .tape import (
+    GateTape,
+    NonDecomposableTape,
+    TapeError,
+    compile_tape,
+)
+
+__all__ = [
+    "Kernel", "PythonKernel", "NumpyKernel", "HAS_NUMPY",
+    "available_kernels", "get_kernel", "register_kernel",
+    "binomial_row", "shapley_coefficients",
+    "GateTape", "TapeError", "NonDecomposableTape", "compile_tape",
+]

@@ -91,6 +91,7 @@ def exact_shapley_of_circuit(
     budget: CompilationBudget | None = None,
     method: str = "derivative",
     cache: "ArtifactCache | None" = None,
+    numeric_backend: str | None = None,
 ) -> dict[Hashable, Fraction]:
     """Exact Shapley values of an endogenous-lineage circuit.
 
@@ -99,7 +100,8 @@ def exact_shapley_of_circuit(
     use :func:`run_exact` for the non-raising variant.
     """
     outcome = run_exact(
-        circuit, endogenous_facts, budget=budget, method=method, cache=cache
+        circuit, endogenous_facts, budget=budget, method=method, cache=cache,
+        numeric_backend=numeric_backend,
     )
     if not outcome.ok:
         if outcome.status == "budget":
@@ -116,6 +118,7 @@ def run_exact(
     method: str = "derivative",
     cache: "ArtifactCache | None" = None,
     artifacts: "CircuitArtifacts | None" = None,
+    numeric_backend: str | None = None,
 ) -> ExactOutcome:
     """Run the knowledge-compilation pipeline on one lineage circuit,
     catching budget events into the outcome.
@@ -130,7 +133,14 @@ def run_exact(
     ``artifacts`` may carry a prebuilt
     :class:`~repro.engine.cache.CircuitArtifacts` handle for this very
     circuit; the pipeline then reuses its canonicalization pass instead
-    of conditioning and signing the circuit again.
+    of conditioning and signing the circuit again.  In the default
+    ``"derivative"`` mode the handle also serves the shape's compiled
+    :class:`~repro.core.numerics.tape.GateTape`, so a warm shape runs
+    Algorithm 1 without touching a single circuit gate.
+
+    ``numeric_backend`` names the numeric kernel of the counting passes
+    (see :mod:`repro.core.numerics`); every backend returns identical
+    exact Fractions.
     """
     endo = list(endogenous_facts)
     stats = ProvenanceStats()
@@ -159,10 +169,18 @@ def run_exact(
     stats.cnf_vars = cnf.num_vars
     stats.cnf_clauses = cnf.num_clauses
 
+    tape = None
     t0 = time.perf_counter()
     try:
         if artifacts is not None:
-            ddnnf = artifacts.ddnnf(budget=budget)
+            if method == "derivative":
+                # The tape is the only artifact the derivative pass
+                # needs; on a warm shape this is a pure lookup + O(#vars)
+                # re-targeting (no d-DNNF rename, no gate traversal).
+                tape = artifacts.tape(budget=budget)
+                ddnnf = None
+            else:
+                ddnnf = artifacts.ddnnf(budget=budget)
         else:
             compiled = compile_cnf(cnf, budget=budget)
             ddnnf = eliminate_auxiliary(compiled.circuit, set(cnf.labels.values()))
@@ -170,11 +188,14 @@ def run_exact(
         timings["compile"] = time.perf_counter() - t0
         return ExactOutcome("budget", None, stats, timings, str(exc))
     timings["compile"] = time.perf_counter() - t0
-    stats.ddnnf_size = len(ddnnf)
+    stats.ddnnf_size = tape.source_gates if tape is not None else len(ddnnf)
 
     t0 = time.perf_counter()
     try:
-        values = shapley_all_facts(ddnnf, endo, method=method, deadline=deadline)
+        values = shapley_all_facts(
+            ddnnf, endo, method=method, deadline=deadline,
+            kernel=numeric_backend, tape=tape,
+        )
     except ShapleyTimeout as exc:
         timings["shapley"] = time.perf_counter() - t0
         return ExactOutcome("timeout", None, stats, timings, str(exc))

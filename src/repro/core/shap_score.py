@@ -21,7 +21,10 @@ size ``l`` it computes
 
     G_l(g) = sum_{S ⊆ Vars(g), |S| = l}  E[h_g(z) | z_S = e_S].
 
-All arithmetic is exact over Fractions.
+All arithmetic is exact over Fractions and runs on the shared numeric
+kernels (:mod:`repro.core.numerics` — the primitives are element-type
+agnostic, so the same convolution/completion code serves both int
+counts and Fraction expectations).
 """
 
 from __future__ import annotations
@@ -31,7 +34,14 @@ from math import comb
 from typing import Hashable, Iterable, Mapping
 
 from ..circuits.circuit import AND, FALSE, NOT, OR, TRUE, VAR, Circuit, CircuitError
+from .numerics.base import Kernel, get_kernel
 from .shapley import shapley_coefficients
+
+
+def _resolve_kernel(kernel) -> Kernel:
+    if isinstance(kernel, Kernel):
+        return kernel
+    return get_kernel(kernel)
 
 
 def expectation_set_sums(
@@ -39,6 +49,7 @@ def expectation_set_sums(
     instance: Mapping[Hashable, bool],
     marginals: Mapping[Hashable, Fraction],
     root: int | None = None,
+    kernel=None,
 ) -> tuple[list[Fraction], int]:
     """Compute ``[G_0, ..., G_v]`` over ``Vars(C)`` for a d-D circuit.
 
@@ -46,6 +57,7 @@ def expectation_set_sums(
     ``P(z_x = 1)`` under the product distribution.  Returns the sums and
     the number of variables.
     """
+    kernel = _resolve_kernel(kernel)
     if root is None:
         root = circuit.output_gate()
     var_sets = circuit.gate_var_sets(root)
@@ -69,42 +81,30 @@ def expectation_set_sums(
                 comb(nvars, l) - child_values[l] for l in range(nvars + 1)
             ]
         elif kind == OR:
-            acc = [Fraction(0)] * (nvars + 1)
-            for child in circuit.children(gate):
-                gap = nvars - len(var_sets[child])
-                for i, value in enumerate(values[child]):
-                    if value:
-                        for j in range(gap + 1):
-                            acc[i + j] += value * comb(gap, j)
-            values[gate] = acc
+            children = circuit.children(gate)
+            values[gate] = kernel.or_accumulate(
+                nvars,
+                [values[c] for c in children],
+                [nvars - len(var_sets[c]) for c in children],
+            )
         else:  # AND
             acc = [Fraction(1)]
             for child in circuit.children(gate):
-                acc = _convolve(acc, values[child])
+                acc = kernel.poly_mul(acc, values[child])
             if len(acc) != nvars + 1:
                 raise CircuitError("AND gate is not decomposable")
             values[gate] = acc
     return values[root], len(var_sets[root])
 
 
-def _convolve(a: list[Fraction], b: list[Fraction]) -> list[Fraction]:
-    out = [Fraction(0)] * (len(a) + len(b) - 1)
-    for i, x in enumerate(a):
-        if x:
-            for j, y in enumerate(b):
-                if y:
-                    out[i + j] += x * y
-    return out
-
-
-def _sums_or_constant(circuit: Circuit, instance, marginals):
+def _sums_or_constant(circuit: Circuit, instance, marginals, kernel=None):
     root = circuit.output_gate()
     kind = circuit.kind(root)
     if kind == TRUE:
         return [Fraction(1)], 0
     if kind == FALSE:
         return [Fraction(0)], 0
-    return expectation_set_sums(circuit, instance, marginals)
+    return expectation_set_sums(circuit, instance, marginals, kernel=kernel)
 
 
 def shap_score_of_fact(
@@ -113,6 +113,7 @@ def shap_score_of_fact(
     fact: Hashable,
     instance: Mapping[Hashable, bool],
     marginals: Mapping[Hashable, Fraction],
+    kernel=None,
 ) -> Fraction:
     """Exact SHAP-score of one feature for a d-D provenance circuit.
 
@@ -120,6 +121,7 @@ def shap_score_of_fact(
     behave as irrelevant features); marginal contributions mix the two
     conditionings of ``fact`` by its marginal probability.
     """
+    kernel = _resolve_kernel(kernel)
     players = list(features)
     n = len(players)
     if fact not in set(players):
@@ -132,16 +134,16 @@ def shap_score_of_fact(
     on_true = circuit.condition({fact: True})
     on_false = circuit.condition({fact: False})
 
-    g_instance, v_i = _sums_or_constant(on_instance, instance, marginals)
-    g_true, v_t = _sums_or_constant(on_true, instance, marginals)
-    g_false, v_f = _sums_or_constant(on_false, instance, marginals)
+    g_instance, v_i = _sums_or_constant(on_instance, instance, marginals, kernel)
+    g_true, v_t = _sums_or_constant(on_true, instance, marginals, kernel)
+    g_false, v_f = _sums_or_constant(on_false, instance, marginals, kernel)
 
     # Complete each vector over the remaining n-1 features: a feature
     # outside the sub-circuit contributes a free (value-preserving)
     # binomial choice of membership in S.
-    g_instance = _complete(g_instance, (n - 1) - v_i)
-    g_true = _complete(g_true, (n - 1) - v_t)
-    g_false = _complete(g_false, (n - 1) - v_f)
+    g_instance = kernel.complete(g_instance, (n - 1) - v_i)
+    g_true = kernel.complete(g_true, (n - 1) - v_t)
+    g_false = kernel.complete(g_false, (n - 1) - v_f)
 
     total = Fraction(0)
     for k in range(n):
@@ -152,22 +154,12 @@ def shap_score_of_fact(
     return total
 
 
-def _complete(values: list[Fraction], extra: int) -> list[Fraction]:
-    if extra == 0:
-        return values
-    out = [Fraction(0)] * (len(values) + extra)
-    for i, value in enumerate(values):
-        if value:
-            for j in range(extra + 1):
-                out[i + j] += value * comb(extra, j)
-    return out
-
-
 def shap_scores(
     circuit: Circuit,
     features: Iterable[Hashable],
     instance: Mapping[Hashable, bool] | None = None,
     marginals: Mapping[Hashable, Fraction] | None = None,
+    kernel=None,
 ) -> dict[Hashable, Fraction]:
     """Exact SHAP-scores of all features.
 
@@ -181,6 +173,7 @@ def shap_scores(
         instance = {f: True for f in players}
     if marginals is None:
         marginals = {f: Fraction(0) for f in players}
+    kernel = _resolve_kernel(kernel)
     present = circuit.condition({}).reachable_vars()
     result: dict[Hashable, Fraction] = {}
     for fact in players:
@@ -188,6 +181,6 @@ def shap_scores(
             result[fact] = Fraction(0)
         else:
             result[fact] = shap_score_of_fact(
-                circuit, players, fact, instance, marginals
+                circuit, players, fact, instance, marginals, kernel=kernel
             )
     return result

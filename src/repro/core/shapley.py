@@ -8,41 +8,57 @@ endogenous fact ``f`` is (Equation 3 of the paper):
 
 with ``n = |Dn|`` and counts completed over all endogenous facts.
 
-Two computation modes are provided:
+Three computation modes are provided:
 
 * ``"conditioning"`` — the paper's literal Algorithm 1: condition the
   circuit on ``f -> 1`` and ``f -> 0`` and recount, once per fact;
   ``O(|C| * n^2)`` per fact.
-* ``"derivative"`` — a single forward pass computing the size-generating
-  polynomial of every gate plus one backward (circuit-derivative) pass
-  over the smoothed circuit yields the conditioned counts of *all*
-  facts simultaneously, in the style of Arenas et al.'s SHAP-score
-  algorithm.  Tests assert both modes agree.
+* ``"derivative"`` (default) — one forward pass computing the
+  size-generating polynomial of every gate plus one backward
+  (circuit-derivative) pass yields the conditioned-count *differences*
+  of all facts simultaneously, in the style of Arenas et al.'s
+  SHAP-score algorithm.  The passes are *smoothing-free*: instead of
+  materializing ``(x v -x)`` padding gates, per-child OR gaps carry
+  binomial completion factors through both sweeps (free-variable
+  contributions cancel in the difference), and the traversal runs on a
+  compiled :class:`~repro.core.numerics.tape.GateTape` so repeated
+  circuit shapes pay no gate-level walk at all.
+* ``"smoothed"`` — the previous derivative implementation over an
+  explicitly ``smooth()``-ed circuit; kept as the ablation baseline
+  the smoothing-free pass is benchmarked against.
 
-All arithmetic is exact (`int` counts, `Fraction` values).
+All modes agree exactly (asserted by the parity suite), on every
+numeric kernel (:mod:`repro.core.numerics`).  All arithmetic is exact
+(`int` counts, `Fraction` values).
 """
 
 from __future__ import annotations
 
 import time
 from fractions import Fraction
-from math import comb, factorial
 from typing import Hashable, Iterable, Mapping, Sequence
 
 from ..circuits.circuit import AND, FALSE, NOT, OR, TRUE, VAR, Circuit, CircuitError
-from ..circuits.dnnf import complete_counts, count_models_by_size, smooth
+from ..circuits.dnnf import count_models_by_size, smooth
+from .numerics import GateTape, compile_tape
+from .numerics.base import Kernel, get_kernel, shapley_coefficients
+
+__all__ = [
+    "ShapleyTimeout",
+    "shapley_coefficients",
+    "shapley_from_counts",
+    "conditioned_counts",
+    "shapley_of_fact",
+    "shapley_all_facts",
+    "efficiency_gap",
+]
+
+#: The all-facts strategies accepted by :func:`shapley_all_facts`.
+MODES = ("derivative", "smoothed", "conditioning")
 
 
 class ShapleyTimeout(RuntimeError):
     """Raised when an exact Shapley computation exceeds its deadline."""
-
-
-def shapley_coefficients(n: int) -> list[Fraction]:
-    """The permutation weights ``k!(n-k-1)!/n!`` for ``k = 0..n-1``."""
-    if n <= 0:
-        return []
-    n_fact = factorial(n)
-    return [Fraction(factorial(k) * factorial(n - k - 1), n_fact) for k in range(n)]
 
 
 def _check_time(deadline: float | None) -> None:
@@ -50,45 +66,63 @@ def _check_time(deadline: float | None) -> None:
         raise ShapleyTimeout("exact Shapley computation timed out")
 
 
+def _resolve_kernel(kernel) -> Kernel:
+    if isinstance(kernel, Kernel):
+        return kernel
+    return get_kernel(kernel)
+
+
 def shapley_from_counts(
-    counts_pos: Sequence[int], counts_neg: Sequence[int], n: int
+    counts_pos: Sequence[int],
+    counts_neg: Sequence[int],
+    n: int,
+    kernel=None,
 ) -> Fraction:
     """Combine conditioned counts into a Shapley value (Equation 3).
 
     ``counts_pos[k] = #SAT_k(C[f->1])`` and ``counts_neg[k] =
     #SAT_k(C[f->0])``, both completed over the ``n - 1`` other
-    endogenous facts.
+    endogenous facts.  Delegates to the kernel's single Equation-3
+    implementation (shared with the derivative passes), which
+    zero-pads vectors shorter than ``n`` and ignores entries at
+    ``k >= n``.
     """
-    coefficients = shapley_coefficients(n)
-    total = Fraction(0)
-    for k in range(n):
-        pos = counts_pos[k] if k < len(counts_pos) else 0
-        neg = counts_neg[k] if k < len(counts_neg) else 0
-        if pos != neg:
-            total += coefficients[k] * (pos - neg)
-    return total
+    return _resolve_kernel(kernel).equation3(counts_pos, counts_neg, n)
 
 
 def conditioned_counts(
-    circuit: Circuit, fact: Hashable
+    circuit: Circuit, fact: Hashable, kernel=None
 ) -> tuple[list[int], int, list[int], int]:
     """``#SAT_k`` of ``C[f->1]`` and ``C[f->0]`` over their own variable
     sets.  Returns ``(counts1, vars1, counts0, vars0)``."""
     positive = circuit.condition({fact: True})
     negative = circuit.condition({fact: False})
-    counts1, vars1 = _counts_or_constant(positive)
-    counts0, vars0 = _counts_or_constant(negative)
+    counts1, vars1 = _counts_or_constant(positive, kernel)
+    counts0, vars0 = _counts_or_constant(negative, kernel)
     return counts1, vars1, counts0, vars0
 
 
-def _counts_or_constant(circuit: Circuit) -> tuple[list[int], int]:
+def _counts_or_constant(circuit: Circuit, kernel=None) -> tuple[list[int], int]:
     root = circuit.output_gate()
     kind = circuit.kind(root)
     if kind == TRUE:
         return [1], 0
     if kind == FALSE:
         return [0], 0
-    return count_models_by_size(circuit)
+    return count_models_by_size(circuit, kernel=kernel)
+
+
+def _conditioned_shapley(
+    circuit: Circuit, n: int, fact: Hashable, kernel: Kernel
+) -> Fraction:
+    """One fact's value by conditioning, with all loop-invariant work
+    (reachability, player-set normalization) hoisted to the caller."""
+    counts1, vars1, counts0, vars0 = conditioned_counts(circuit, fact, kernel)
+    # Complete each count vector over the remaining n - 1 endogenous
+    # facts (Algorithm 1 line 1, realized as a binomial convolution).
+    full1 = kernel.complete(counts1, (n - 1) - vars1)
+    full0 = kernel.complete(counts0, (n - 1) - vars0)
+    return kernel.equation3(full1, full0, n)
 
 
 def shapley_of_fact(
@@ -96,6 +130,7 @@ def shapley_of_fact(
     endogenous_facts: Iterable[Hashable],
     fact: Hashable,
     deadline: float | None = None,
+    kernel=None,
 ) -> Fraction:
     """Shapley value of one endogenous fact (conditioning mode).
 
@@ -108,15 +143,9 @@ def shapley_of_fact(
     if fact not in set(endo):
         raise ValueError(f"{fact!r} is not an endogenous fact")
     _check_time(deadline)
-    present = circuit.reachable_vars()
-    if fact not in present:
+    if fact not in circuit.reachable_vars():
         return Fraction(0)
-    counts1, vars1, counts0, vars0 = conditioned_counts(circuit, fact)
-    # Complete each count vector over the remaining n - 1 endogenous
-    # facts (Algorithm 1 line 1, realized as a binomial convolution).
-    full1 = complete_counts(counts1, (n - 1) - vars1)
-    full0 = complete_counts(counts0, (n - 1) - vars0)
-    return shapley_from_counts(full1, full0, n)
+    return _conditioned_shapley(circuit, n, fact, _resolve_kernel(kernel))
 
 
 def shapley_all_facts(
@@ -124,36 +153,120 @@ def shapley_all_facts(
     endogenous_facts: Iterable[Hashable],
     method: str = "derivative",
     deadline: float | None = None,
+    kernel=None,
+    tape: GateTape | None = None,
 ) -> dict[Hashable, Fraction]:
     """Shapley values of every endogenous fact.
 
-    ``method`` is ``"derivative"`` (one shared pass, default) or
-    ``"conditioning"`` (the paper's per-fact loop).
+    ``method`` is ``"derivative"`` (one shared smoothing-free pass,
+    default), ``"smoothed"`` (the legacy shared pass over an explicitly
+    smoothed circuit), or ``"conditioning"`` (the paper's per-fact
+    loop).  ``kernel`` selects the numeric backend (instance, name, or
+    ``None`` for the reference).  ``tape`` optionally supplies a
+    prebuilt :class:`~repro.core.numerics.tape.GateTape` of *this*
+    circuit (derivative mode only) — the engine layer threads cached
+    tapes through so warm shapes skip circuit traversal entirely.
     """
     endo = list(endogenous_facts)
+    resolved = _resolve_kernel(kernel)
     if method == "conditioning":
+        n = len(endo)
         values: dict[Hashable, Fraction] = {}
+        zero = Fraction(0)
+        # Loop invariants hoisted: one reachability pass and one player
+        # normalization serve every fact.
         present = circuit.reachable_vars()
-        missing = Fraction(0)
         for fact in endo:
             _check_time(deadline)
             if fact not in present:
-                values[fact] = missing
+                values[fact] = zero
             else:
-                values[fact] = shapley_of_fact(circuit, endo, fact, deadline=deadline)
+                values[fact] = _conditioned_shapley(circuit, n, fact, resolved)
         return values
+    if method == "smoothed":
+        return _shapley_all_smoothed(circuit, endo, deadline, resolved)
     if method != "derivative":
-        raise ValueError(f"unknown method {method!r}")
-    return _shapley_all_derivative(circuit, endo, deadline=deadline)
+        raise ValueError(f"unknown method {method!r}; choose from {MODES}")
+    return _shapley_all_derivative(circuit, endo, deadline, resolved, tape)
+
+
+def _foreign_vars_error(present: set, endo_set: set) -> CircuitError:
+    return CircuitError(
+        "circuit mentions variables outside the endogenous set: "
+        f"{sorted(map(repr, present - endo_set))[:5]}"
+    )
 
 
 def _shapley_all_derivative(
+    circuit: Circuit | None,
+    endo: list[Hashable],
+    deadline: float | None = None,
+    kernel: Kernel | None = None,
+    tape: GateTape | None = None,
+) -> dict[Hashable, Fraction]:
+    """Smoothing-free shared pass over a compiled gate tape.
+
+    The forward sweep is Lemma 4.5 with per-child OR-gap binomials; the
+    backward sweep pushes the circuit derivative down the same tape,
+    accumulating per-variable *difference* vectors ``#SAT_m(C[x->1]) -
+    #SAT_m(C[x->0])`` directly — models in which ``x`` is free (what
+    smoothing pads exist to represent) contribute equally to both
+    conditionings and are never materialized.
+    """
+    kernel = kernel if kernel is not None else get_kernel(None)
+    n = len(endo)
+    zero = Fraction(0)
+    values: dict[Hashable, Fraction] = {fact: zero for fact in endo}
+    if n == 0:
+        return values
+
+    if tape is None:
+        simplified = circuit.condition({})
+        if simplified.kind(simplified.output_gate()) in (TRUE, FALSE):
+            return values
+        present = simplified.reachable_vars()
+        endo_set = set(endo)
+        if not present <= endo_set:
+            raise _foreign_vars_error(present, endo_set)
+        _check_time(deadline)
+        tape = compile_tape(simplified)
+    else:
+        if tape.is_constant:
+            return values
+        present = tape.labels()
+        endo_set = set(endo)
+        if not present <= endo_set:
+            raise _foreign_vars_error(present, endo_set)
+
+    check = (lambda: _check_time(deadline)) if deadline is not None else None
+    _check_time(deadline)
+    vals = tape.forward(kernel, check)
+    _check_time(deadline)
+    diffs = tape.backward_diffs(kernel, vals, check)
+    _check_time(deadline)
+
+    extra = n - tape.root_nvars  # endogenous facts outside the circuit
+    for slot, diff in diffs.items():
+        values[tape.var_labels[slot]] = kernel.equation3(
+            kernel.complete(diff, extra), None, n
+        )
+    return values
+
+
+def _shapley_all_smoothed(
     circuit: Circuit,
     endo: list[Hashable],
     deadline: float | None = None,
+    kernel: Kernel | None = None,
 ) -> dict[Hashable, Fraction]:
-    """Shared-pass mode: smooth the circuit, then compute conditioned
-    counts for all variables with one forward and one backward sweep."""
+    """Legacy shared pass: smooth the circuit, then compute conditioned
+    counts for all variables with one forward and one backward sweep.
+
+    Kept as the ablation baseline for the smoothing-free tape pass
+    (``benchmarks/bench_ablation_shapley_modes.py``); both return
+    identical Fractions on every input.
+    """
+    kernel = kernel if kernel is not None else get_kernel(None)
     n = len(endo)
     zero = Fraction(0)
     values: dict[Hashable, Fraction] = {fact: zero for fact in endo}
@@ -167,10 +280,7 @@ def _shapley_all_derivative(
     present = simplified.reachable_vars()
     endo_set = set(endo)
     if not present <= endo_set:
-        raise CircuitError(
-            "circuit mentions variables outside the endogenous set: "
-            f"{sorted(map(repr, present - endo_set))[:5]}"
-        )
+        raise _foreign_vars_error(present, endo_set)
 
     smoothed = smooth(simplified)
     root = smoothed.output_gate()
@@ -197,7 +307,7 @@ def _shapley_all_derivative(
         elif kind == AND:
             acc = [1]
             for child in smoothed.children(gate):
-                acc = _poly_mul(acc, val[child])
+                acc = kernel.poly_mul(acc, val[child])
             val[gate] = acc
         else:  # OR (smooth: children cover Vars(g))
             nvars = len(var_sets[gate])
@@ -221,24 +331,24 @@ def _shapley_all_derivative(
         kind = smoothed.kind(gate)
         if kind == OR:
             for child in smoothed.children(gate):
-                _poly_add_into(der, child, d)
+                der[child] = kernel.poly_add(der.get(child), d)
         elif kind == AND:
             children = smoothed.children(gate)
             # prefix/suffix products of sibling value polynomials
             prefix = [[1]]
             for child in children[:-1]:
-                prefix.append(_poly_mul(prefix[-1], val[child]))
+                prefix.append(kernel.poly_mul(prefix[-1], val[child]))
             suffix = [1]
             for index in range(len(children) - 1, -1, -1):
-                sibling_product = _poly_mul(prefix[index], suffix)
-                contribution = _poly_mul(d, sibling_product)
-                _poly_add_into(der, children[index], contribution)
-                suffix = _poly_mul(suffix, val[children[index]]) if index else suffix
+                sibling_product = kernel.poly_mul(prefix[index], suffix)
+                contribution = kernel.poly_mul(d, sibling_product)
+                der[children[index]] = kernel.poly_add(
+                    der.get(children[index]), contribution
+                )
+                suffix = kernel.poly_mul(suffix, val[children[index]]) if index else suffix
         # NOT / VAR / constants: leaves for this pass.
 
     _check_time(deadline)
-    coefficients = shapley_coefficients(n)
-
     # Collect per-variable positive/negative leaf derivatives:
     # der at leaf x gives #SAT_k(C[x->1]); der at leaf (not x) gives
     # #SAT_k(C[x->0]), both over Vars(C) minus x.
@@ -249,60 +359,22 @@ def _shapley_all_derivative(
         if kind == VAR:
             label = smoothed.label(gate)
             if gate in der:
-                pos_counts[label] = _poly_accumulate(
+                pos_counts[label] = kernel.poly_add(
                     pos_counts.get(label), der[gate]
                 )
         elif kind == NOT:
             child = smoothed.children(gate)[0]
             label = smoothed.label(child)
             if gate in der:
-                neg_counts[label] = _poly_accumulate(
+                neg_counts[label] = kernel.poly_add(
                     neg_counts.get(label), der[gate]
                 )
 
     for label in present:
-        counts1 = complete_counts(pos_counts.get(label, [0]), extra)
-        counts0 = complete_counts(neg_counts.get(label, [0]), extra)
-        total = Fraction(0)
-        for k in range(n):
-            pos = counts1[k] if k < len(counts1) else 0
-            neg = counts0[k] if k < len(counts0) else 0
-            if pos != neg:
-                total += coefficients[k] * (pos - neg)
-        values[label] = total
+        counts1 = kernel.complete(pos_counts.get(label, [0]), extra)
+        counts0 = kernel.complete(neg_counts.get(label, [0]), extra)
+        values[label] = kernel.equation3(counts1, counts0, n)
     return values
-
-
-def _poly_mul(a: Sequence[int], b: Sequence[int]) -> list[int]:
-    out = [0] * (len(a) + len(b) - 1)
-    for i, ai in enumerate(a):
-        if not ai:
-            continue
-        for j, bj in enumerate(b):
-            if bj:
-                out[i + j] += ai * bj
-    return out
-
-
-def _poly_add_into(store: dict[int, list[int]], key: int, poly: Sequence[int]) -> None:
-    existing = store.get(key)
-    if existing is None:
-        store[key] = list(poly)
-        return
-    if len(existing) < len(poly):
-        existing.extend([0] * (len(poly) - len(existing)))
-    for i, p in enumerate(poly):
-        existing[i] += p
-
-
-def _poly_accumulate(existing: list[int] | None, poly: Sequence[int]) -> list[int]:
-    if existing is None:
-        return list(poly)
-    if len(existing) < len(poly):
-        existing = existing + [0] * (len(poly) - len(existing))
-    for i, p in enumerate(poly):
-        existing[i] += p
-    return existing
 
 
 def efficiency_gap(

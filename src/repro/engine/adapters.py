@@ -49,6 +49,7 @@ class ExactEngine(Engine):
             method=options.mode,
             cache=options.cache,
             artifacts=options.artifacts,
+            numeric_backend=options.numeric_backend,
         )
         seconds = time.perf_counter() - start
         return EngineResult(
@@ -81,6 +82,7 @@ class HybridEngine(Engine):
             method=options.mode,
             cache=options.cache,
             artifacts=options.artifacts,
+            numeric_backend=options.numeric_backend,
         )
         return EngineResult(
             self.name, result.values, result.is_exact, "ok",

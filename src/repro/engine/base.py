@@ -55,6 +55,15 @@ class EngineOptions:
     answers by signature) thread the handle through so the
     canonicalization pass runs exactly once per answer; engines that
     compile read it in preference to re-opening ``cache``.
+
+    ``numeric_backend`` selects the exact-arithmetic kernel of the
+    counting passes (:mod:`repro.core.numerics`): ``None``/``"python"``
+    is the big-int reference, ``"numpy"`` the vectorized backend
+    (falling back to the reference when NumPy is not installed), and
+    ``"auto"`` picks NumPy when available.  Every backend returns
+    byte-identical Fractions; this is purely a performance knob, and it
+    travels with the options through every transport so remote workers
+    compute on the requested backend too.
     """
 
     budget: CompilationBudget | None = None
@@ -62,6 +71,7 @@ class EngineOptions:
     samples_per_fact: int = 20
     seed: int | None = None
     mode: str = "derivative"
+    numeric_backend: str | None = None
     cache: "ArtifactCache | None" = field(default=None, repr=False)
     artifacts: "CircuitArtifacts | None" = field(default=None, repr=False)
 

@@ -6,8 +6,10 @@ almost all of its time in knowledge compilation, which branches on the
 CNF's integer literals and never looks at labels, so the compiled
 d-DNNF of two isomorphic lineages differs only by a variable renaming.
 
-:class:`ArtifactCache` exploits this: artifacts (Tseytin CNFs and
-auxiliary-eliminated d-DNNFs) are stored under the circuit's canonical
+:class:`ArtifactCache` exploits this: artifacts (Tseytin CNFs,
+auxiliary-eliminated d-DNNFs, and their compiled
+:class:`~repro.core.numerics.tape.GateTape`s) are stored under the
+circuit's canonical
 :meth:`~repro.circuits.circuit.Circuit.structural_signature` with
 variable labels replaced by canonical indices, and renamed back to the
 request's actual labels on every hit.  Isomorphic lineages across
@@ -34,6 +36,7 @@ from ..circuits.cnf import Cnf
 from ..circuits.dnnf import eliminate_auxiliary
 from ..circuits.tseytin import tseytin_transform
 from ..compiler.knowledge import BudgetExceeded, CompilationBudget, compile_cnf
+from ..core.numerics.tape import GateTape, compile_tape
 from .store import PersistentArtifactStore
 
 
@@ -51,17 +54,23 @@ class CacheStats:
     cnf_misses: int = 0
     ddnnf_hits: int = 0
     ddnnf_misses: int = 0
+    tape_hits: int = 0
+    tape_misses: int = 0
     compile_calls: int = 0
     compile_failures: int = 0
+    #: Gate-tape lowerings actually performed (the tape analogue of
+    #: ``compile_calls``): zero on a warm store means every shape's
+    #: traversal was skipped entirely.
+    tape_compilations: int = 0
     evictions: int = 0
 
     @property
     def hits(self) -> int:
-        return self.cnf_hits + self.ddnnf_hits
+        return self.cnf_hits + self.ddnnf_hits + self.tape_hits
 
     @property
     def misses(self) -> int:
-        return self.cnf_misses + self.ddnnf_misses
+        return self.cnf_misses + self.ddnnf_misses + self.tape_misses
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -69,8 +78,11 @@ class CacheStats:
             "cnf_misses": self.cnf_misses,
             "ddnnf_hits": self.ddnnf_hits,
             "ddnnf_misses": self.ddnnf_misses,
+            "tape_hits": self.tape_hits,
+            "tape_misses": self.tape_misses,
             "compile_calls": self.compile_calls,
             "compile_failures": self.compile_failures,
+            "tape_compilations": self.tape_compilations,
             "evictions": self.evictions,
         }
 
@@ -78,11 +90,12 @@ class CacheStats:
 class _Entry:
     """Canonical artifacts of one lineage shape (labels = 0..k-1)."""
 
-    __slots__ = ("cnf", "ddnnf")
+    __slots__ = ("cnf", "ddnnf", "tape")
 
     def __init__(self) -> None:
         self.cnf: Cnf | None = None
         self.ddnnf: Circuit | None = None
+        self.tape: GateTape | None = None
 
 
 def _relabel_cnf(cnf: Cnf, mapping: Mapping[Hashable, Hashable]) -> Cnf:
@@ -189,15 +202,68 @@ class CircuitArtifacts:
         failures are not cached, so a later call with a larger budget
         retries.
         """
+        return self._canonical_ddnnf(budget).rename(self._to_actual())
+
+    def _canonical_ddnnf(self, budget: CompilationBudget | None) -> Circuit:
+        """The canonical (index-labelled) d-DNNF of this shape."""
         cache = self._cache
         with cache._lock:
             canonical = self._entry.ddnnf
         if canonical is None:
-            canonical = self._miss_ddnnf(budget)
+            return self._miss_ddnnf(budget)
+        with cache._lock:
+            cache.stats.ddnnf_hits += 1
+        return canonical
+
+    def tape(self, budget: CompilationBudget | None = None) -> GateTape:
+        """The compiled gate tape of the d-DNNF, re-targeted at the
+        circuit's facts.
+
+        On a hit (memory or store) no circuit is traversed at all: the
+        canonical tape's instruction arrays are shared and only its
+        O(#vars) label table is rebuilt — this is what lets warm shapes
+        skip straight to kernel arithmetic, across processes and socket
+        workers.  On a miss the canonical d-DNNF is obtained first
+        (compiling under ``budget`` if needed, with
+        :class:`~repro.compiler.knowledge.BudgetExceeded` propagating)
+        and lowered once; the result is published to both tiers.
+        """
+        cache = self._cache
+        with cache._lock:
+            canonical = self._entry.tape
+        if canonical is None:
+            canonical = self._miss_tape(budget)
         else:
             with cache._lock:
-                cache.stats.ddnnf_hits += 1
-        return canonical.rename(self._to_actual())
+                cache.stats.tape_hits += 1
+        return canonical.with_labels(self._to_actual())
+
+    def _miss_tape(self, budget: CompilationBudget | None) -> GateTape:
+        """Memory-tier miss: consult the persistent store, then lower
+        the (cached or freshly compiled) canonical d-DNNF."""
+        cache = self._cache
+        store = cache.store
+        if store is not None:
+            loaded = store.load_tape(self.signature)
+            if loaded is not None:
+                with cache._lock:
+                    if self._entry.tape is None:
+                        self._entry.tape = loaded
+                    cache.stats.tape_misses += 1
+                    return self._entry.tape
+        ddnnf = self._canonical_ddnnf(budget)
+        with cache._lock:
+            cache.stats.tape_compilations += 1
+        tape = compile_tape(ddnnf)
+        with cache._lock:
+            if self._entry.tape is None:
+                self._entry.tape = tape
+            else:
+                tape = self._entry.tape
+            cache.stats.tape_misses += 1
+        if store is not None:
+            store.store_tape(self.signature, tape)
+        return tape
 
     def _miss_ddnnf(self, budget: CompilationBudget | None) -> Circuit:
         """Memory-tier miss: consult the persistent store, then compile."""

@@ -4,8 +4,9 @@ Knowledge compilation dominates the exact pipeline, and the in-memory
 :class:`~repro.engine.cache.ArtifactCache` already makes isomorphic
 lineages compile once — but only within one process.
 :class:`PersistentArtifactStore` is the second tier underneath it: the
-*canonical* artifacts (Tseytin CNFs and auxiliary-eliminated d-DNNFs,
-labels replaced by canonical indices 0..k-1) are serialized to a
+*canonical* artifacts (Tseytin CNFs, auxiliary-eliminated d-DNNFs, and
+their compiled :class:`~repro.core.numerics.tape.GateTape`s, labels
+replaced by canonical indices 0..k-1) are serialized to a
 directory keyed by the circuit's structural signature, so every later
 process — another benchmark run, a CLI invocation, a worker of a
 :class:`~concurrent.futures.ProcessPoolExecutor` — reloads them instead
@@ -15,7 +16,7 @@ gate, the Shapley values computed from a reloaded d-DNNF are *exactly*
 
 File format (version 1)
 -----------------------
-One file per artifact, named ``<sha256(signature)>.<cnf|dnnf>``::
+One file per artifact, named ``<sha256(signature)>.<cnf|dnnf|tape>``::
 
     repro-artifact <format-version> <kind> <sha256(payload)>\\n
     <payload JSON>
@@ -55,13 +56,15 @@ from pathlib import Path
 
 from ..circuits.circuit import Circuit, CircuitError
 from ..circuits.cnf import Cnf, CnfError
+from ..core.numerics.tape import GateTape, TapeError
 
 #: Bump when the header or payload layout changes; older files are then
 #: treated as misses and rewritten on the next compile.
 FORMAT_VERSION = 1
 
 _MAGIC = "repro-artifact"
-_KINDS = ("cnf", "dnnf")
+_KINDS = ("cnf", "dnnf", "tape")
+_SUFFIXES = tuple(f".{kind}" for kind in _KINDS)
 
 
 @dataclass
@@ -180,7 +183,8 @@ class PersistentArtifactStore:
     # ------------------------------------------------------------------
 
     def path_for(self, signature: tuple, kind: str) -> Path:
-        """The on-disk path of one artifact (``kind``: cnf / dnnf)."""
+        """The on-disk path of one artifact (``kind``: cnf / dnnf /
+        tape)."""
         if kind not in _KINDS:
             raise ValueError(f"unknown artifact kind {kind!r}")
         return self.directory / f"{signature_digest(signature)}.{kind}"
@@ -199,7 +203,7 @@ class PersistentArtifactStore:
         except OSError:
             return found
         for path in candidates:
-            if path.suffix not in (".cnf", ".dnnf"):
+            if path.suffix not in _SUFFIXES:
                 continue
             try:
                 stat = path.stat()
@@ -241,6 +245,18 @@ class PersistentArtifactStore:
             return self._corrupt(self.path_for(signature, "dnnf"))
         self._hit(self.path_for(signature, "dnnf"))
         return circuit
+
+    def load_tape(self, signature: tuple) -> GateTape | None:
+        """The stored canonical gate tape of ``signature``, or ``None``."""
+        payload = self._load(signature, "tape")
+        if payload is None:
+            return None
+        try:
+            tape = GateTape.from_payload(payload)
+        except TapeError:
+            return self._corrupt(self.path_for(signature, "tape"))
+        self._hit(self.path_for(signature, "tape"))
+        return tape
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -314,6 +330,11 @@ class PersistentArtifactStore:
     def store_ddnnf(self, signature: tuple, circuit: Circuit) -> None:
         """Persist the canonical d-DNNF of ``signature`` (atomic)."""
         self._store(signature, "dnnf", circuit.to_payload())
+
+    def store_tape(self, signature: tuple, tape: GateTape) -> None:
+        """Persist the canonical compiled gate tape of ``signature``
+        (atomic)."""
+        self._store(signature, "tape", tape.to_payload())
 
     # ------------------------------------------------------------------
     # Internals

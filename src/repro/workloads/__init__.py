@@ -19,6 +19,7 @@ from .synthetic import (
     chained_dnf,
     intractable_circuit,
     intractable_cnf,
+    random_monotone_cnf,
     random_monotone_dnf,
 )
 from .tpch import TpchConfig, generate_tpch, tpch_schema
@@ -31,7 +32,7 @@ __all__ = [
     "IMDB_ALL_QUERIES", "IMDB_EXTRA_QUERIES", "IMDB_QUERIES", "imdb_query",
     "QueryShape", "QuerySpec", "describe",
     "bipartite_join_dnf", "chained_dnf", "intractable_circuit",
-    "intractable_cnf", "random_monotone_dnf",
+    "intractable_cnf", "random_monotone_cnf", "random_monotone_dnf",
     "TpchConfig", "generate_tpch", "tpch_schema",
     "TPCH_QUERIES", "tpch_query",
 ]

@@ -35,6 +35,28 @@ def random_monotone_dnf(
     return circuit
 
 
+def random_monotone_cnf(
+    n_vars: int,
+    n_clauses: int,
+    clause_width: int,
+    seed: int = 0,
+) -> Circuit:
+    """A random monotone CNF circuit (AND of positive-literal ORs) —
+    the shape of conjunctive-query lineage with unions pushed below the
+    joins.  Seeded and deterministic; used by the numeric-kernel parity
+    suite."""
+    rng = random.Random(seed)
+    circuit = Circuit()
+    labels = [f"x{i}" for i in range(n_vars)]
+    clauses = []
+    for _ in range(n_clauses):
+        width = min(clause_width, n_vars)
+        chosen = rng.sample(labels, width)
+        clauses.append(circuit.or_([circuit.var(v) for v in chosen]))
+    circuit.output = circuit.and_(clauses)
+    return circuit
+
+
 def chained_dnf(n_links: int) -> Circuit:
     """The path-shaped lineage ``(x0 & x1) | (x1 & x2) | ...`` — compact
     circuits whose d-DNNFs stay linear (easy cases)."""

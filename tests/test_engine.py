@@ -275,7 +275,10 @@ class TestArtifactCache:
             circuit, players, EngineOptions(timeout=30.0, cache=cache)
         )
         assert result.exact
-        assert cache.stats.ddnnf_hits >= 1
+        # The warm derivative path is served from the tape tier; the
+        # expensive knowledge compilation ran exactly once.
+        assert cache.stats.tape_hits >= 1
+        assert cache.stats.compile_calls == 1
 
 
 class TestExplainMany:
@@ -307,7 +310,10 @@ class TestExplainMany:
         assert stats["unique_shapes"] == 1
         assert stats["compile_calls"] == 1
         assert stats["compile_calls"] < stats["answers_explained"]
-        assert stats["ddnnf_hits"] == 7
+        # Warm answers are served from the tape tier (the d-DNNF is
+        # only touched once, to lower the shape's tape).
+        assert stats["tape_compilations"] == 1
+        assert stats["tape_hits"] == 7
 
     def test_explainer_explain_many_parity(self):
         db = join_database(n_answers=5)

@@ -163,7 +163,7 @@ class TestCli:
         assert payload["transport"] == "thread"
         assert payload["stats"]["compile_calls"] > 0
         assert payload["stats"]["store_writes"] > 0
-        assert payload["store_artifacts"] == 2
+        assert payload["store_artifacts"] == 3
 
 
 class TestCliValidation:
@@ -222,6 +222,24 @@ class TestCliValidation:
         assert exit_info.value.code == 2
         assert "host:port" in capsys.readouterr().err
 
+    def test_unknown_numeric_backend_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["bench", "--workload", "flights",
+                  "--numeric-backend", "cuda"])
+        assert exit_info.value.code == 2
+        assert "--numeric-backend" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("backend", ["python", "numpy", "auto"])
+    def test_numeric_backend_accepted_on_bench_and_explain(
+        self, backend, capsys
+    ):
+        assert main(["bench", "--workload", "flights",
+                     "--numeric-backend", backend]) == 0
+        capsys.readouterr()
+        assert main(["explain", "--workload", "flights", "--method",
+                     "exact", "--numeric-backend", backend]) == 0
+        capsys.readouterr()
+
 
 class TestCacheCli:
     def _populate(self, tmp_path, capsys) -> str:
@@ -235,7 +253,7 @@ class TestCacheCli:
         store = self._populate(tmp_path, capsys)
         assert main(["cache", "stats", store]) == 0
         out = capsys.readouterr().out
-        assert "2 artifacts (1 cnf, 1 dnnf)" in out
+        assert "3 artifacts (1 cnf, 1 dnnf, 1 tape)" in out
 
     def test_stats_json(self, tmp_path, capsys):
         import json
@@ -243,15 +261,15 @@ class TestCacheCli:
         store = self._populate(tmp_path, capsys)
         assert main(["cache", "stats", store, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["artifacts"] == 2
+        assert payload["artifacts"] == 3
         assert payload["total_bytes"] > 0
 
     def test_ls_lists_artifacts_mru_first(self, tmp_path, capsys):
         store = self._populate(tmp_path, capsys)
         assert main(["cache", "ls", store]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
-        assert len(lines) == 2
-        assert {line.split()[1] for line in lines} == {"cnf", "dnnf"}
+        assert len(lines) == 3
+        assert {line.split()[1] for line in lines} == {"cnf", "dnnf", "tape"}
         assert main(["cache", "ls", store, "--limit", "1"]) == 0
         assert len(capsys.readouterr().out.strip().splitlines()) == 1
 
@@ -261,7 +279,7 @@ class TestCacheCli:
         store = self._populate(tmp_path, capsys)
         assert main(["cache", "gc", store, "--max-bytes", "1", "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
-        assert report["evicted"] == 2
+        assert report["evicted"] == 3
         assert report["remaining_files"] == 0
         assert main(["cache", "stats", store]) == 0
         assert "0 artifacts" in capsys.readouterr().out

@@ -1,0 +1,506 @@
+"""Tests for the numeric-kernel subsystem (PR 4).
+
+Covers the kernel registry and its optional-dependency fallback, the
+primitive-level parity of every backend against the big-int reference,
+the compiled gate tape (lowering, execution, serialization, the tape
+artifact kind of the persistent store), the incremental
+``shapley_coefficients`` recurrence, the unified Equation-3
+combination's bounds handling, and the headline randomized parity
+suite: on seeded small monotone CNFs, conditioning mode == derivative
+(smoothing-free) mode == smoothed mode == naive permutation
+enumeration, with byte-identical Fractions across both kernels and all
+three transports.
+"""
+
+import random
+import threading
+from fractions import Fraction
+from math import comb, factorial
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    NotDecomposableError,
+    circuit_from_nested,
+    complete_counts,
+    count_models_by_size,
+    eliminate_auxiliary,
+    enumerate_models,
+    tseytin_transform,
+)
+from repro.compiler import compile_cnf
+from repro.core import game_from_circuit, shapley_all_facts, shapley_naive
+from repro.core.numerics import (
+    HAS_NUMPY,
+    GateTape,
+    NumpyKernel,
+    PythonKernel,
+    TapeError,
+    available_kernels,
+    binomial_row,
+    compile_tape,
+    get_kernel,
+    shapley_coefficients,
+)
+from repro.core.shapley import shapley_from_counts
+from repro.engine import (
+    ArtifactCache,
+    Coordinator,
+    EngineOptions,
+    ExplainSession,
+    PersistentArtifactStore,
+    run_worker,
+)
+from repro.workloads.synthetic import random_monotone_cnf, random_monotone_dnf
+
+from .test_store import JOIN_QUERY, join_database
+
+PYTHON = get_kernel("python")
+NUMPY = get_kernel("numpy")  # falls back to PYTHON when NumPy is absent
+
+#: (n_vars, n_clauses, width, seed) grid of the randomized parity suite.
+PARITY_CASES = [
+    (n_vars, n_clauses, width, seed)
+    for seed in (0, 1, 2)
+    for (n_vars, n_clauses, width) in ((4, 3, 2), (5, 4, 3), (6, 5, 2))
+]
+
+
+def _compile(circuit: Circuit) -> Circuit:
+    cnf = tseytin_transform(circuit)
+    result = compile_cnf(cnf)
+    return eliminate_auxiliary(result.circuit, set(cnf.labels.values()))
+
+
+def _counts_by_enumeration(circuit: Circuit) -> list[int]:
+    labels = sorted(circuit.reachable_vars(), key=repr)
+    counts = [0] * (len(labels) + 1)
+    for model in enumerate_models(circuit, over=labels):
+        counts[len(model)] += 1
+    return counts
+
+
+class TestRegistry:
+    def test_available_kernels(self):
+        names = available_kernels()
+        assert names[0] == "python"
+        assert "numpy" in names
+
+    def test_aliases_resolve_to_the_reference(self):
+        assert get_kernel("exact") is PYTHON
+        assert get_kernel("bigint") is PYTHON
+
+    def test_none_is_the_reference(self):
+        assert get_kernel(None) is PYTHON
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown numeric kernel"):
+            get_kernel("cuda")
+
+    def test_numpy_falls_back_gracefully_when_missing(self, monkeypatch):
+        import repro.core.numerics.vector as vector
+
+        monkeypatch.setattr(vector, "HAS_NUMPY", False)
+        assert get_kernel("numpy") is PYTHON
+        assert get_kernel("auto") is PYTHON
+        with pytest.raises(ValueError, match="unavailable"):
+            get_kernel("numpy", strict=True)
+
+    def test_auto_prefers_numpy_when_available(self):
+        if HAS_NUMPY:
+            assert isinstance(get_kernel("auto"), NumpyKernel)
+        else:
+            assert get_kernel("auto") is PYTHON
+
+    def test_instances_are_shared(self):
+        assert get_kernel("python") is get_kernel("python")
+
+
+class TestCoefficients:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 13, 40])
+    def test_recurrence_matches_factorial_formula(self, n):
+        n_fact = factorial(n)
+        expected = [
+            Fraction(factorial(k) * factorial(n - k - 1), n_fact)
+            for k in range(n)
+        ]
+        assert shapley_coefficients(n) == expected
+
+    def test_empty_and_negative(self):
+        assert shapley_coefficients(0) == []
+        assert shapley_coefficients(-3) == []
+
+    def test_returns_a_fresh_list(self):
+        first = shapley_coefficients(5)
+        first[0] = None  # a caller mutating its copy ...
+        assert shapley_coefficients(5)[0] == Fraction(1, 5)  # ... is isolated
+
+    def test_binomial_row(self):
+        assert binomial_row(0) == (1,)
+        assert binomial_row(4) == (1, 4, 6, 4, 1)
+        with pytest.raises(ValueError):
+            binomial_row(-1)
+
+
+class TestKernelPrimitiveParity:
+    """Every backend must agree with the reference, element for element,
+    on big-int inputs (beyond float precision by construction)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_poly_mul(self, seed):
+        rng = random.Random(seed)
+        for la, lb in ((1, 1), (3, 40), (40, 3), (25, 30)):
+            a = [rng.randrange(10**25) for _ in range(la)]
+            b = [rng.randrange(10**25) for _ in range(lb)]
+            expected = PYTHON.poly_mul(a, b)
+            assert NUMPY.poly_mul(a, b) == expected
+            assert all(isinstance(x, int) for x in NUMPY.poly_mul(a, b))
+
+    def test_complete(self):
+        rng = random.Random(7)
+        counts = [rng.randrange(10**30) for _ in range(20)]
+        for extra in (0, 1, 5, 40):
+            assert NUMPY.complete(counts, extra) == PYTHON.complete(
+                counts, extra
+            )
+        with pytest.raises(ValueError):
+            NUMPY.complete(counts, -1)
+
+    def test_poly_add(self):
+        rng = random.Random(9)
+        acc_a = [rng.randrange(10**25) for _ in range(8)]
+        acc_b = list(acc_a)
+        poly = [rng.randrange(10**25) for _ in range(30)]
+        assert PYTHON.poly_add(acc_a, poly) == NUMPY.poly_add(acc_b, poly)
+        assert PYTHON.poly_add(None, poly) == list(poly)
+
+    def test_or_accumulate(self):
+        rng = random.Random(11)
+        children = [
+            [rng.randrange(10**20) for _ in range(width)]
+            for width in (3, 17, 25)
+        ]
+        gaps = [22, 8, 0]
+        assert NUMPY.or_accumulate(24, children, gaps) == \
+            PYTHON.or_accumulate(24, children, gaps)
+
+    def test_equation3(self):
+        rng = random.Random(13)
+        pos = [rng.randrange(10**20) for _ in range(12)]
+        neg = [rng.randrange(10**20) for _ in range(12)]
+        assert NUMPY.equation3(pos, neg, 12) == PYTHON.equation3(pos, neg, 12)
+
+
+class TestEquation3Bounds:
+    """Regression for the once-duplicated Equation-3 combination:
+    shapley_from_counts and the derivative tail now share one kernel
+    implementation, exercised here with count vectors shorter and
+    longer than ``n`` on both kernels."""
+
+    @staticmethod
+    def _reference(pos, neg, n):
+        n_fact = factorial(n)
+        total = Fraction(0)
+        for k in range(n):
+            p = pos[k] if k < len(pos) else 0
+            m = neg[k] if k < len(neg) else 0
+            total += Fraction(
+                factorial(k) * factorial(n - k - 1), n_fact
+            ) * (p - m)
+        return total
+
+    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY])
+    def test_shorter_than_n_zero_pads(self, kernel):
+        pos, neg, n = [1], [0], 3
+        expected = self._reference(pos, neg, n)
+        assert shapley_from_counts(pos, neg, n, kernel=kernel) == expected
+        assert expected == Fraction(2, 6)
+
+    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY])
+    def test_mismatched_lengths(self, kernel):
+        pos, neg, n = [2, 5, 1], [1], 4
+        assert shapley_from_counts(pos, neg, n, kernel=kernel) == \
+            self._reference(pos, neg, n)
+
+    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY])
+    def test_longer_than_n_ignores_tail(self, kernel):
+        # An over-completed vector must not index coefficients past n-1
+        # (the legacy derivative tail would have raised IndexError or,
+        # worse, silently weighted them).
+        pos, neg, n = [1, 2, 3, 4, 5], [0, 1, 0, 9, 9], 3
+        assert shapley_from_counts(pos, neg, n, kernel=kernel) == \
+            self._reference(pos, neg, n)
+
+    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY])
+    def test_difference_form_agrees(self, kernel):
+        pos, neg, n = [3, 7, 2], [1, 2, 8], 3
+        diff = [p - m for p, m in zip(pos, neg)]
+        assert kernel.equation3(diff, None, n) == \
+            kernel.equation3(pos, neg, n)
+
+
+class TestGateTape:
+    def test_lowering_shares_structure_across_labels(self):
+        circuit = circuit_from_nested(("or", "a", ("and", ("not", "a"), "b")))
+        tape = compile_tape(circuit)
+        renamed = tape.with_labels({"a": "x", "b": "y"})
+        assert renamed.ops is tape.ops and renamed.args is tape.args
+        assert renamed.var_labels == ["x", "y"]
+        assert tape.var_labels == ["a", "b"]
+
+    def test_forward_matches_enumeration(self):
+        for seed in range(6):
+            ddnnf = _compile(random_monotone_dnf(5, 4, 2, seed))
+            counts, nvars = count_models_by_size(ddnnf)
+            assert counts == _counts_by_enumeration(ddnnf)
+            assert nvars == len(ddnnf.reachable_vars())
+
+    def test_forward_on_both_kernels(self):
+        ddnnf = _compile(random_monotone_cnf(6, 5, 3, seed=42))
+        assert count_models_by_size(ddnnf, kernel=PYTHON) == \
+            count_models_by_size(ddnnf, kernel=NUMPY)
+
+    def test_general_negation_forward(self):
+        # NOT above a non-variable gate: complement counting still works
+        # in the forward pass (the backward pass requires NNF).
+        circuit = Circuit()
+        p, q = circuit.var("p"), circuit.var("q")
+        circuit.output = circuit.not_(circuit.raw_and((p, q)))
+        counts, nvars = count_models_by_size(circuit)
+        assert (counts, nvars) == ([1, 2, 0], 2)
+        tape = compile_tape(circuit)
+        vals = tape.forward(PYTHON)
+        with pytest.raises(TapeError, match="NNF"):
+            tape.backward_diffs(PYTHON, vals)
+
+    def test_non_decomposable_and_detected(self):
+        circuit = Circuit()
+        x, y = circuit.var("x"), circuit.var("y")
+        circuit.output = circuit.raw_and((x, circuit.raw_and((x, y))))
+        with pytest.raises(NotDecomposableError):
+            count_models_by_size(circuit)
+
+    def test_complete_counts_delegates_to_kernel(self):
+        assert complete_counts([1], 3) == [1, 3, 3, 1]
+        assert complete_counts([0, 2, 1], 0) == [0, 2, 1]
+        assert complete_counts([1, 1], 2, kernel=NUMPY) == [1, 3, 3, 1]
+
+    def test_payload_round_trip(self):
+        tape = compile_tape(
+            _compile(random_monotone_dnf(5, 4, 3, seed=3)).rename(
+                {f"x{i}": i for i in range(5)}
+            )
+        )
+        clone = GateTape.from_payload(tape.to_payload())
+        assert clone.ops == tape.ops
+        assert clone.args == tape.args
+        assert clone.gaps == tape.gaps
+        assert clone.nvars == tape.nvars
+        assert clone.var_labels == tape.var_labels
+        assert clone.source_gates == tape.source_gates
+        assert clone.forward(PYTHON)[-1] == tape.forward(PYTHON)[-1]
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: p.pop("ops"),
+        lambda p: p["ops"].append(99),
+        lambda p: p.__setitem__("ops", p["ops"][:-1]),
+        lambda p: p["args"][-1].append(10**6),
+        lambda p: p.__setitem__("var_labels", []),
+        lambda p: p.__setitem__("source_gates", -1),
+        lambda p: p["gaps"].__setitem__(0, [1]),
+        # schema-invalid entries (a foreign writer at the same format
+        # version) must read as corruption, not crash the store load
+        lambda p: p.__setitem__("args", 5),
+        lambda p: p.__setitem__("args", [7] * len(p["ops"])),
+        lambda p: p.__setitem__("gaps", [3] * len(p["ops"])),
+        lambda p: p.__setitem__("nvars", ["a"] * len(p["ops"])),
+        lambda p: p.__setitem__("ops", [[1]] * len(p["ops"])),
+    ])
+    def test_malformed_payloads_raise(self, mutate):
+        tape = compile_tape(circuit_from_nested(("or", "a", "b")))
+        payload = tape.to_payload()
+        mutate(payload)
+        with pytest.raises(TapeError):
+            GateTape.from_payload(payload)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(TapeError):
+            GateTape.from_payload({
+                "ops": [], "args": [], "gaps": [], "nvars": [],
+                "var_labels": [], "source_gates": 0,
+            })
+
+
+class TestParitySuite:
+    """The headline acceptance check: on seeded small monotone CNFs,
+    all three all-facts modes and the naive permutation definition
+    return byte-identical Fractions, on both kernels."""
+
+    @pytest.mark.parametrize("n_vars,n_clauses,width,seed", PARITY_CASES)
+    def test_modes_kernels_and_naive_agree(
+        self, n_vars, n_clauses, width, seed
+    ):
+        circuit = random_monotone_cnf(n_vars, n_clauses, width, seed)
+        players = [f"x{i}" for i in range(n_vars)]
+        ddnnf = _compile(circuit)
+        naive = shapley_naive(game_from_circuit(circuit), players)
+        results = {}
+        for kernel in (PYTHON, NUMPY):
+            for mode in ("conditioning", "derivative", "smoothed"):
+                results[(kernel.name, mode)] = shapley_all_facts(
+                    ddnnf, players, method=mode, kernel=kernel
+                )
+        for key, values in results.items():
+            assert values == naive, key
+            for fact in players:
+                # byte-identical: same type, numerator, denominator
+                assert isinstance(values[fact], Fraction), key
+                assert values[fact].numerator == naive[fact].numerator
+                assert values[fact].denominator == naive[fact].denominator
+
+    def test_negated_lineage_agrees_across_modes(self):
+        # Non-monotone NNF: derivative paths must handle NVAR leaves.
+        circuit = circuit_from_nested(
+            ("or", ("and", "a", ("not", "b")), ("and", ("not", "a"), "b"))
+        )
+        players = ["a", "b", "c"]
+        ddnnf = _compile(circuit)
+        naive = shapley_naive(game_from_circuit(circuit), players)
+        for mode in ("conditioning", "derivative", "smoothed"):
+            assert shapley_all_facts(ddnnf, players, method=mode) == naive
+
+    def test_prebuilt_tape_path_matches(self):
+        ddnnf = _compile(random_monotone_cnf(5, 4, 2, seed=8))
+        players = [f"x{i}" for i in range(5)]
+        tape = compile_tape(ddnnf.condition({}))
+        direct = shapley_all_facts(ddnnf, players, method="derivative")
+        via_tape = shapley_all_facts(
+            None, players, method="derivative", tape=tape
+        )
+        assert direct == via_tape
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            shapley_all_facts(circuit_from_nested("x"), ["x"], method="magic")
+
+
+class TestTapeArtifacts:
+    def test_warm_store_skips_tape_compilation(self, tmp_path):
+        from repro.core.pipeline import run_exact
+
+        circuit = random_monotone_dnf(5, 4, 2, seed=5)
+        players = sorted(circuit.reachable_vars())
+        store = PersistentArtifactStore(tmp_path)
+        cold_cache = ArtifactCache(store=store)
+        cold = run_exact(circuit, players, cache=cold_cache)
+        assert cold.ok
+        assert cold_cache.stats.tape_compilations == 1
+        assert (len([e for e in store.entries() if e.kind == "tape"])) == 1
+
+        warm_cache = ArtifactCache(store=PersistentArtifactStore(tmp_path))
+        warm = run_exact(circuit, players, cache=warm_cache)
+        assert warm.ok
+        assert warm_cache.stats.tape_compilations == 0
+        assert warm_cache.stats.compile_calls == 0
+        assert warm.values == cold.values
+        # provenance stats survive the tape-only warm path
+        assert warm.stats.ddnnf_size == cold.stats.ddnnf_size
+
+    def test_in_memory_hits_share_one_tape(self):
+        from repro.core.pipeline import run_exact
+
+        cache = ArtifactCache()
+        circuit = random_monotone_dnf(5, 4, 2, seed=6)
+        players = sorted(circuit.reachable_vars())
+        first = run_exact(circuit, players, cache=cache)
+        renamed = circuit.rename(
+            {label: f"y{label}" for label in players}
+        )
+        second = run_exact(
+            renamed, sorted(renamed.reachable_vars()), cache=cache
+        )
+        assert cache.stats.tape_compilations == 1
+        assert cache.stats.tape_hits == 1
+        assert first.ok and second.ok
+        assert {f"y{k}": v for k, v in first.values.items()} == second.values
+
+    def test_corrupt_tape_artifact_recovers(self, tmp_path):
+        from repro.core.pipeline import run_exact
+
+        circuit = random_monotone_dnf(4, 3, 2, seed=7)
+        players = sorted(circuit.reachable_vars())
+        store = PersistentArtifactStore(tmp_path)
+        cold = run_exact(circuit, players, cache=ArtifactCache(store=store))
+        tape_files = [e.path for e in store.entries() if e.kind == "tape"]
+        assert len(tape_files) == 1
+        blob = tape_files[0].read_bytes()
+        tape_files[0].write_bytes(blob[: len(blob) - 12])  # torn write
+
+        fresh_store = PersistentArtifactStore(tmp_path)
+        cache = ArtifactCache(store=fresh_store)
+        warm = run_exact(circuit, players, cache=cache)
+        assert warm.ok and warm.values == cold.values
+        assert fresh_store.stats.corruptions == 1
+        assert cache.stats.tape_compilations == 1  # re-lowered from d-DNNF
+        assert cache.stats.compile_calls == 0  # ... without recompiling
+
+    def test_mode_without_tape_still_uses_ddnnf(self):
+        cache = ArtifactCache()
+        with ExplainSession(
+            join_database(2, 2), method="exact",
+            options=EngineOptions(mode="conditioning"), cache=cache,
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+        assert all(r.ok for r in results.values())
+        assert cache.stats.tape_compilations == 0
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    """A live coordinator with two in-thread workers sharing a store."""
+    coordinator = Coordinator().start()
+    store_dir = str(tmp_path / "fleet-store")
+    ready = threading.Barrier(3, timeout=10)
+    threads = [
+        threading.Thread(
+            target=run_worker,
+            args=(coordinator.address,),
+            kwargs={"cache_dir": store_dir, "on_ready": ready.wait},
+            daemon=True,
+        )
+        for _ in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    ready.wait()
+    coordinator.wait_for_workers(2, timeout=10)
+    yield coordinator
+    coordinator.shutdown()
+    for thread in threads:
+        thread.join(timeout=10)
+
+
+class TestTransportKernelParity:
+    def test_identical_fractions_across_transports_and_kernels(
+        self, fleet
+    ):
+        db = join_database(6, 2)
+        baseline = ExplainSession(db, method="exact").explain_many(JOIN_QUERY)
+        expected = {a: r.values for a, r in baseline.items()}
+        for backend in ("python", "numpy"):
+            with ExplainSession(
+                db, method="exact", max_workers=2,
+                options=EngineOptions(numeric_backend=backend),
+                coordinator=fleet.address, min_workers=2,
+            ) as session:
+                for executor in ("thread", "process", "socket"):
+                    results = session.explain_many(
+                        JOIN_QUERY, executor=executor
+                    )
+                    got = {a: r.values for a, r in results.items()}
+                    assert got == expected, (backend, executor)
+                    for values in got.values():
+                        assert all(
+                            type(v) is Fraction for v in values.values()
+                        ), (backend, executor)

@@ -137,7 +137,7 @@ class TestPersistentStore:
         cold_cache = ArtifactCache(store=PersistentArtifactStore(tmp_path))
         cold = run_exact(circuit, players, cache=cold_cache)
         assert cold.ok and cold_cache.stats.compile_calls == 1
-        assert cold_cache.store.stats.writes == 2  # cnf + dnnf
+        assert cold_cache.store.stats.writes == 3  # cnf + dnnf + tape
 
         # A fresh cache + store over the same directory models a new
         # process: everything is served from disk, nothing compiles.
@@ -180,7 +180,7 @@ class TestPersistentStore:
         assert cache.stats.compile_calls == 1  # fell back to compiling
         assert fresh_store.stats.corruptions >= 1
         # the corrupt files were dropped and rewritten
-        assert fresh_store.stats.writes == 2
+        assert fresh_store.stats.writes == 3
 
         again = ArtifactCache(store=PersistentArtifactStore(tmp_path))
         assert run_exact(circuit, players, cache=again).ok
@@ -271,7 +271,7 @@ class TestProcessExecutor:
         }
         # the warm-up wave compiled the single shape once, in-parent
         assert session.stats["compile_calls"] == 1
-        assert session.stats["store_writes"] == 2
+        assert session.stats["store_writes"] == 3
 
     def test_process_executor_without_store_still_correct(self):
         db = join_database(n_answers=4)
