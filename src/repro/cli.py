@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -151,12 +152,13 @@ def _address(text: str) -> tuple[str, int]:
 
 def _numeric_backend(args: argparse.Namespace) -> str | None:
     """The requested numeric kernel, warning once when an explicit
-    ``numpy`` request will fall back (NumPy not installed)."""
+    ``numpy`` / ``int64`` request will fall back (NumPy not
+    installed)."""
     backend = getattr(args, "numeric_backend", None)
-    if backend == "numpy" and not HAS_NUMPY:
-        print("warning: NumPy is not installed; "
-              "--numeric-backend numpy falls back to the reference kernel",
-              file=sys.stderr)
+    if backend in ("numpy", "int64") and not HAS_NUMPY:
+        print(f"warning: NumPy is not installed; "
+              f"--numeric-backend {backend} falls back to the reference "
+              f"kernel", file=sys.stderr)
     return backend
 
 
@@ -247,32 +249,63 @@ def cmd_bench(args: argparse.Namespace) -> int:
         coordinator=args.coordinator,
         min_workers=args.min_workers,
     ) as session:
-        start = time.perf_counter()
-        results = session.explain_many(query)
-        elapsed = time.perf_counter() - start
+        warmed = args.repeats > 1
+        if warmed:
+            # One explicit warm-up iteration: the timed repeats then
+            # measure the steady state instead of first-call cache and
+            # compilation effects.
+            session.explain_many(query)
+        laps = []
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            results = session.explain_many(query)
+            laps.append(time.perf_counter() - start)
         stats = session.stats
     total = len(results)
     ok = sum(r.ok for r in results.values())
+    elapsed = statistics.median(laps)
+    profile = _stage_profile(results) if args.profile else None
     if args.json:
-        print(json.dumps({
+        payload = {
             "workload": args.workload,
             "transport": args.jobs_mode,
             "jobs": args.jobs,
             "outputs": total,
             "ok": ok,
             "seconds": round(elapsed, 6),
+            "seconds_min": round(min(laps), 6),
+            "repeats": args.repeats,
+            "warmup": warmed,
             "stats": stats,
             "store_artifacts": len(store) if store is not None else None,
-        }, sort_keys=True))
+        }
+        if profile is not None:
+            payload["profile"] = profile
+        print(json.dumps(payload, sort_keys=True))
         return 0
+    timing = (
+        f"in {elapsed:.2f}s"
+        if args.repeats == 1
+        else f"in median {elapsed:.2f}s / min {min(laps):.2f}s "
+             f"({args.repeats} warmed repeats)"
+    )
     print(f"{total} outputs, {ok} exact successes "
-          f"({ok / total:.1%}) in {elapsed:.2f}s")
+          f"({ok / total:.1%}) {timing}")
+    if profile is not None:
+        print("profile: "
+              f"compile {profile['compile_seconds']:.3f}s, "
+              f"tape-lower {profile['tape_lower_seconds']:.3f}s, "
+              f"kernel-exec {profile['kernel_exec_seconds']:.3f}s "
+              "(summed over the last repeat's answers)")
     print(f"cache: {stats['compile_calls']} compilations, "
           f"{stats['tape_compilations']} tape compilations for "
           f"{stats['answers_explained']} answers "
           f"({stats['unique_shapes']} distinct lineage shapes, "
           f"{stats['ddnnf_hits']} d-DNNF hits, "
           f"{stats['tape_hits']} tape hits)")
+    if stats["fastpath_hits"] or stats["fastpath_fallbacks"]:
+        print(f"fastpath: {stats['fastpath_hits']} machine-width passes, "
+              f"{stats['fastpath_fallbacks']} exact fallbacks")
     if store is not None:
         print(f"store: {stats['store_hits']} hits, "
               f"{stats['store_misses']} misses, "
@@ -285,6 +318,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{stats['remote_store_hits']} store hits "
               f"(cumulative since worker start)")
     return 0
+
+
+def _stage_profile(results) -> dict[str, float]:
+    """Per-stage timing breakdown of one batch: knowledge compilation
+    (Tseytin + compile), gate-tape lowering, and kernel execution
+    (Algorithm 1), summed over the answers' exact outcomes."""
+    stages = {"compile_seconds": 0.0, "tape_lower_seconds": 0.0,
+              "kernel_exec_seconds": 0.0}
+    for result in results.values():
+        timings = getattr(result.detail, "timings", None) or {}
+        stages["compile_seconds"] += (
+            timings.get("tseytin", 0.0) + timings.get("compile", 0.0))
+        stages["tape_lower_seconds"] += timings.get("tape", 0.0)
+        stages["kernel_exec_seconds"] += timings.get("shapley", 0.0)
+    return {key: round(value, 6) for key, value in stages.items()}
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -431,8 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--numeric-backend",
                    choices=(*available_kernels(), "auto"), default=None,
                    help="numeric kernel of the exact counting passes "
-                        "(default: the big-int reference; 'numpy' falls "
-                        "back to it when NumPy is not installed)")
+                        "(default: the big-int reference; 'int64' is the "
+                        "machine-width fast path, 'auto' the ladder "
+                        "int64>numpy>python; NumPy-backed kernels fall "
+                        "back to the reference when NumPy is missing)")
     e.set_defaults(func=cmd_explain)
 
     b = sub.add_parser("bench", help="quick exact-pipeline smoke benchmark")
@@ -464,8 +514,17 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--numeric-backend",
                    choices=(*available_kernels(), "auto"), default=None,
                    help="numeric kernel of the exact counting passes "
-                        "(default: the big-int reference; 'numpy' falls "
-                        "back to it when NumPy is not installed)")
+                        "(default: the big-int reference; 'int64' is the "
+                        "machine-width fast path, 'auto' the ladder "
+                        "int64>numpy>python; NumPy-backed kernels fall "
+                        "back to the reference when NumPy is missing)")
+    b.add_argument("--repeats", type=_positive_int, default=1,
+                   help="timed repetitions of the batch; > 1 adds one "
+                        "explicit warm-up iteration first and reports "
+                        "median/min over the repeats (default: 1 cold run)")
+    b.add_argument("--profile", action="store_true",
+                   help="print a per-stage breakdown (compile / "
+                        "tape-lower / kernel-exec) of the last repeat")
     b.add_argument("--json", action="store_true",
                    help="emit one machine-readable JSON object instead of "
                         "the human summary")

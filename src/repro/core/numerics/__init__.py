@@ -7,26 +7,41 @@
 * :mod:`~repro.core.numerics.exact` — the big-int reference backend
   (``"python"``);
 * :mod:`~repro.core.numerics.vector` — the vectorized NumPy backend
-  (``"numpy"``, optional dependency with graceful fallback);
+  over object-dtype arrays (``"numpy"``, optional dependency with
+  graceful fallback);
+* :mod:`~repro.core.numerics.fixed` — the machine-width tier: the
+  overflow-guarded native ``"int64"`` kernel and the level-scheduled
+  tape fast path (float64 / int64 / CRT residue planes, per-shape
+  fallback to the exact object kernels);
 * :mod:`~repro.core.numerics.tape` — :class:`GateTape`, the compiled
   flat instruction form of a d-DNNF executing the smoothing-free
-  forward/backward sweeps; persisted by the engine layer as a third
-  artifact kind.
+  forward/backward sweeps, now carrying its level schedule and
+  a-priori magnitude bounds; persisted by the engine layer as a third
+  artifact kind (payload format v2, v1 re-lowered on load).
 
-See README.md ("Numeric kernels") for backend selection and the tape
-artifact life cycle.
+``get_kernel("auto")`` walks the ladder int64 → numpy → python.  See
+README.md ("Choosing a numeric backend") for selection guidance and
+overflow semantics.
 """
 
 from .base import (
     Kernel,
     available_kernels,
     binomial_row,
+    coefficients_cache_info,
     get_kernel,
     register_kernel,
     shapley_coefficients,
 )
 from .exact import PythonKernel
 from .vector import HAS_NUMPY, NumpyKernel
+from .fixed import (
+    FastpathStats,
+    Int64Kernel,
+    LevelPlan,
+    fastpath_diffs,
+    plan_for,
+)
 from .tape import (
     GateTape,
     NonDecomposableTape,
@@ -35,8 +50,9 @@ from .tape import (
 )
 
 __all__ = [
-    "Kernel", "PythonKernel", "NumpyKernel", "HAS_NUMPY",
+    "Kernel", "PythonKernel", "NumpyKernel", "Int64Kernel", "HAS_NUMPY",
     "available_kernels", "get_kernel", "register_kernel",
-    "binomial_row", "shapley_coefficients",
+    "binomial_row", "shapley_coefficients", "coefficients_cache_info",
+    "FastpathStats", "LevelPlan", "fastpath_diffs", "plan_for",
     "GateTape", "TapeError", "NonDecomposableTape", "compile_tape",
 ]

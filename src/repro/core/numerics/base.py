@@ -14,7 +14,15 @@ agnostic:
   (:mod:`~repro.core.numerics.exact`), always available;
 * ``"numpy"`` — a vectorized backend over object-dtype big-int arrays
   (:mod:`~repro.core.numerics.vector`), used when NumPy is importable
-  and falling back to the reference kernel otherwise.
+  and falling back to the reference kernel otherwise;
+* ``"int64"`` — the machine-width backend
+  (:mod:`~repro.core.numerics.fixed`): native-dtype arrays behind
+  per-call overflow guards, delegating any call it cannot prove safe
+  to the object/python kernels.  Also the key that unlocks the
+  level-scheduled tape fast path of the derivative pass.
+
+``"auto"`` resolves down the ladder int64 → numpy → python, picking
+the fastest backend the installed dependencies support.
 
 All kernels are *exact*: count vectors are Python ints of unbounded
 precision and every backend must return byte-identical
@@ -40,7 +48,7 @@ def binomial_row(n: int) -> tuple[int, ...]:
     return tuple(row)
 
 
-@lru_cache(maxsize=1024)
+@lru_cache(maxsize=128)
 def _coefficients(n: int) -> tuple[Fraction, ...]:
     """Cached permutation weights ``k!(n-k-1)!/n!`` for ``k = 0..n-1``.
 
@@ -48,6 +56,13 @@ def _coefficients(n: int) -> tuple[Fraction, ...]:
     from ``w[0] = 1/n`` instead of three factorials per ``k``; one
     batch's answers (which share ``n`` whenever they share a player
     count) therefore pay the product chain once.
+
+    The cache is deliberately small: each entry holds ``n`` Fractions
+    whose numerators/denominators grow with ``n!``, so an effectively
+    unbounded cache in a long-lived coordinator process is a slow leak.
+    128 distinct player counts cover any realistic working set;
+    :func:`coefficients_cache_info` exposes the hit rate and size so
+    ``session.stats`` can prove it.
     """
     if n <= 0:
         return ()
@@ -60,6 +75,51 @@ def _coefficients(n: int) -> tuple[Fraction, ...]:
 def shapley_coefficients(n: int) -> list[Fraction]:
     """The permutation weights ``k!(n-k-1)!/n!`` for ``k = 0..n-1``."""
     return list(_coefficients(n))
+
+
+def coefficients_cache_info() -> dict[str, int]:
+    """Hit/size counters of the bounded Equation-3 weight caches
+    (merged into ``ExplainSession.stats``).
+
+    Sums the Fraction-coefficient cache (``shapley_coefficients``) and
+    the integer-weight cache the kernels' :meth:`Kernel.equation3`
+    combination runs on — two representations of the same per-``n``
+    permutation weights, both bounded at 128 player counts.
+    """
+    fraction_info = _coefficients.cache_info()
+    integer_info = _integer_weights.cache_info()
+    return {
+        "shapley_coefficients_cache_hits":
+            fraction_info.hits + integer_info.hits,
+        "shapley_coefficients_cache_misses":
+            fraction_info.misses + integer_info.misses,
+        "shapley_coefficients_cache_size":
+            fraction_info.currsize + integer_info.currsize,
+        "shapley_coefficients_cache_maxsize":
+            fraction_info.maxsize + integer_info.maxsize,
+    }
+
+
+@lru_cache(maxsize=128)
+def _integer_weights(n: int) -> tuple[tuple[int, ...], int]:
+    """``([k!(n-k-1)! for k = 0..n-1], n!)`` — the Equation-3 weights
+    over their common denominator.
+
+    Summing ``weight[k] * diff[k]`` in exact integer arithmetic and
+    normalizing *once* replaces ``n`` Fraction additions (each a gcd)
+    per fact with one, which is where the combination stage's time
+    went.  ``Fraction(total, n!)`` canonicalizes to exactly the value
+    the termwise Fraction sum produces.
+    """
+    if n <= 0:
+        return (), 1
+    weights = [1] * n  # w[k] = k! (n-k-1)!
+    acc = 1
+    for k in range(1, n):
+        acc *= k
+        weights[k] *= acc           # k!
+        weights[n - 1 - k] *= acc   # (n-k-1)! at index n-1-k
+    return tuple(weights), acc * n  # acc holds (n-1)! after the loop
 
 
 class Kernel(ABC):
@@ -144,21 +204,28 @@ class Kernel(ABC):
         normalized here, once: vectors shorter than ``n`` are
         zero-padded, entries at ``k >= n`` (which a caller could only
         produce by over-completing) are ignored.
+
+        The sum runs over the coefficients' common denominator ``n!``
+        (integer weights ``k!(n-k-1)!``), paying one Fraction
+        normalization per call instead of one gcd per term; the
+        canonical result is identical to the termwise Fraction sum.
         """
-        coefficients = _coefficients(n)
-        total = Fraction(0)
+        weights, denominator = _integer_weights(n)
+        total = 0
         if counts_neg is None:
             for k in range(min(n, len(counts_pos))):
                 diff = counts_pos[k]
                 if diff:
-                    total += coefficients[k] * diff
-            return total
-        for k in range(min(n, max(len(counts_pos), len(counts_neg)))):
-            pos = counts_pos[k] if k < len(counts_pos) else 0
-            neg = counts_neg[k] if k < len(counts_neg) else 0
-            if pos != neg:
-                total += coefficients[k] * (pos - neg)
-        return total
+                    total += weights[k] * diff
+        else:
+            for k in range(min(n, max(len(counts_pos), len(counts_neg)))):
+                pos = counts_pos[k] if k < len(counts_pos) else 0
+                neg = counts_neg[k] if k < len(counts_neg) else 0
+                if pos != neg:
+                    total += weights[k] * (pos - neg)
+        if isinstance(total, int):
+            return Fraction(total, denominator)
+        return total / denominator  # exact: non-int count elements
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
@@ -187,33 +254,40 @@ def available_kernels() -> tuple[str, ...]:
     return tuple(seen)
 
 
+#: Registered backends that require NumPy; requested without it they
+#: fall back to the reference kernel (or raise under ``strict``).
+_NEEDS_NUMPY = ("numpy", "int64")
+
+
 def get_kernel(name: str | None = None, strict: bool = False) -> Kernel:
     """The shared kernel instance registered under ``name``.
 
-    ``None`` resolves to the reference backend; ``"auto"`` picks NumPy
-    when importable and the reference kernel otherwise.  An
-    *unavailable* backend (``"numpy"`` without NumPy installed) falls
-    back to the reference kernel unless ``strict`` is true — selection
-    is a performance knob, never a correctness switch, so a missing
-    optional dependency must not fail a computation.  Unknown names
-    always raise.
+    ``None`` resolves to the reference backend; ``"auto"`` walks the
+    ladder int64 → numpy → python, resolving to the machine-width
+    kernel when NumPy is importable and the reference kernel otherwise.
+    An *unavailable* backend (``"numpy"`` / ``"int64"`` without NumPy
+    installed) falls back to the reference kernel unless ``strict`` is
+    true — selection is a performance knob, never a correctness switch,
+    so a missing optional dependency must not fail a computation.
+    Unknown names always raise.
     """
     from .vector import HAS_NUMPY  # late: avoid import cycle at startup
 
     if name is None:
         name = "python"
     elif name == "auto":
-        name = "numpy" if HAS_NUMPY else "python"
+        name = "int64" if HAS_NUMPY else "python"
     cls = _REGISTRY.get(name)
     if cls is None:
         raise ValueError(
             f"unknown numeric kernel {name!r}; "
             f"choose from {sorted(set(_REGISTRY))}"
         )
-    if name == "numpy" and not HAS_NUMPY:
+    if cls.name in _NEEDS_NUMPY and not HAS_NUMPY:
         if strict:
             raise ValueError(
-                "numeric kernel 'numpy' is unavailable (NumPy not installed)"
+                f"numeric kernel {cls.name!r} is unavailable "
+                "(NumPy not installed)"
             )
         return get_kernel("python")
     instance = _INSTANCES.get(cls.name)

@@ -35,6 +35,24 @@ them cheap to re-target at isomorphic lineages (:meth:`with_labels` is
 O(#vars) — no gate is copied), and JSON-serializable
 (:meth:`to_payload` / :meth:`from_payload`) so the engine layer stores
 them as a third artifact kind next to canonical CNFs and d-DNNFs.
+
+Level schedule and magnitude bounds (payload v2)
+------------------------------------------------
+:meth:`level_schedule` groups the instructions into topological levels
+(every instruction's children sit at strictly smaller levels), and
+:meth:`bound_bits` computes a-priori magnitude bounds for both sweeps:
+the forward bound of a gate is its worst-case model count (children
+bounds multiply through decomposable ANDs and gap-shift-add through
+ORs), and the backward bound propagates derivative magnitudes down the
+same structure.  Both are what the machine-width execution tier
+(:mod:`~repro.core.numerics.fixed`) needs to prove, before running, that
+an entire shape fits native ``float64``/``int64`` arithmetic — or how
+many CRT residue planes it needs when it does not.  The analysis is
+label-agnostic and cached in a box shared across :meth:`with_labels`
+re-targets, so warm cache hits never repeat it; tape payloads carry the
+levels and bound bits as a *version-2* format, and version-1 payloads
+(from stores written before the machine-width tier existed) are
+transparently re-lowered on load.
 """
 
 from __future__ import annotations
@@ -74,7 +92,10 @@ class GateTape:
     tape was compiled from (benchmark/provenance stats).
     """
 
-    __slots__ = ("ops", "args", "gaps", "nvars", "var_labels", "source_gates")
+    __slots__ = (
+        "ops", "args", "gaps", "nvars", "var_labels", "source_gates",
+        "_analysis",
+    )
 
     def __init__(
         self,
@@ -84,6 +105,7 @@ class GateTape:
         nvars: list[int],
         var_labels: list[Hashable],
         source_gates: int,
+        analysis: dict | None = None,
     ) -> None:
         self.ops = ops
         self.args = args
@@ -91,6 +113,10 @@ class GateTape:
         self.nvars = nvars
         self.var_labels = var_labels
         self.source_gates = source_gates
+        #: Label-agnostic derived data (level schedule, magnitude
+        #: bounds, the compiled level plan), computed lazily and shared
+        #: across :meth:`with_labels` re-targets of the same shape.
+        self._analysis = analysis if analysis is not None else {}
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -126,7 +152,120 @@ class GateTape:
             self.nvars,
             [mapping.get(label, label) for label in self.var_labels],
             self.source_gates,
+            analysis=self._analysis,
         )
+
+    # ------------------------------------------------------------------
+    # Level schedule and magnitude bounds (the machine-width analysis)
+    # ------------------------------------------------------------------
+
+    def level_schedule(self) -> list[int]:
+        """Topological level of every instruction (leaves are level 0;
+        each instruction sits strictly above all of its children).
+
+        Instructions sharing a level are mutually independent, which is
+        what lets the machine-width tier execute a level as a handful of
+        whole-level array operations instead of per-gate dispatches.
+        Cached (and shared across :meth:`with_labels` re-targets).
+        """
+        levels = self._analysis.get("levels")
+        if levels is None:
+            levels = [0] * len(self.ops)
+            for i, op in enumerate(self.ops):
+                if op not in _LEAF_OPS:
+                    args = self.args[i]
+                    if args:
+                        levels[i] = 1 + max(levels[c] for c in args)
+            self._analysis["levels"] = levels
+        return levels
+
+    def bound_bits(self) -> tuple[int, int, int]:
+        """A-priori magnitude bounds ``(forward, backward, diff)`` in
+        bits, from gate fan-in structure alone.
+
+        * *forward*: ``fb[g]`` bounds every ``#SAT_k`` entry of gate
+          ``g`` — children bounds multiply through ANDs (decomposable
+          products) and sum with their ``2^gap`` completion factors
+          through ORs, so ``fb[g]`` is exactly the worst-case model
+          count of ``g`` over ``Vars(g)``;
+        * *backward*: ``db[g]`` bounds the derivative entries — the
+          root starts at 1, OR edges multiply by ``2^gap``, AND edges by
+          the sibling product of forward bounds;
+        * *diff*: per-variable difference vectors sum the backward
+          bounds of the variable's literal leaves.
+
+        All partial sums in both sweeps are non-negative and bounded by
+        these final values (the diff accumulation by the *sum* of its
+        contributions' bounds), so the maximum of the three is a sound
+        bit-width certificate for the whole computation.  Cached and
+        label-agnostic — and always *computed* from the instruction
+        arrays, never read back from a stored payload: a tape artifact
+        with understated bounds must not be able to arm native
+        arithmetic it cannot certify.
+        """
+        cached = self._analysis.get("bound_bits")
+        if cached is not None:
+            return cached
+        forward = self.forward_bounds()
+        backward = [0] * len(self.ops)
+        diff: dict[int, int] = {}
+        if self.ops:
+            backward[-1] = 1
+        for i in range(len(self.ops) - 1, -1, -1):
+            op = self.ops[i]
+            d = backward[i]
+            if not d:
+                continue
+            if op == OP_OR:
+                for child, gap in zip(self.args[i], self.gaps[i]):
+                    backward[child] += d << gap
+            elif op in (OP_AND, OP_NOT):
+                children = self.args[i]
+                prefix = [1]
+                for child in children[:-1]:
+                    prefix.append(prefix[-1] * forward[child])
+                suffix = 1
+                for index in range(len(children) - 1, -1, -1):
+                    child = children[index]
+                    backward[child] += d * prefix[index] * suffix
+                    suffix *= forward[child]
+            elif op in (OP_VAR, OP_NVAR):
+                slot = self.args[i][0]
+                diff[slot] = diff.get(slot, 0) + d
+        bits = (
+            max((b.bit_length() for b in forward), default=0),
+            max((b.bit_length() for b in backward), default=0),
+            max((b.bit_length() for b in diff.values()), default=0),
+        )
+        self._analysis["bound_bits"] = bits
+        return bits
+
+    def forward_bounds(self) -> list[int]:
+        """Worst-case model count of every instruction (exact big
+        ints); entry ``i`` bounds each coefficient of ``vals[i]`` in
+        :meth:`forward`.  Cached and label-agnostic."""
+        forward = self._analysis.get("forward_bounds")
+        if forward is None:
+            forward = [0] * len(self.ops)
+            for i, op in enumerate(self.ops):
+                if op in (OP_VAR, OP_NVAR, OP_TRUE):
+                    forward[i] = 1
+                elif op == OP_FALSE:
+                    forward[i] = 0
+                elif op == OP_AND:
+                    product = 1
+                    for child in self.args[i]:
+                        product *= forward[child]
+                    forward[i] = product
+                elif op == OP_OR:
+                    forward[i] = sum(
+                        forward[child] << gap
+                        for child, gap in zip(self.args[i], self.gaps[i])
+                    )
+                else:  # OP_NOT: complement over the gate's variable set
+                    forward[i] = 1 << self.nvars[i]
+            self._analysis["forward_bounds"] = forward
+        return forward
 
     # ------------------------------------------------------------------
     # Execution
@@ -245,11 +384,26 @@ class GateTape:
     # Serialization
     # ------------------------------------------------------------------
 
+    #: Tape payload format written by :meth:`to_payload`.  Version 2
+    #: added the level schedule and magnitude-bound bits; version-1
+    #: payloads are still accepted and re-lowered on load.
+    PAYLOAD_FORMAT = 2
+
     def to_payload(self) -> dict:
         """A JSON-serializable rendering (labels must be serializable;
         the engine layer only stores *canonical* tapes, whose labels
-        are small ints)."""
+        are small ints).
+
+        Writes format version 2: alongside the instruction arrays, the
+        payload carries the topological ``levels`` (consumed by the
+        machine-width execution schedule, so warm processes skip that
+        pass) and the a-priori magnitude bounds in bits (advisory
+        metadata — arithmetic selection always recomputes its own
+        certificate from the instructions).
+        """
+        forward_bits, backward_bits, diff_bits = self.bound_bits()
         return {
+            "format": self.PAYLOAD_FORMAT,
             "ops": list(self.ops),
             "args": [list(arg) for arg in self.args],
             "gaps": [list(gap) if gap is not None else None
@@ -257,13 +411,26 @@ class GateTape:
             "nvars": list(self.nvars),
             "var_labels": list(self.var_labels),
             "source_gates": self.source_gates,
+            "levels": list(self.level_schedule()),
+            "bounds": {
+                "forward_bits": forward_bits,
+                "backward_bits": backward_bits,
+                "diff_bits": diff_bits,
+            },
         }
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "GateTape":
         """Rebuild a tape written by :meth:`to_payload`, raising
         :class:`TapeError` on any malformation so callers can treat
-        truncated/corrupt artifacts as cache misses."""
+        truncated/corrupt artifacts as cache misses.
+
+        Both payload formats load: a version-1 payload (no ``levels`` /
+        ``bounds``) is *re-lowered* — the level schedule and bounds are
+        recomputed from the instruction arrays — so stores written
+        before the machine-width tier existed keep serving hits instead
+        of recompiling.
+        """
         try:
             ops = list(payload["ops"])
             args = list(payload["args"])
@@ -290,8 +457,50 @@ class GateTape:
             # Schema-invalid entries (a non-list args row, a scalar gap
             # list, ...) must read as corruption, never crash a load.
             raise TapeError(f"malformed tape payload: {exc}") from None
-        return cls(ops, checked_args, checked_gaps, nvars, var_labels,
+        tape = cls(ops, checked_args, checked_gaps, nvars, var_labels,
                    source_gates)
+        if "levels" in payload or "bounds" in payload:
+            tape._load_analysis(payload, checked_args)
+        return tape
+
+    def _load_analysis(self, payload: Mapping, args) -> None:
+        """Validate and adopt a v2 payload's levels/bounds.
+
+        The levels must be a consistent topological schedule and the
+        bound bits well-formed, else the artifact reads as corrupt.
+        Any valid topological leveling yields correct execution, so the
+        loaded schedule is adopted as-is; the *bounds* are kept as
+        advisory metadata only (``payload_bound_bits``) — the
+        machine-width tier's arithmetic-selection certificate is always
+        re-derived from the instruction arrays by exact big-int
+        analysis (:meth:`bound_bits`), so a stale or understated
+        ``bounds`` entry can never cause overflowing arithmetic to be
+        chosen.
+        """
+        try:
+            levels = list(payload["levels"])
+            bounds = payload["bounds"]
+            bits = tuple(
+                bounds[key]
+                for key in ("forward_bits", "backward_bits", "diff_bits")
+            )
+        except (KeyError, TypeError) as exc:
+            raise TapeError(f"malformed tape payload: {exc}") from None
+        if len(levels) != len(self.ops):
+            raise TapeError("malformed tape payload: ragged level array")
+        if any(not isinstance(b, int) or b < 0 for b in bits):
+            raise TapeError("malformed tape payload: bad bound bits")
+        for i, (op, level) in enumerate(zip(self.ops, levels)):
+            if not isinstance(level, int) or level < 0:
+                raise TapeError(f"malformed tape payload: level[{i}]")
+            if op not in _LEAF_OPS and any(
+                levels[c] >= level for c in args[i]
+            ):
+                raise TapeError(
+                    f"malformed tape payload: level[{i}] not topological"
+                )
+        self._analysis["levels"] = levels
+        self._analysis["payload_bound_bits"] = bits
 
     @staticmethod
     def _validate_instructions(

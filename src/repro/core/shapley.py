@@ -42,6 +42,7 @@ from ..circuits.circuit import AND, FALSE, NOT, OR, TRUE, VAR, Circuit, CircuitE
 from ..circuits.dnnf import count_models_by_size, smooth
 from .numerics import GateTape, compile_tape
 from .numerics.base import Kernel, get_kernel, shapley_coefficients
+from .numerics.fixed import FastpathStats, Int64Kernel, fastpath_diffs
 
 __all__ = [
     "ShapleyTimeout",
@@ -155,6 +156,7 @@ def shapley_all_facts(
     deadline: float | None = None,
     kernel=None,
     tape: GateTape | None = None,
+    fastpath_stats: FastpathStats | None = None,
 ) -> dict[Hashable, Fraction]:
     """Shapley values of every endogenous fact.
 
@@ -162,10 +164,15 @@ def shapley_all_facts(
     default), ``"smoothed"`` (the legacy shared pass over an explicitly
     smoothed circuit), or ``"conditioning"`` (the paper's per-fact
     loop).  ``kernel`` selects the numeric backend (instance, name, or
-    ``None`` for the reference).  ``tape`` optionally supplies a
-    prebuilt :class:`~repro.core.numerics.tape.GateTape` of *this*
-    circuit (derivative mode only) — the engine layer threads cached
-    tapes through so warm shapes skip circuit traversal entirely.
+    ``None`` for the reference; ``"int64"``/``"auto"`` additionally arm
+    the machine-width level-scheduled fast path of the derivative mode,
+    which falls back per shape to the interpreted exact pass whenever
+    its a-priori magnitude bounds cannot certify native arithmetic —
+    hits and fallbacks are counted into ``fastpath_stats`` when given).
+    ``tape`` optionally supplies a prebuilt
+    :class:`~repro.core.numerics.tape.GateTape` of *this* circuit
+    (derivative mode only) — the engine layer threads cached tapes
+    through so warm shapes skip circuit traversal entirely.
     """
     endo = list(endogenous_facts)
     resolved = _resolve_kernel(kernel)
@@ -187,7 +194,9 @@ def shapley_all_facts(
         return _shapley_all_smoothed(circuit, endo, deadline, resolved)
     if method != "derivative":
         raise ValueError(f"unknown method {method!r}; choose from {MODES}")
-    return _shapley_all_derivative(circuit, endo, deadline, resolved, tape)
+    return _shapley_all_derivative(
+        circuit, endo, deadline, resolved, tape, fastpath_stats
+    )
 
 
 def _foreign_vars_error(present: set, endo_set: set) -> CircuitError:
@@ -203,6 +212,7 @@ def _shapley_all_derivative(
     deadline: float | None = None,
     kernel: Kernel | None = None,
     tape: GateTape | None = None,
+    fastpath_stats: FastpathStats | None = None,
 ) -> dict[Hashable, Fraction]:
     """Smoothing-free shared pass over a compiled gate tape.
 
@@ -212,6 +222,13 @@ def _shapley_all_derivative(
     #SAT_m(C[x->0])`` directly — models in which ``x`` is free (what
     smoothing pads exist to represent) contribute equally to both
     conditionings and are never materialized.
+
+    With the ``"int64"`` kernel selected (directly or via ``"auto"``),
+    the sweeps run level-scheduled and machine-width when the tape's
+    magnitude bounds allow (:func:`~.numerics.fixed.fastpath_diffs`);
+    a shape the bounds cannot certify falls back to the per-gate
+    interpreted pass below, so the returned Fractions are identical
+    either way.
     """
     kernel = kernel if kernel is not None else get_kernel(None)
     n = len(endo)
@@ -240,9 +257,14 @@ def _shapley_all_derivative(
 
     check = (lambda: _check_time(deadline)) if deadline is not None else None
     _check_time(deadline)
-    vals = tape.forward(kernel, check)
-    _check_time(deadline)
-    diffs = tape.backward_diffs(kernel, vals, check)
+    diffs = None
+    if isinstance(kernel, Int64Kernel):
+        diffs = fastpath_diffs(tape, fastpath_stats, check)
+        _check_time(deadline)
+    if diffs is None:
+        vals = tape.forward(kernel, check)
+        _check_time(deadline)
+        diffs = tape.backward_diffs(kernel, vals, check)
     _check_time(deadline)
 
     extra = n - tape.root_nvars  # endogenous facts outside the circuit

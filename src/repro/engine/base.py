@@ -58,12 +58,16 @@ class EngineOptions:
 
     ``numeric_backend`` selects the exact-arithmetic kernel of the
     counting passes (:mod:`repro.core.numerics`): ``None``/``"python"``
-    is the big-int reference, ``"numpy"`` the vectorized backend
-    (falling back to the reference when NumPy is not installed), and
-    ``"auto"`` picks NumPy when available.  Every backend returns
-    byte-identical Fractions; this is purely a performance knob, and it
-    travels with the options through every transport so remote workers
-    compute on the requested backend too.
+    is the big-int reference, ``"numpy"`` the vectorized object-dtype
+    backend, ``"int64"`` the overflow-guarded machine-width backend
+    (native-dtype level-scheduled tape execution where its a-priori
+    bounds allow, exact fallback elsewhere; ``fastpath_hits`` /
+    ``fastpath_fallbacks`` in the session stats count which), and
+    ``"auto"`` walks the ladder int64 → numpy → python by what is
+    installed.  Every backend returns byte-identical Fractions; this is
+    purely a performance knob, and it travels with the options through
+    every transport so remote workers compute on the requested backend
+    too.
     """
 
     budget: CompilationBudget | None = None

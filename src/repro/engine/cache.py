@@ -63,6 +63,11 @@ class CacheStats:
     #: traversal was skipped entirely.
     tape_compilations: int = 0
     evictions: int = 0
+    #: Machine-width derivative passes (level-scheduled int64/float64/
+    #: CRT execution) vs. per-shape falls back to the interpreted exact
+    #: kernels — the acceptance counters of the PR 5 fast path.
+    fastpath_hits: int = 0
+    fastpath_fallbacks: int = 0
 
     @property
     def hits(self) -> int:
@@ -84,6 +89,8 @@ class CacheStats:
             "compile_failures": self.compile_failures,
             "tape_compilations": self.tape_compilations,
             "evictions": self.evictions,
+            "fastpath_hits": self.fastpath_hits,
+            "fastpath_fallbacks": self.fastpath_fallbacks,
         }
 
 
@@ -143,6 +150,12 @@ class CircuitArtifacts:
         #: gate count of the constant-propagated (pre-flatten) circuit,
         #: mirroring what the uncached pipeline reports as circuit_size
         self.source_size = source_size
+
+    @property
+    def cache(self) -> "ArtifactCache":
+        """The cache this handle is bound to (the exact pipeline
+        reports its fast-path counters through it)."""
+        return self._cache
 
     def _to_canonical(self) -> dict[Hashable, int]:
         return {label: index for index, label in enumerate(self.labels)}
@@ -376,6 +389,14 @@ class ArtifactCache:
         """Auxiliary-eliminated d-DNNF of ``circuit``, served from the
         cache (compiling under ``budget`` on a miss)."""
         return self.open(circuit).ddnnf(budget=budget)
+
+    def record_fastpath(self, hits: int, fallbacks: int) -> None:
+        """Merge one computation's machine-width counters (thread-safe;
+        called by the exact pipeline after each derivative pass)."""
+        if hits or fallbacks:
+            with self._lock:
+                self.stats.fastpath_hits += hits
+                self.stats.fastpath_fallbacks += fallbacks
 
     def stats_dict(self) -> dict[str, int]:
         """Hit/miss stats of both tiers as one flat dict.

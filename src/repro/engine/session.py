@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
+from ..core.numerics import coefficients_cache_info
 from ..core.pipeline import QueryLike, to_plan
 from ..db.database import Database
 from ..db.evaluate import lineage
@@ -293,8 +294,12 @@ class ExplainSession:
 
         ``compile_calls`` vs ``answers_explained`` is the headline
         number: with repeated lineage shapes it is strictly smaller.
-        With a persistent store attached, ``store_*`` counters report
-        the disk tier.  Pool workers of the ``"process"`` executor keep
+        ``fastpath_hits`` / ``fastpath_fallbacks`` count machine-width
+        derivative passes vs. per-shape exact fallbacks (int64/auto
+        backends), and the ``shapley_coefficients_cache_*`` keys expose
+        the bounded Equation-3 weight cache.  With a persistent store
+        attached, ``store_*`` counters report the disk tier.  Pool
+        workers of the ``"process"`` executor keep
         their own local counters (only their artifact *files* are
         shared); socket workers *do* report back — the coordinator's
         per-batch aggregate appears under ``remote_*`` keys, cumulative
@@ -304,6 +309,7 @@ class ExplainSession:
             "answers_explained": self._answers_explained,
             "unique_shapes": self._unique_shapes,
             **self.cache.stats_dict(),
+            **coefficients_cache_info(),
         }
         if self._socket_batches:
             merged["remote_workers"] = self._remote_workers

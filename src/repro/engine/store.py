@@ -29,6 +29,13 @@ mismatch (truncation, partial disk write, bad JSON) counts as a
 recompilation.  A format-version bump simply turns old files into
 misses.
 
+Artifact kinds may additionally version their *payloads* without
+bumping the store format: gate tapes write payload v2 (level schedule
+and magnitude bounds for the machine-width execution tier) while
+:meth:`~repro.core.numerics.tape.GateTape.from_payload` re-lowers
+stored v1 payloads transparently, so pre-PR-5 stores keep serving
+tape hits instead of recompiling.
+
 Bounded disk usage (GC)
 -----------------------
 A store constructed with ``max_bytes`` keeps the directory under that

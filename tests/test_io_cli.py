@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.core.numerics import HAS_NUMPY
 from repro.db import Database, RelationSchema, Schema
 from repro.db.io import load_database, save_database
 from repro.workloads import TpchConfig, generate_tpch
@@ -229,7 +230,7 @@ class TestCliValidation:
         assert exit_info.value.code == 2
         assert "--numeric-backend" in capsys.readouterr().err
 
-    @pytest.mark.parametrize("backend", ["python", "numpy", "auto"])
+    @pytest.mark.parametrize("backend", ["python", "numpy", "int64", "auto"])
     def test_numeric_backend_accepted_on_bench_and_explain(
         self, backend, capsys
     ):
@@ -239,6 +240,61 @@ class TestCliValidation:
         assert main(["explain", "--workload", "flights", "--method",
                      "exact", "--numeric-backend", backend]) == 0
         capsys.readouterr()
+
+    def test_repeats_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["bench", "--workload", "flights", "--repeats", "0"])
+        assert exit_info.value.code == 2
+        assert "--repeats: must be >= 1" in capsys.readouterr().err
+
+    def test_bench_repeats_reports_min_and_median(self, capsys):
+        import json
+
+        assert main(["bench", "--workload", "flights",
+                     "--repeats", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repeats"] == 3
+        assert payload["warmup"] is True
+        assert payload["seconds_min"] <= payload["seconds"]
+        # warm-up plus three timed repeats, all answering
+        assert payload["stats"]["answers_explained"] == 4 * payload["outputs"]
+
+    def test_bench_single_run_stays_cold(self, capsys):
+        import json
+
+        assert main(["bench", "--workload", "flights", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repeats"] == 1
+        assert payload["warmup"] is False
+
+    def test_bench_profile_stage_breakdown(self, capsys):
+        import json
+
+        assert main(["bench", "--workload", "flights",
+                     "--repeats", "2", "--profile", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        profile = payload["profile"]
+        assert set(profile) == {
+            "compile_seconds", "tape_lower_seconds", "kernel_exec_seconds"
+        }
+        assert all(value >= 0 for value in profile.values())
+        # warm repeats serve the tape from cache: lowering stays cheaper
+        # than the kernel execution it feeds
+        assert profile["kernel_exec_seconds"] > 0
+        assert main(["bench", "--workload", "flights", "--profile"]) == 0
+        assert "tape-lower" in capsys.readouterr().out
+
+    def test_bench_json_reports_fastpath_counters(self, capsys):
+        import json
+
+        assert main(["bench", "--workload", "flights",
+                     "--numeric-backend", "auto", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["stats"]
+        assert "fastpath_hits" in stats and "fastpath_fallbacks" in stats
+        assert "shapley_coefficients_cache_hits" in stats
+        if HAS_NUMPY:
+            assert stats["fastpath_hits"] == payload["outputs"]
 
 
 class TestCacheCli:

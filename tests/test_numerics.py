@@ -33,14 +33,19 @@ from repro.compiler import compile_cnf
 from repro.core import game_from_circuit, shapley_all_facts, shapley_naive
 from repro.core.numerics import (
     HAS_NUMPY,
+    FastpathStats,
     GateTape,
+    Int64Kernel,
     NumpyKernel,
     PythonKernel,
     TapeError,
     available_kernels,
     binomial_row,
+    coefficients_cache_info,
     compile_tape,
+    fastpath_diffs,
     get_kernel,
+    plan_for,
     shapley_coefficients,
 )
 from repro.core.shapley import shapley_from_counts
@@ -58,6 +63,7 @@ from .test_store import JOIN_QUERY, join_database
 
 PYTHON = get_kernel("python")
 NUMPY = get_kernel("numpy")  # falls back to PYTHON when NumPy is absent
+INT64 = get_kernel("int64")  # falls back to PYTHON when NumPy is absent
 
 #: (n_vars, n_clauses, width, seed) grid of the randomized parity suite.
 PARITY_CASES = [
@@ -86,6 +92,7 @@ class TestRegistry:
         names = available_kernels()
         assert names[0] == "python"
         assert "numpy" in names
+        assert "int64" in names
 
     def test_aliases_resolve_to_the_reference(self):
         assert get_kernel("exact") is PYTHON
@@ -103,13 +110,17 @@ class TestRegistry:
 
         monkeypatch.setattr(vector, "HAS_NUMPY", False)
         assert get_kernel("numpy") is PYTHON
+        assert get_kernel("int64") is PYTHON
+        assert get_kernel("fixed") is PYTHON
         assert get_kernel("auto") is PYTHON
         with pytest.raises(ValueError, match="unavailable"):
             get_kernel("numpy", strict=True)
+        with pytest.raises(ValueError, match="unavailable"):
+            get_kernel("int64", strict=True)
 
-    def test_auto_prefers_numpy_when_available(self):
+    def test_auto_walks_the_machine_width_ladder(self):
         if HAS_NUMPY:
-            assert isinstance(get_kernel("auto"), NumpyKernel)
+            assert isinstance(get_kernel("auto"), Int64Kernel)
         else:
             assert get_kernel("auto") is PYTHON
 
@@ -210,20 +221,20 @@ class TestEquation3Bounds:
             ) * (p - m)
         return total
 
-    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY])
+    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY, INT64])
     def test_shorter_than_n_zero_pads(self, kernel):
         pos, neg, n = [1], [0], 3
         expected = self._reference(pos, neg, n)
         assert shapley_from_counts(pos, neg, n, kernel=kernel) == expected
         assert expected == Fraction(2, 6)
 
-    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY])
+    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY, INT64])
     def test_mismatched_lengths(self, kernel):
         pos, neg, n = [2, 5, 1], [1], 4
         assert shapley_from_counts(pos, neg, n, kernel=kernel) == \
             self._reference(pos, neg, n)
 
-    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY])
+    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY, INT64])
     def test_longer_than_n_ignores_tail(self, kernel):
         # An over-completed vector must not index coefficients past n-1
         # (the legacy derivative tail would have raised IndexError or,
@@ -232,7 +243,7 @@ class TestEquation3Bounds:
         assert shapley_from_counts(pos, neg, n, kernel=kernel) == \
             self._reference(pos, neg, n)
 
-    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY])
+    @pytest.mark.parametrize("kernel", [PYTHON, NUMPY, INT64])
     def test_difference_form_agrees(self, kernel):
         pos, neg, n = [3, 7, 2], [1, 2, 8], 3
         diff = [p - m for p, m in zip(pos, neg)]
@@ -346,7 +357,7 @@ class TestParitySuite:
         ddnnf = _compile(circuit)
         naive = shapley_naive(game_from_circuit(circuit), players)
         results = {}
-        for kernel in (PYTHON, NUMPY):
+        for kernel in (PYTHON, NUMPY, INT64):
             for mode in ("conditioning", "derivative", "smoothed"):
                 results[(kernel.name, mode)] = shapley_all_facts(
                     ddnnf, players, method=mode, kernel=kernel
@@ -488,7 +499,7 @@ class TestTransportKernelParity:
         db = join_database(6, 2)
         baseline = ExplainSession(db, method="exact").explain_many(JOIN_QUERY)
         expected = {a: r.values for a, r in baseline.items()}
-        for backend in ("python", "numpy"):
+        for backend in ("python", "numpy", "int64"):
             with ExplainSession(
                 db, method="exact", max_workers=2,
                 options=EngineOptions(numeric_backend=backend),
@@ -504,3 +515,397 @@ class TestTransportKernelParity:
                         assert all(
                             type(v) is Fraction for v in values.values()
                         ), (backend, executor)
+
+
+def _disjoint_monotone_cnf(n_clauses: int, width: int, seed: int) -> Circuit:
+    """A randomized monotone CNF whose clauses partition a shuffled
+    variable set: the model count is exactly ``(2^width - 1)^n_clauses``
+    while compilation stays trivial, which lets the tests engineer
+    counts that straddle any machine-width boundary."""
+    rng = random.Random(seed)
+    labels = [f"v{i}" for i in range(n_clauses * width)]
+    rng.shuffle(labels)
+    circuit = Circuit()
+    clauses = []
+    for index in range(n_clauses):
+        block = labels[index * width:(index + 1) * width]
+        clauses.append(circuit.or_([circuit.var(label) for label in block]))
+    circuit.output = circuit.and_(clauses)
+    return circuit
+
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="NumPy required")
+
+
+class TestTapePayloadV2:
+    """The leveled tape payload format: v2 carries levels + bounds,
+    v1 payloads re-lower transparently, malformed analyses read as
+    corruption."""
+
+    def _tape(self, seed: int = 3) -> GateTape:
+        return compile_tape(_compile(random_monotone_cnf(5, 4, 2, seed)))
+
+    def test_v2_payload_carries_levels_and_bounds(self):
+        tape = self._tape()
+        payload = tape.to_payload()
+        assert payload["format"] == GateTape.PAYLOAD_FORMAT == 2
+        assert payload["levels"] == tape.level_schedule()
+        forward_bits, backward_bits, diff_bits = tape.bound_bits()
+        assert payload["bounds"] == {
+            "forward_bits": forward_bits,
+            "backward_bits": backward_bits,
+            "diff_bits": diff_bits,
+        }
+        clone = GateTape.from_payload(payload)
+        assert clone.level_schedule() == tape.level_schedule()
+        assert clone.bound_bits() == tape.bound_bits()
+
+    def test_level_schedule_is_topological(self):
+        tape = self._tape(seed=5)
+        levels = tape.level_schedule()
+        for i, op in enumerate(tape.ops):
+            if op not in (0, 1, 2, 3):  # non-leaf opcodes
+                for child in tape.args[i]:
+                    assert levels[child] < levels[i]
+
+    def test_v1_payload_relowers_on_load(self):
+        tape = self._tape(seed=7)
+        v1 = {
+            key: value for key, value in tape.to_payload().items()
+            if key not in ("format", "levels", "bounds")
+        }
+        clone = GateTape.from_payload(v1)
+        # re-lowered: the analysis is recomputed, not lost
+        assert clone.level_schedule() == tape.level_schedule()
+        assert clone.bound_bits() == tape.bound_bits()
+        # and a re-serialization upgrades the artifact to v2
+        assert clone.to_payload()["format"] == 2
+        assert clone.forward(PYTHON) == tape.forward(PYTHON)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: p.__setitem__("levels", p["levels"][:-1]),
+        lambda p: p["levels"].__setitem__(-1, 0),  # root below children
+        lambda p: p.__setitem__("levels", ["x"] * len(p["levels"])),
+        lambda p: p.__setitem__("levels", [-1] * len(p["levels"])),
+        lambda p: p["bounds"].pop("forward_bits"),
+        lambda p: p["bounds"].__setitem__("diff_bits", -2),
+        lambda p: p["bounds"].__setitem__("backward_bits", "big"),
+        lambda p: p.__setitem__("bounds", 7),
+    ])
+    def test_malformed_analysis_reads_as_corruption(self, mutate):
+        payload = compile_tape(
+            circuit_from_nested(("or", "a", ("and", "b", "c")))
+        ).to_payload()
+        mutate(payload)
+        with pytest.raises(TapeError):
+            GateTape.from_payload(payload)
+
+    def test_store_roundtrip_preserves_the_analysis(self, tmp_path):
+        store = PersistentArtifactStore(tmp_path)
+        tape = compile_tape(
+            _compile(random_monotone_dnf(5, 4, 3, seed=3)).rename(
+                {f"x{i}": i for i in range(5)}
+            )
+        )
+        signature = ((0, 1), (1, 2))
+        store.store_tape(signature, tape)
+        loaded = store.load_tape(signature)
+        assert loaded is not None
+        assert loaded.level_schedule() == tape.level_schedule()
+        assert loaded.bound_bits() == tape.bound_bits()
+
+    def test_with_labels_shares_the_analysis_box(self):
+        tape = self._tape(seed=9)
+        levels = tape.level_schedule()
+        renamed = tape.with_labels({label: (label, "renamed")
+                                    for label in tape.var_labels})
+        assert renamed.level_schedule() is levels
+        assert renamed.bound_bits() == tape.bound_bits()
+
+
+class TestInt64KernelGuards:
+    """The per-call overflow guards of the generic int64 kernel: calls
+    that fit run native, calls that straddle 2^63 (or carry Fractions)
+    delegate — byte-identical to the reference either way."""
+
+    @pytest.mark.parametrize("magnitude", [10**3, 10**17, 10**25, 10**40])
+    def test_poly_mul_across_the_boundary(self, magnitude):
+        rng = random.Random(magnitude)
+        a = [rng.randrange(magnitude) for _ in range(20)]
+        b = [rng.randrange(magnitude) for _ in range(15)]
+        result = INT64.poly_mul(a, b)
+        assert result == PYTHON.poly_mul(a, b)
+        assert all(type(value) is int for value in result)
+
+    def test_negative_values(self):
+        a = [-(10**8), 10**8, -7]
+        b = [3, -(10**9), 11]
+        assert INT64.poly_mul(a, b) == PYTHON.poly_mul(a, b)
+
+    def test_fraction_elements_delegate(self):
+        a = [Fraction(1, 3), Fraction(2, 7)]
+        b = [Fraction(5, 11), Fraction(1, 2), Fraction(3)]
+        assert INT64.poly_mul(a, b) == PYTHON.poly_mul(a, b)
+        assert INT64.or_accumulate(3, [a, [Fraction(1)]], [1, 3]) == \
+            PYTHON.or_accumulate(3, [a, [Fraction(1)]], [1, 3])
+
+    def test_poly_add_and_or_accumulate_across_the_boundary(self):
+        rng = random.Random(5)
+        for magnitude in (10**6, 10**18, 10**30):
+            acc_a = [rng.randrange(magnitude) for _ in range(25)]
+            acc_b = list(acc_a)
+            poly = [rng.randrange(magnitude) for _ in range(30)]
+            assert INT64.poly_add(acc_a, poly) == \
+                PYTHON.poly_add(acc_b, poly)
+            children = [
+                [rng.randrange(magnitude) for _ in range(width)]
+                for width in (3, 9, 14)
+            ]
+            gaps = [11, 5, 0]
+            assert INT64.or_accumulate(14, children, gaps) == \
+                PYTHON.or_accumulate(14, children, gaps)
+
+    def test_counting_a_straddling_circuit_matches(self):
+        # Intermediate model counts cross 2^63: the per-call guards must
+        # route the big convolutions to the exact delegate.
+        ddnnf = _compile(_disjoint_monotone_cnf(23, 3, seed=2))
+        assert count_models_by_size(ddnnf, kernel=INT64) == \
+            count_models_by_size(ddnnf, kernel=PYTHON)
+
+
+class TestMachineWidthFastpath:
+    """The level-scheduled tape execution tier: arithmetic selection by
+    a-priori bounds (float64 / int64 / CRT residue planes), per-shape
+    fallback beyond capacity, and byte-identical Fractions throughout."""
+
+    @staticmethod
+    def _reference_diffs(tape):
+        diffs = tape.backward_diffs(PYTHON, tape.forward(PYTHON))
+        return {slot: [int(v) for v in row] for slot, row in diffs.items()
+                if any(row)}
+
+    @staticmethod
+    def _assert_same_diffs(fast, reference):
+        assert fast is not None
+        assert set(fast) == set(reference)
+        for slot, row in reference.items():
+            got = fast[slot]
+            assert got[:len(row)] == row
+            assert not any(got[len(row):])
+
+    @needs_numpy
+    def test_tier_selection_by_bounds(self):
+        import numpy as np
+
+        small = plan_for(compile_tape(
+            _compile(_disjoint_monotone_cnf(12, 3, seed=0))))
+        assert small is not None and small.moduli is None
+        assert small.dtype == np.float64
+
+        mid = plan_for(compile_tape(
+            _compile(_disjoint_monotone_cnf(20, 3, seed=0))))
+        assert mid is not None and mid.moduli is None
+        assert mid.dtype == np.int64
+        assert 52 < mid.bound_bits <= 62
+
+        wide = plan_for(compile_tape(
+            _compile(_disjoint_monotone_cnf(23, 3, seed=0))))
+        assert wide is not None and wide.moduli is not None
+        assert wide.bound_bits > 63
+        product = 1
+        for prime in wide.moduli:
+            product *= prime
+        assert product > (1 << (wide.bound_bits + 1))
+
+    @needs_numpy
+    @pytest.mark.parametrize("n_clauses,width,seed", [
+        (12, 3, 0), (12, 3, 1),   # float64 tier
+        (20, 3, 0), (21, 3, 1),   # int64 tier
+        (23, 3, 0), (23, 3, 1), (17, 4, 2),  # CRT tier (straddles 2^63)
+    ])
+    def test_fastpath_matches_reference_across_tiers(
+        self, n_clauses, width, seed
+    ):
+        tape = compile_tape(
+            _compile(_disjoint_monotone_cnf(n_clauses, width, seed)))
+        stats = FastpathStats()
+        fast = fastpath_diffs(tape, stats)
+        assert stats.hits == 1 and stats.fallbacks == 0
+        self._assert_same_diffs(fast, self._reference_diffs(tape))
+
+    @needs_numpy
+    def test_negated_lineage_on_the_fastpath(self):
+        circuit = circuit_from_nested(
+            ("or", ("and", "a", ("not", "b")), ("and", ("not", "a"), "b"))
+        )
+        tape = compile_tape(_compile(circuit))
+        self._assert_same_diffs(
+            fastpath_diffs(tape), self._reference_diffs(tape))
+
+    @needs_numpy
+    def test_beyond_crt_capacity_falls_back_exactly(self):
+        # ~141 bits of magnitude: no prime set can certify it, so the
+        # shape must decline the fast path and the interpreted pass
+        # must produce the same exact Fractions.
+        circuit = _disjoint_monotone_cnf(50, 3, seed=4)
+        ddnnf = _compile(circuit)
+        players = sorted(ddnnf.reachable_vars(), key=repr)
+        tape = compile_tape(ddnnf)
+        assert plan_for(tape) is None
+        stats = FastpathStats()
+        fast = shapley_all_facts(
+            ddnnf, players, method="derivative", kernel="int64",
+            tape=tape, fastpath_stats=stats,
+        )
+        assert stats.fallbacks == 1 and stats.hits == 0
+        reference = shapley_all_facts(
+            ddnnf, players, method="derivative", kernel="python", tape=tape,
+        )
+        assert fast == reference
+        for value in fast.values():
+            assert type(value) is Fraction
+
+    @needs_numpy
+    @pytest.mark.parametrize("n_clauses,seed", [(23, 0), (23, 5), (24, 1)])
+    def test_straddling_2_63_stays_byte_identical(self, n_clauses, seed):
+        circuit = _disjoint_monotone_cnf(n_clauses, 3, seed)
+        ddnnf = _compile(circuit)
+        players = sorted(ddnnf.reachable_vars(), key=repr)
+        tape = compile_tape(ddnnf)
+        forward_bits, _, _ = tape.bound_bits()
+        assert forward_bits > 63  # engineered to straddle int64
+        stats = FastpathStats()
+        fast = shapley_all_facts(
+            ddnnf, players, method="derivative", kernel="int64",
+            tape=tape, fastpath_stats=stats,
+        )
+        assert stats.hits == 1
+        reference = shapley_all_facts(
+            ddnnf, players, method="derivative", kernel="python", tape=tape,
+        )
+        for fact in players:
+            assert fast[fact].numerator == reference[fact].numerator
+            assert fast[fact].denominator == reference[fact].denominator
+
+    def test_general_negation_is_ineligible(self):
+        circuit = Circuit()
+        p, q = circuit.var("p"), circuit.var("q")
+        circuit.output = circuit.not_(circuit.raw_and((p, q)))
+        tape = compile_tape(circuit)
+        assert plan_for(tape) is None
+
+    def test_unavailable_without_numpy(self, monkeypatch):
+        import repro.core.numerics.fixed as fixed
+
+        monkeypatch.setattr(fixed, "HAS_NUMPY", False)
+        tape = compile_tape(_compile(random_monotone_cnf(5, 4, 2, seed=1)))
+        stats = FastpathStats()
+        assert fastpath_diffs(tape, stats) is None
+        assert stats.fallbacks == 1
+
+    @needs_numpy
+    def test_plan_is_cached_across_retargets(self):
+        tape = compile_tape(_compile(random_monotone_cnf(6, 5, 3, seed=2)))
+        plan = plan_for(tape)
+        renamed = tape.with_labels({label: (label, 2)
+                                    for label in tape.var_labels})
+        assert plan_for(renamed) is plan
+
+    @needs_numpy
+    def test_session_reports_fastpath_counters(self):
+        db = join_database(4, 2)
+        with ExplainSession(
+            db, method="exact",
+            options=EngineOptions(numeric_backend="int64"),
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert stats["fastpath_hits"] > 0
+        assert stats["fastpath_hits"] + stats["fastpath_fallbacks"] == \
+            len(results)
+        with ExplainSession(db, method="exact") as baseline_session:
+            baseline = baseline_session.explain_many(JOIN_QUERY)
+            assert baseline_session.stats["fastpath_hits"] == 0
+        assert {a: r.values for a, r in results.items()} == \
+            {a: r.values for a, r in baseline.items()}
+
+
+class TestCoefficientsCacheInfo:
+    def test_bounded_cache_reports_hits_and_size(self):
+        before = coefficients_cache_info()
+        assert before["shapley_coefficients_cache_maxsize"] == 256
+        shapley_coefficients(33)
+        shapley_coefficients(33)
+        PYTHON.equation3([1, 2, 3], None, 33)
+        after = coefficients_cache_info()
+        assert after["shapley_coefficients_cache_hits"] > \
+            before["shapley_coefficients_cache_hits"]
+        assert 0 < after["shapley_coefficients_cache_size"] <= 256
+
+
+class TestFastpathRobustness:
+    """Review regressions: stored-payload metadata must never weaken
+    the machine-width tier's soundness, and odd-but-valid tapes must
+    fall through gracefully instead of crashing."""
+
+    @needs_numpy
+    def test_understated_payload_bounds_cannot_arm_unsound_arithmetic(self):
+        # A (buggy or foreign) writer understating `bounds` must not be
+        # able to select a tier the shape overflows: the plan re-derives
+        # its certificate from the instruction arrays.
+        ddnnf = _compile(_disjoint_monotone_cnf(23, 3, seed=3))
+        players = sorted(ddnnf.reachable_vars(), key=repr)
+        honest_tape = compile_tape(ddnnf)
+        payload = honest_tape.to_payload()
+        payload["bounds"] = {
+            "forward_bits": 8, "backward_bits": 8, "diff_bits": 8,
+        }
+        lying_tape = GateTape.from_payload(payload)
+        plan = plan_for(lying_tape)
+        assert plan is not None
+        assert plan.bound_bits == max(honest_tape.bound_bits())
+        assert plan.bound_bits > 63  # not fooled into a native tier
+        fast = shapley_all_facts(
+            ddnnf, players, method="derivative", kernel="int64",
+            tape=lying_tape.with_labels({}),
+        )
+        reference = shapley_all_facts(
+            ddnnf, players, method="derivative", kernel="python",
+            tape=honest_tape,
+        )
+        assert fast == reference
+
+    @needs_numpy
+    def test_loaded_v2_schedule_is_consumed_and_exact(self):
+        ddnnf = _compile(random_monotone_cnf(6, 5, 3, seed=4))
+        fresh = compile_tape(ddnnf)
+        loaded = GateTape.from_payload(fresh.to_payload())
+        assert loaded._analysis["levels"] == fresh.level_schedule()
+        fast = fastpath_diffs(loaded)
+        reference = fastpath_diffs(fresh)
+        assert fast == reference
+        assert fast is not None
+
+    @needs_numpy
+    def test_empty_and_instruction_takes_the_fast_path(self):
+        # ops=[AND] with no children is schema-valid and evaluates to
+        # the constant polynomial [1] on the interpreted pass; the plan
+        # must treat it the same way instead of crashing.
+        tape = GateTape.from_payload({
+            "ops": [4], "args": [[]], "gaps": [None], "nvars": [0],
+            "var_labels": [], "source_gates": 1,
+        })
+        assert tape.forward(PYTHON) == [[1]]
+        plan = plan_for(tape)
+        assert plan is not None
+        assert plan.execute() == {}
+
+    @needs_numpy
+    def test_oversized_buffers_decline_the_fast_path(self, monkeypatch):
+        import repro.core.numerics.fixed as fixed
+
+        monkeypatch.setattr(fixed, "MAX_BUFFER_ELEMENTS", 16)
+        tape = compile_tape(_compile(random_monotone_cnf(6, 5, 3, seed=6)))
+        stats = FastpathStats()
+        assert fastpath_diffs(tape, stats) is None
+        assert stats.fallbacks == 1
