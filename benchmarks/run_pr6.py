@@ -1,0 +1,404 @@
+"""PR 6 acceptance driver: writes BENCH_6.json at the repo root.
+
+Checks, in one run:
+
+1. **Shared-subcircuit cold-path speedup** — a family of lineage
+   circuits that differ as whole shapes but share isomorphic blocks
+   (the fig7/IMDB situation): compiling the family through the
+   cross-shape component memo must beat the inline baseline by
+   >= 1.5x, with ``component_hits > 0`` from the second shape on.
+2. **Serial / parallel / memoized parity** — the same CNF compiled
+   serially, with ``jobs=4``, and against a warm memo produces
+   byte-identical structural signatures; all paths (including the
+   memoization-free baseline) return identical exact Fractions.
+3. **Disjoint-shape no-regression** — on circuits sharing nothing the
+   memo layer's canonicalization overhead stays within noise.
+4. **fig7 tier** — the largest memo-eligible TPC-H ground-truth
+   instance recompiled against a warm memo: cold-compile speedup with
+   Fractions identical to the recorded ground truth.
+5. **Transport x compile-jobs parity** — the flights workload explained
+   over thread / process / socket executors with ``compile_jobs`` 1
+   and 4: identical Fractions everywhere.
+6. **Warm-store fleet e2e** — after ``warm_ahead`` through one worker
+   fleet, a *fresh* fleet on the same store directory explains the
+   query with zero compiles and zero component compilations fleet-wide.
+
+Run with ``PYTHONPATH=src python benchmarks/run_pr6.py``; pass
+``--quick`` (the CI perf-smoke mode) to shrink the workloads, skip the
+timing assertions (CI runners are too noisy to gate on wall-clock
+ratios), and skip writing BENCH_6.json.
+"""
+
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import run_suite  # noqa: E402
+from repro.circuits import (  # noqa: E402
+    eliminate_auxiliary, tseytin_transform,
+)
+from repro.compiler import CompilationBudget, compile_cnf  # noqa: E402
+from repro.core import shapley_all_facts  # noqa: E402
+from repro.engine import (  # noqa: E402
+    ArtifactCache,
+    Coordinator,
+    EngineOptions,
+    ExplainSession,
+    PersistentArtifactStore,
+    run_worker,
+)
+from repro.workloads import (  # noqa: E402
+    TPCH_QUERIES,
+    TpchConfig,
+    flights_database,
+    flights_query,
+    generate_tpch,
+    shared_block_circuits,
+)
+
+EXACT_BUDGET = CompilationBudget(max_nodes=400_000, max_seconds=2.5)
+#: The timed shared-subcircuit family: blocks big enough that canonical
+#: compilation dominates canonicalization (the regime the memo targets).
+TIMED_FAMILY = dict(n_blocks=4, block_vars=16, block_terms=10, term_width=4)
+#: The CI / parity family: small enough for exact Shapley values.
+QUICK_FAMILY = dict(n_blocks=3, block_vars=10, block_terms=5, term_width=3)
+TIMING_REPEATS = 3
+
+
+def _sig(result):
+    return result.circuit.structural_signature()[0]
+
+
+def _timed_min(fn, repeats=TIMING_REPEATS):
+    """Minimum wall-clock over ``repeats`` runs (no warm-up: both sides
+    of every ratio here are *cold* compiles by design)."""
+    laps = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        laps.append(time.perf_counter() - start)
+    return min(laps)
+
+
+def shared_subcircuit_speedup(quick: bool) -> dict:
+    family = dict(QUICK_FAMILY if quick else TIMED_FAMILY, seed=0)
+    circuits = shared_block_circuits(3 if quick else 6, **family)
+    cnfs = [tseytin_transform(c) for c in circuits]
+
+    def baseline():
+        for cnf in cnfs:
+            compile_cnf(cnf, memoize_components=False)
+
+    def memoized():
+        with tempfile.TemporaryDirectory() as store_dir:
+            cache = ArtifactCache(store=PersistentArtifactStore(store_dir))
+            for cnf in cnfs:
+                compile_cnf(cnf, memo=cache.component_memo())
+        return cache
+
+    base_seconds = _timed_min(baseline)
+    memo_seconds = _timed_min(memoized)
+    cache = memoized()
+    stats = cache.stats
+    speedup = round(base_seconds / memo_seconds, 3)
+
+    # the acceptance counter: the second shape already stitches warm
+    # sub-circuits instead of recompiling them
+    probe = ArtifactCache()
+    compile_cnf(cnfs[0], memo=probe.component_memo())
+    first_hits = probe.stats.component_hits
+    compile_cnf(cnfs[1], memo=probe.component_memo())
+    assert first_hits == 0, probe.stats
+    assert probe.stats.component_hits > 0, probe.stats
+    assert stats.component_hits > 0, stats
+    if not quick:
+        # 6 circuits over a 9-template pool: reuse dominates compiles
+        assert stats.component_hits > stats.component_compilations, stats
+        assert speedup >= 1.5, speedup
+    return {
+        "circuits": len(cnfs),
+        "family": family,
+        "baseline_seconds": round(base_seconds, 4),
+        "memoized_seconds": round(memo_seconds, 4),
+        "speedup": speedup,
+        "component_hits": stats.component_hits,
+        "component_misses": stats.component_misses,
+        "component_compilations": stats.component_compilations,
+        "second_shape_component_hits": probe.stats.component_hits,
+        "timing_repeats": TIMING_REPEATS,
+    }
+
+
+def parity_check() -> dict:
+    """Serial vs parallel vs warm-memoized compiles of one shared pair:
+    byte-identical structural signatures, identical exact Fractions
+    (including against the memoization-free baseline)."""
+    first, second = shared_block_circuits(2, **QUICK_FAMILY, seed=1)
+    cnf = tseytin_transform(second)
+    keep = set(cnf.labels.values())
+
+    memo = ArtifactCache().component_memo()
+    compile_cnf(tseytin_transform(first), memo=memo)  # warm the memo
+    baseline = compile_cnf(cnf, memoize_components=False)
+    serial = compile_cnf(cnf)
+    parallel = compile_cnf(cnf, jobs=4)
+    warm = compile_cnf(cnf, memo=memo)
+    assert warm.stats.component_hits > 0, warm.stats
+    assert _sig(serial) == _sig(parallel) == _sig(warm)
+
+    values = []
+    for result in (baseline, serial, parallel, warm):
+        ddnnf = eliminate_auxiliary(result.circuit, keep)
+        players = sorted(ddnnf.reachable_vars(), key=repr)
+        values.append(shapley_all_facts(ddnnf, players))
+    assert values[0] == values[1] == values[2] == values[3]
+    return {
+        "identical_signatures": True,
+        "identical_fractions": True,
+        "warm_component_hits": warm.stats.component_hits,
+        "n_facts": len(values[0]),
+    }
+
+
+def disjoint_shapes_check(quick: bool) -> dict:
+    """Circuits sharing no blocks: the memo never hits and its overhead
+    (canonicalization plus standalone compile-and-import of each
+    eligible component) must stay small and bounded."""
+    family = QUICK_FAMILY if quick else TIMED_FAMILY
+    cnfs = [
+        tseytin_transform(
+            shared_block_circuits(1, **family, seed=100 + i)[0]
+        )
+        for i in range(3)
+    ]
+
+    def baseline():
+        for cnf in cnfs:
+            compile_cnf(cnf, memoize_components=False)
+
+    def memoized():
+        cache = ArtifactCache()
+        for cnf in cnfs:
+            compile_cnf(cnf, memo=cache.component_memo())
+        return cache
+
+    base_seconds = _timed_min(baseline)
+    memo_seconds = _timed_min(memoized)
+    cache = memoized()
+    assert cache.stats.component_hits == 0, cache.stats
+    ratio = round(memo_seconds / base_seconds, 3)
+    if not quick:
+        assert ratio <= 1.4, ratio
+    return {
+        "baseline_seconds": round(base_seconds, 4),
+        "memoized_seconds": round(memo_seconds, 4),
+        "overhead_ratio": ratio,
+        "component_hits": cache.stats.component_hits,
+    }
+
+
+def fig7_check(quick: bool) -> dict:
+    """The largest memo-eligible fig7 (TPC-H) ground-truth instance:
+    recompiling against a warm memo must reuse its components and
+    reproduce the recorded exact Fractions."""
+    tpch = run_suite(
+        generate_tpch(TpchConfig(scale_factor=0.0005)), TPCH_QUERIES,
+        "TPC-H", budget=EXACT_BUDGET, keep_values=True,
+    )
+    records = [
+        r for run in tpch for r in run.records
+        if r.ok and r.values and r.n_facts >= 2
+    ]
+    chosen = None
+    memo = ArtifactCache().component_memo()
+    for record in sorted(records, key=lambda r: -r.n_facts):
+        cnf = tseytin_transform(record.circuit)
+        probe = compile_cnf(cnf, memo=memo)
+        if probe.stats.component_compilations > 0:
+            chosen = (record, cnf)
+            break
+    assert chosen is not None, "no memo-eligible fig7 instance"
+    record, cnf = chosen
+
+    base_seconds = _timed_min(
+        lambda: compile_cnf(cnf, memoize_components=False)
+    )
+    warm_seconds = _timed_min(lambda: compile_cnf(cnf, memo=memo))
+    warm = compile_cnf(cnf, memo=memo)
+    assert warm.stats.component_hits > 0, warm.stats
+    assert warm.stats.component_compilations == 0, warm.stats
+
+    ddnnf = eliminate_auxiliary(warm.circuit, set(cnf.labels.values()))
+    players = sorted(record.values)
+    values = shapley_all_facts(ddnnf, players)
+    assert values == record.values
+    return {
+        "n_facts": record.n_facts,
+        "baseline_seconds": round(base_seconds, 4),
+        "warm_memo_seconds": round(warm_seconds, 4),
+        "cold_compile_speedup": round(base_seconds / warm_seconds, 3),
+        "warm_component_hits": warm.stats.component_hits,
+        "identical_fractions": True,
+        "quick": quick,
+    }
+
+
+class _Fleet:
+    """A live coordinator plus two worker threads sharing one store."""
+
+    def __init__(self, store_dir: str):
+        self.coordinator = Coordinator().start()
+        ready = threading.Barrier(3, timeout=30)
+        self.threads = [
+            threading.Thread(
+                target=run_worker,
+                args=(self.coordinator.address,),
+                kwargs={"cache_dir": store_dir, "on_ready": ready.wait},
+                daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for thread in self.threads:
+            thread.start()
+        ready.wait()
+        self.coordinator.wait_for_workers(2, timeout=30)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.coordinator.shutdown()
+        for thread in self.threads:
+            thread.join(timeout=30)
+
+
+def transport_parity() -> dict:
+    """Identical Fractions across all three transports, with serial and
+    parallel component compilation."""
+    db = flights_database()
+    query = flights_query()
+    expected = {
+        answer: result.values
+        for answer, result in
+        ExplainSession(db, method="exact").explain_many(query).items()
+    }
+    combos = 0
+    with tempfile.TemporaryDirectory() as store_dir:
+        with _Fleet(store_dir) as fleet:
+            for jobs in (1, 4):
+                options = EngineOptions(compile_jobs=jobs)
+                with ExplainSession(
+                    db, method="exact", options=options, max_workers=2,
+                    coordinator=fleet.coordinator.address, min_workers=2,
+                ) as session:
+                    for executor in ("thread", "process", "socket"):
+                        got = session.explain_many(query, executor=executor)
+                        assert {
+                            a: r.values for a, r in got.items()
+                        } == expected, (executor, jobs)
+                        combos += 1
+    return {
+        "executors": ["thread", "process", "socket"],
+        "compile_jobs": [1, 4],
+        "combinations_checked": combos,
+        "identical_fractions": True,
+    }
+
+
+def warm_store_fleet_check() -> dict:
+    """Compile-ahead e2e: warm one fleet's store via the coordinator
+    queue, then point a *fresh* fleet at the same directory — the batch
+    must run with zero compiles and zero component compilations
+    fleet-wide."""
+    db = flights_database()
+    query = flights_query()
+    expected = {
+        answer: result.values
+        for answer, result in
+        ExplainSession(db, method="exact").explain_many(query).items()
+    }
+    with tempfile.TemporaryDirectory() as store_dir:
+        with _Fleet(store_dir) as fleet:
+            with ExplainSession(
+                db, method="exact", executor="socket",
+                coordinator=fleet.coordinator.address, min_workers=2,
+            ) as session:
+                warm = session.warm_ahead(query)
+        assert warm["failed"] == 0, warm
+        assert warm["pending"] == 0, warm
+        assert warm["completed"] == warm["shapes"] > 0, warm
+
+        with _Fleet(store_dir) as fresh:
+            with ExplainSession(
+                db, method="exact", executor="socket",
+                coordinator=fresh.coordinator.address, min_workers=2,
+            ) as session:
+                results = session.explain_many(query)
+                stats = session.stats
+    assert {a: r.values for a, r in results.items()} == expected
+    assert stats["remote_compile_calls"] == 0, stats
+    assert stats["remote_component_compilations"] == 0, stats
+    assert stats["remote_store_hits"] > 0, stats
+    return {
+        "warm": warm,
+        "fresh_fleet_compile_calls": stats["remote_compile_calls"],
+        "fresh_fleet_component_compilations":
+            stats["remote_component_compilations"],
+        "fresh_fleet_store_hits": stats["remote_store_hits"],
+        "identical_fractions": True,
+    }
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    started = time.time()
+    print("PR 6 acceptance: shared-subcircuit cold-path speedup ...",
+          flush=True)
+    shared = shared_subcircuit_speedup(quick)
+    print(f"  speedup {shared['speedup']}x "
+          f"({shared['component_hits']} hits / "
+          f"{shared['component_compilations']} compilations)", flush=True)
+    print("PR 6 acceptance: serial/parallel/memoized parity ...", flush=True)
+    parity = parity_check()
+    print("PR 6 acceptance: disjoint-shape overhead ...", flush=True)
+    disjoint = disjoint_shapes_check(quick)
+    print(f"  overhead ratio {disjoint['overhead_ratio']}", flush=True)
+    print("PR 6 acceptance: fig7 warm-memo tier ...", flush=True)
+    fig7 = fig7_check(quick)
+    print(f"  {fig7['n_facts']} facts, cold-compile speedup "
+          f"{fig7['cold_compile_speedup']}x", flush=True)
+    print("PR 6 acceptance: transport x compile-jobs parity ...", flush=True)
+    transports = transport_parity()
+    print("PR 6 acceptance: warm-store fleet e2e ...", flush=True)
+    fleet = warm_store_fleet_check()
+    payload = {
+        "pr": 6,
+        "title": "Cold path: persistent cross-shape sub-circuit "
+                 "memoization, parallel component compilation, and a "
+                 "coordinator compile-ahead queue",
+        "quick": quick,
+        "shared_subcircuits": shared,
+        "parity": parity,
+        "disjoint_shapes": disjoint,
+        "fig7_warm_memo": fig7,
+        "transport_parity": transports,
+        "warm_store_fleet": fleet,
+        "total_seconds": round(time.time() - started, 1),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if not quick:
+        out = ROOT / "BENCH_6.json"
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,8 +21,12 @@ Commands
     README.md ("Running a shard service").
 ``cache``
     Operate on a persistent artifact store directory without running a
-    benchmark: ``stats``, ``ls``, and ``gc --max-bytes`` (LRU
-    eviction down to the byte budget).
+    benchmark: ``stats`` / ``ls`` (counts and bytes broken down by
+    artifact kind), ``gc`` (age TTL via ``--max-age``, then LRU
+    eviction down to ``--kind-budget`` and ``--max-bytes``), and
+    ``warm`` (pre-compile a workload's lineage shapes into the store —
+    or into a fleet's shared store through a coordinator's
+    compile-ahead queue).
 
 Method dispatch goes through the engine registry
 (:func:`repro.engine.get_engine`): ``--method`` accepts any registered
@@ -142,6 +146,25 @@ def _byte_size(text: str) -> int:
     return value
 
 
+def _kind_budget(text: str) -> tuple[str, int]:
+    """argparse type: ``kind=bytes`` (e.g. ``comp=64m``), one per-kind
+    byte budget for ``cache gc``."""
+    kind, sep, raw = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not kind=bytes (example: comp=64m)"
+        )
+    from .engine.store import PersistentArtifactStore
+
+    kind = kind.strip()
+    if kind not in PersistentArtifactStore.kinds():
+        raise argparse.ArgumentTypeError(
+            f"unknown artifact kind {kind!r}; choose from "
+            f"{PersistentArtifactStore.kinds()}"
+        )
+    return kind, _byte_size(raw)
+
+
 def _address(text: str) -> tuple[str, int]:
     """argparse type: ``host:port``."""
     try:
@@ -242,6 +265,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         options=EngineOptions(
             budget=CompilationBudget(max_seconds=args.timeout), timeout=None,
             numeric_backend=_numeric_backend(args),
+            compile_jobs=args.compile_jobs,
         ),
         cache=cache,
         max_workers=args.jobs,
@@ -293,8 +317,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"({ok / total:.1%}) {timing}")
     if profile is not None:
         print("profile: "
-              f"compile {profile['compile_seconds']:.3f}s, "
-              f"tape-lower {profile['tape_lower_seconds']:.3f}s, "
+              f"compile {profile['compile_seconds']:.3f}s "
+              f"(component-compile {profile['component_compile_seconds']:.3f}s, "
+              f"stitch {profile['stitch_seconds']:.3f}s, "
+              f"tape-lower {profile['tape_lower_seconds']:.3f}s), "
               f"kernel-exec {profile['kernel_exec_seconds']:.3f}s "
               "(summed over the last repeat's answers)")
     print(f"cache: {stats['compile_calls']} compilations, "
@@ -303,6 +329,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"({stats['unique_shapes']} distinct lineage shapes, "
           f"{stats['ddnnf_hits']} d-DNNF hits, "
           f"{stats['tape_hits']} tape hits)")
+    if stats["component_hits"] or stats["component_compilations"]:
+        print(f"components: {stats['component_hits']} hits, "
+              f"{stats['component_misses']} misses, "
+              f"{stats['component_compilations']} compilations")
     if stats["fastpath_hits"] or stats["fastpath_fallbacks"]:
         print(f"fastpath: {stats['fastpath_hits']} machine-width passes, "
               f"{stats['fastpath_fallbacks']} exact fallbacks")
@@ -321,16 +351,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _stage_profile(results) -> dict[str, float]:
-    """Per-stage timing breakdown of one batch: knowledge compilation
-    (Tseytin + compile), gate-tape lowering, and kernel execution
-    (Algorithm 1), summed over the answers' exact outcomes."""
-    stages = {"compile_seconds": 0.0, "tape_lower_seconds": 0.0,
+    """Per-stage timing breakdown of one batch, summed over the
+    answers' exact outcomes.
+
+    ``compile_seconds`` is everything before Algorithm 1 (Tseytin +
+    knowledge compilation + tape stage); the cold-path sub-stages are
+    broken out of it: ``component_compile_seconds`` (compiling
+    memoizable CNF components from scratch), ``stitch_seconds``
+    (importing memoized/fresh component d-DNNFs into the parent), and
+    ``tape_lower_seconds`` (d-DNNF → gate-tape lowering).  All three
+    sub-stages go to zero on a warm store, which is what the profile is
+    for."""
+    stages = {"compile_seconds": 0.0, "component_compile_seconds": 0.0,
+              "stitch_seconds": 0.0, "tape_lower_seconds": 0.0,
               "kernel_exec_seconds": 0.0}
     for result in results.values():
         timings = getattr(result.detail, "timings", None) or {}
         stages["compile_seconds"] += (
-            timings.get("tseytin", 0.0) + timings.get("compile", 0.0))
-        stages["tape_lower_seconds"] += timings.get("tape", 0.0)
+            timings.get("tseytin", 0.0) + timings.get("compile", 0.0)
+            + timings.get("tape", 0.0))
+        stages["component_compile_seconds"] += timings.get(
+            "component_compile", 0.0)
+        stages["stitch_seconds"] += timings.get("stitch", 0.0)
+        stages["tape_lower_seconds"] += timings.get("tape_lower", 0.0)
         stages["kernel_exec_seconds"] += timings.get("shapley", 0.0)
     return {key: round(value, 6) for key, value in stages.items()}
 
@@ -381,30 +424,31 @@ def _open_store(directory: str) -> PersistentArtifactStore:
 def cmd_cache(args: argparse.Namespace) -> int:
     store = _open_store(args.dir)
     if args.cache_command == "stats":
-        entries = store.entries()
-        by_kind = {"cnf": 0, "dnnf": 0, "tape": 0}
-        for entry in entries:
-            by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        kinds = store.kind_summary()
         payload = {
             "directory": str(store.directory),
-            "artifacts": len(entries),
-            "cnf": by_kind["cnf"],
-            "dnnf": by_kind["dnnf"],
-            "tape": by_kind["tape"],
-            "total_bytes": sum(e.size for e in entries),
+            "artifacts": sum(k["files"] for k in kinds.values()),
+            "total_bytes": sum(k["bytes"] for k in kinds.values()),
+            "kinds": kinds,
         }
         if args.json:
             print(json.dumps(payload, sort_keys=True))
         else:
-            print(f"{payload['artifacts']} artifacts "
-                  f"({payload['cnf']} cnf, {payload['dnnf']} dnnf, "
-                  f"{payload['tape']} tape), "
+            per_kind = ", ".join(
+                f"{kinds[kind]['files']} {kind}" for kind in kinds
+            )
+            print(f"{payload['artifacts']} artifacts ({per_kind}), "
                   f"{payload['total_bytes']} bytes in {payload['directory']}")
+            for kind, summary in kinds.items():
+                print(f"  {kind:5s} {summary['files']:>6d} files "
+                      f"{summary['bytes']:>12d} bytes")
         return 0
     if args.cache_command == "ls":
         entries = sorted(
             store.entries(), key=lambda e: e.mtime_ns, reverse=True
         )
+        if args.kind is not None:
+            entries = [e for e in entries if e.kind == args.kind]
         if args.limit is not None:
             entries = entries[: args.limit]
         for entry in entries:  # most recently used first
@@ -415,7 +459,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
                   f"{entry.size:>10d}  {when}")
         return 0
     # gc
-    report = store.gc(max_bytes=args.max_bytes)
+    kind_budgets = dict(args.kind_budget) if args.kind_budget else None
+    if (args.max_bytes is None and kind_budgets is None
+            and args.max_age is None):
+        raise SystemExit(
+            "error: cache gc needs at least one of --max-bytes, "
+            "--kind-budget, --max-age"
+        )
+    report = store.gc(
+        max_bytes=args.max_bytes,
+        kind_budgets=kind_budgets,
+        max_age_seconds=args.max_age,
+    )
     if args.json:
         print(json.dumps(report.as_dict(), sort_keys=True))
     else:
@@ -424,6 +479,55 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"{report.remaining_files} artifacts / "
               f"{report.remaining_bytes} bytes remain")
     return 0
+
+
+def cmd_cache_warm(args: argparse.Namespace) -> int:
+    """Pre-warm a workload: compile its distinct lineage shapes into a
+    store (locally) or a fleet's shared store (via a coordinator's
+    compile-ahead queue) before any client asks for them."""
+    if args.dir is None and args.coordinator is None:
+        raise SystemExit(
+            "error: cache warm needs a store directory (local warming) "
+            "or --coordinator (fleet warming)"
+        )
+    db = _build_db(args)
+    query = _resolve_query(args, db)
+    cache = ArtifactCache()
+    if args.dir is not None:
+        # Warming may target a directory that does not exist yet — the
+        # store creates it (unlike stats/ls/gc, which inspect).
+        cache = ArtifactCache(store=PersistentArtifactStore(args.dir))
+    executor = "socket" if args.coordinator is not None else "thread"
+    with ExplainSession(
+        db,
+        method="exact",
+        options=EngineOptions(
+            budget=CompilationBudget(max_seconds=args.timeout), timeout=None,
+            compile_jobs=args.compile_jobs,
+        ),
+        cache=cache,
+        executor=executor,
+        coordinator=args.coordinator,
+    ) as session:
+        status = session.warm_ahead(query, wait=not args.no_wait)
+        stats = session.stats
+    payload = {**status, "transport": executor}
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        where = (
+            f"coordinator {args.coordinator[0]}:{args.coordinator[1]}"
+            if args.coordinator is not None else args.dir
+        )
+        print(f"warmed {status['completed']}/{status['shapes']} shapes "
+              f"({status['failed']} failed, {status['pending']} pending) "
+              f"via {where}")
+        if executor == "thread" and (
+            stats["component_hits"] or stats["component_compilations"]
+        ):
+            print(f"components: {stats['component_hits']} hits, "
+                  f"{stats['component_compilations']} compilations")
+    return 0 if status["failed"] == 0 else 1
 
 
 def _coerce(text: str):
@@ -492,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--timeout", type=float, default=2.5)
     b.add_argument("--jobs", type=_positive_int, default=None,
                    help="pool width for the batched run (>= 1)")
+    b.add_argument("--compile-jobs", type=_positive_int, default=None,
+                   help="threads compiling independent CNF components "
+                        "of one shape concurrently (results are "
+                        "byte-identical to the serial compile)")
     b.add_argument("--jobs-mode", choices=("thread", "process", "socket"),
                    default="thread",
                    help="fan answers out over threads (shared in-memory "
@@ -569,15 +677,53 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument("dir", help="store directory")
     cl.add_argument("--limit", type=_positive_int, default=None,
                     help="show at most this many entries")
+    cl.add_argument("--kind", choices=PersistentArtifactStore.kinds(),
+                    default=None, help="only list this artifact kind")
     cl.set_defaults(func=cmd_cache)
     cg = csub.add_parser(
-        "gc", help="evict least-recently-used artifacts down to a budget"
+        "gc",
+        help="evict artifacts: stale ones first (--max-age), then LRU "
+             "down to per-kind (--kind-budget) and total (--max-bytes) "
+             "byte budgets",
     )
     cg.add_argument("dir", help="store directory")
-    cg.add_argument("--max-bytes", type=_byte_size, required=True,
-                    help="byte budget to trim to (suffixes k/m/g)")
+    cg.add_argument("--max-bytes", type=_byte_size, default=None,
+                    help="total byte budget to trim to (suffixes k/m/g)")
+    cg.add_argument("--kind-budget", type=_kind_budget, action="append",
+                    default=None, metavar="KIND=BYTES",
+                    help="per-kind byte budget (repeatable, e.g. "
+                         "--kind-budget comp=64m --kind-budget tape=16m)")
+    cg.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                    help="evict artifacts not used for this many seconds, "
+                         "regardless of budgets")
     cg.add_argument("--json", action="store_true")
     cg.set_defaults(func=cmd_cache)
+    cw = csub.add_parser(
+        "warm",
+        help="pre-compile a workload's lineage shapes into a store "
+             "(or a fleet via a coordinator's compile-ahead queue)",
+    )
+    common(cw)
+    cw.add_argument("dir", nargs="?", default=None,
+                    help="store directory to warm (created if missing); "
+                         "omit when warming a fleet with --coordinator")
+    cw.add_argument("--sql", help="SQL text to warm")
+    cw.add_argument("--query", help="suite query name (e.g. Q3, 8d)")
+    cw.add_argument("--timeout", type=float, default=2.5,
+                    help="compilation budget per shape (seconds)")
+    cw.add_argument("--compile-jobs", type=_positive_int, default=None,
+                    help="threads compiling independent CNF components "
+                         "of one shape concurrently")
+    cw.add_argument("--coordinator", type=_address, default=None,
+                    metavar="HOST:PORT",
+                    help="queue the shapes on this coordinator's "
+                         "compile-ahead warmer instead of compiling "
+                         "locally (workers build into their shared store)")
+    cw.add_argument("--no-wait", action="store_true",
+                    help="with --coordinator: return once queued instead "
+                         "of waiting for the warmer to drain")
+    cw.add_argument("--json", action="store_true")
+    cw.set_defaults(func=cmd_cache_warm)
     return parser
 
 

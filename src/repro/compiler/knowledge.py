@@ -14,6 +14,22 @@ Branching on a variable ``v`` produces the gate
 construction.  The output is therefore a d-DNNF — exactly the circuit
 class required by Algorithm 1 of the paper.
 
+On top of the run-local residual cache, *top-level* components are
+memoized **across** compilations: every connected component of the
+unit-propagated input with at least :data:`MEMO_MIN_COMPONENT_VARS`
+variables is renamed into a canonical, rename-invariant form
+(:func:`canonical_component`), compiled standalone over the canonical
+variables, and published to a :class:`ComponentMemo`.  A later compile
+— of the same shape or of a *different* shape that happens to contain
+an isomorphic sub-circuit — looks the component up and stitches the
+memoized circuit into its output instead of recompiling.  The stitching
+import is deterministic (a bottom-up sweep in gate-id order), so
+serial, parallel, and memoized compilations all produce byte-identical
+circuits.  Memoization deliberately stops at the top level: residual
+components deeper in the search reuse the run-local cache instead —
+canonicalizing every nested residual costs more than it saves and
+fragments the residual cache that makes inline compilation fast.
+
 Compilation of an arbitrary CNF into d-DNNF is FP^#P-hard, so the
 compiler supports *budgets* (node count and wall clock).  Exceeding a
 budget raises :class:`BudgetExceeded`; the benchmark harness records
@@ -23,15 +39,31 @@ those events as the paper's out-of-memory / timeout failures.
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable
+from typing import Callable, Iterable
 
-from ..circuits.circuit import Circuit
+from ..circuits.circuit import AND, FALSE, NOT, TRUE, VAR, Circuit
 from ..circuits.cnf import Cnf
 
 Clause = tuple[int, ...]
 ClauseSet = tuple[Clause, ...]
+
+#: Components with fewer variables than this are compiled inline: for
+#: tiny subproblems the canonicalization + stitching overhead exceeds
+#: the cost of just recompiling them.
+MEMO_MIN_COMPONENT_VARS = 8
+
+#: Version tag embedded in persisted component circuits.  Any change to
+#: the compiler that alters the *structure* of compiled components must
+#: bump this so stale ``.comp`` artifacts become clean misses instead of
+#: breaking cross-run signature parity.
+COMPONENT_SCHEME = 1
+
+#: Color-refinement rounds for :func:`canonical_component`.  Refinement
+#: also stops early once the variable partition is discrete or stable.
+_REFINEMENT_ROUNDS = 12
 
 
 class BudgetExceeded(RuntimeError):
@@ -57,12 +89,27 @@ class CompilationBudget:
 
 @dataclass
 class CompilationStats:
-    """Counters reported after a compilation."""
+    """Counters reported after a compilation.
+
+    The ``component_*`` counters describe the cross-run memoization
+    layer: ``component_hits`` sub-circuits were stitched from the memo,
+    ``component_misses`` were not found, and ``component_compilations``
+    standalone canonical compiles ran (at most one per distinct
+    canonical form per run).  ``component_seconds`` is the wall-clock
+    spent inside outermost canonical compiles and ``stitch_seconds``
+    the time spent importing memoized circuits into the caller — both
+    are attributed once (never double-counted across nesting levels).
+    """
 
     decisions: int = 0
     cache_hits: int = 0
     cache_entries: int = 0
     components_split: int = 0
+    component_hits: int = 0
+    component_misses: int = 0
+    component_compilations: int = 0
+    component_seconds: float = 0.0
+    stitch_seconds: float = 0.0
     seconds: float = 0.0
     nodes: int = 0
 
@@ -73,6 +120,37 @@ class CompilationResult:
 
     circuit: Circuit
     stats: CompilationStats = field(default_factory=CompilationStats)
+
+
+class ComponentMemo:
+    """Interface of the cross-run component-circuit memo.
+
+    Implementations must be safe to call from multiple threads.  Keys
+    are canonical clause sets (:func:`canonical_component`); values are
+    compiled d-DNNF circuits over the canonical variables ``1..k``
+    (labels are the plain ints).  ``publish`` may be called twice for
+    the same key by concurrent compilers — the compile is deterministic,
+    so both circuits are identical and either write may win.
+    """
+
+    def lookup(self, key: ClauseSet) -> Circuit | None:
+        raise NotImplementedError
+
+    def publish(self, key: ClauseSet, circuit: Circuit) -> None:
+        raise NotImplementedError
+
+
+class _DictMemo(ComponentMemo):
+    """Run-local fallback memo (no persistence, no bound)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[ClauseSet, Circuit] = {}
+
+    def lookup(self, key: ClauseSet) -> Circuit | None:
+        return self._entries.get(key)
+
+    def publish(self, key: ClauseSet, circuit: Circuit) -> None:
+        self._entries[key] = circuit
 
 
 def _select_widest(clauses: ClauseSet) -> int:
@@ -141,16 +219,36 @@ HEURISTICS: dict[str, Callable[[ClauseSet], int]] = {
 }
 
 
-class _Compiler:
-    """One compilation run (internal)."""
+class _IdentityLabels:
+    """Label table of canonical compiles: variable ``v`` is labelled
+    by the plain int ``v``."""
+
+    def get(self, var: int, default: object = None) -> int:
+        return var
+
+
+_IDENTITY_LABELS = _IdentityLabels()
+
+
+class _RunContext:
+    """State shared by every (possibly nested) compiler of one run.
+
+    Budget, deadline, branching heuristic, memo, and stats are all
+    per-*run*: a canonical component compile spawned three levels deep
+    still counts against the same node budget and reports into the same
+    :class:`CompilationStats`.  All hot counters are plain int bumps
+    (GIL-atomic enough for diagnostics); the counters that feed CI
+    assertions (``component_*``) are guarded by :attr:`lock`.
+    """
 
     def __init__(
         self,
-        cnf: Cnf,
         budget: CompilationBudget | None,
         heuristic: str,
+        memo: ComponentMemo | None,
+        memoize: bool,
+        min_vars: int,
     ) -> None:
-        self.cnf = cnf
         self.budget = budget or CompilationBudget()
         try:
             self.select = HEURISTICS[heuristic]
@@ -158,8 +256,9 @@ class _Compiler:
             raise ValueError(
                 f"unknown heuristic {heuristic!r}; choose from {sorted(HEURISTICS)}"
             ) from None
-        self.circuit = Circuit()
-        self.cache: dict[ClauseSet, int] = {}
+        self.memo = memo if memo is not None else _DictMemo()
+        self.memoize = memoize
+        self.min_vars = min_vars
         self.stats = CompilationStats()
         self.start = time.perf_counter()
         self.deadline = (
@@ -167,35 +266,101 @@ class _Compiler:
             if self.budget.max_seconds is not None
             else None
         )
-        self._tick = 0
+        self.lock = threading.Lock()
+        #: Gates living in *finished* canonical sub-circuits of this
+        #: run; the in-flight compiler adds its own ``len(circuit)`` on
+        #: top when checking the node budget.
+        self.foreign_nodes = 0
+        #: Shared budget-check tick.  Must be run-wide, not
+        #: per-compiler: nested canonical compiles are often tiny, and
+        #: a per-compiler tick would let deep recursions dodge the
+        #: every-64th deadline check forever.  Racy increments under
+        #: parallel compilation merely shift *when* the check fires.
+        self.tick = 0
+        self._local = threading.local()
+
+    def add_foreign(self, nodes: int) -> None:
+        with self.lock:
+            self.foreign_nodes += nodes
+
+    # -- nesting depth (per thread), for one-shot timing attribution --
+
+    def enter_canonical(self) -> bool:
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        return depth == 0
+
+    def exit_canonical(self) -> None:
+        self._local.depth -= 1
+
+    def at_top(self) -> bool:
+        return getattr(self._local, "depth", 0) == 0
+
+
+class _Compiler:
+    """One compilation scope (internal).
+
+    The user-facing run and every canonical component compile each get
+    their own ``_Compiler`` (own circuit, own residual cache) over a
+    shared :class:`_RunContext`.
+    """
+
+    def __init__(
+        self,
+        clauses: Iterable[Clause],
+        labels,
+        context: _RunContext,
+    ) -> None:
+        self.clauses = clauses
+        self.labels = labels
+        self.context = context
+        self.select = context.select
+        self.stats = context.stats
+        self.circuit = Circuit()
+        self.cache: dict[ClauseSet, int] = {}
+        #: canonical key -> circuit, filled by the parallel pre-pass.
+        self._prebuilt: dict[ClauseSet, Circuit] = {}
+        #: _canonical key -> (canonical clauses, variable order).
+        self._canon_forms: dict[ClauseSet, tuple[ClauseSet, tuple[int, ...]]] = {}
 
     # -- bookkeeping ---------------------------------------------------
 
     def _check_budget(self) -> None:
-        self._tick += 1
-        if self.budget.max_nodes is not None and len(self.circuit) > self.budget.max_nodes:
-            raise BudgetExceeded(
-                f"node budget exceeded ({len(self.circuit)} > {self.budget.max_nodes})"
-            )
-        if self.deadline is not None and self._tick % 64 == 0:
-            if time.perf_counter() > self.deadline:
+        context = self.context
+        context.tick += 1
+        budget = context.budget
+        if budget.max_nodes is not None:
+            total = len(self.circuit) + context.foreign_nodes
+            if total > budget.max_nodes:
                 raise BudgetExceeded(
-                    f"time budget exceeded ({self.budget.max_seconds}s)"
+                    f"node budget exceeded ({total} > {budget.max_nodes})"
+                )
+        if context.deadline is not None and context.tick % 64 == 0:
+            if time.perf_counter() > context.deadline:
+                raise BudgetExceeded(
+                    f"time budget exceeded ({budget.max_seconds}s)"
                 )
 
     def _lit_gate(self, lit: int) -> int:
-        label = self.cnf.labels.get(abs(lit), ("z", abs(lit)))
+        label = self.labels.get(abs(lit), ("z", abs(lit)))
         return self.circuit.literal(label, lit > 0)
 
     # -- core recursion ------------------------------------------------
 
-    def run(self) -> int:
-        forced, residual, conflict = _propagate(tuple(self.cnf.clauses), {})
+    def run(self, jobs: int = 1) -> int:
+        forced, residual, conflict = _propagate(tuple(self.clauses), {})
         if conflict:
             return self.circuit.false()
         gates = [self._lit_gate(v if val else -v) for v, val in forced.items()]
         if residual:
-            gates.extend(self._components(residual))
+            comps = _connected_components(residual)
+            if len(comps) > 1:
+                self.stats.components_split += 1
+            if jobs > 1 and len(comps) > 1:
+                self._precompile(comps, jobs)
+            gates.extend(
+                self._compile_component(comp, top=True) for comp in comps
+            )
         return self.circuit.and_(gates)
 
     def _components(self, clauses: ClauseSet) -> list[int]:
@@ -205,14 +370,22 @@ class _Compiler:
             self.stats.components_split += 1
         return [self._compile_component(comp) for comp in comps]
 
-    def _compile_component(self, clauses: ClauseSet) -> int:
+    def _compile_component(self, clauses: ClauseSet, top: bool = False) -> int:
         self._check_budget()
         key = _canonical(clauses)
         cached = self.cache.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
+        if top and self._memoizable(clauses):
+            gate = self._stitch(key)
+        else:
+            gate = self._branch(clauses)
+        self.cache[key] = gate
+        self.stats.cache_entries += 1
+        return gate
 
+    def _branch(self, clauses: ClauseSet) -> int:
         var = self.select(clauses)
         self.stats.decisions += 1
         branches = []
@@ -228,10 +401,212 @@ class _Compiler:
         # A branch gate always conjoins its decision literal, so it is
         # never constant-TRUE; or_ only strips impossible (FALSE)
         # branches, which preserves determinism.
-        gate = self.circuit.or_(branches)
-        self.cache[key] = gate
-        self.stats.cache_entries += 1
+        return self.circuit.or_(branches)
+
+    # -- cross-run memoization -----------------------------------------
+
+    def _memoizable(self, clauses: ClauseSet) -> bool:
+        """Whether a *top-level* component goes through the cross-run
+        memo.  Must be a deterministic function of the clause set (plus
+        the fixed knobs): warm and cold compiles of the same CNF have to
+        take the same canonical-vs-inline path for byte parity."""
+        ctx = self.context
+        if not ctx.memoize:
+            return False
+        variables = {abs(lit) for clause in clauses for lit in clause}
+        return len(variables) >= ctx.min_vars
+
+    def _canonical_form(
+        self, key: ClauseSet
+    ) -> tuple[ClauseSet, tuple[int, ...]]:
+        form = self._canon_forms.get(key)
+        if form is None:
+            form = canonical_component(key)
+            self._canon_forms[key] = form
+        return form
+
+    def _stitch(self, key: ClauseSet) -> int:
+        """Compile (or fetch) the component in canonical form and import
+        the resulting sub-circuit, renaming canonical variables back."""
+        canon, order = self._canonical_form(key)
+        sub = self._prebuilt.pop(canon, None)
+        if sub is None:
+            sub = self._lookup_or_compile(canon)
+        ctx = self.context
+        outermost = ctx.at_top()
+        started = time.perf_counter()
+        gate = self._import_component(sub, order)
+        if outermost:
+            with ctx.lock:
+                self.stats.stitch_seconds += time.perf_counter() - started
         return gate
+
+    def _lookup_or_compile(self, canon: ClauseSet) -> Circuit:
+        ctx = self.context
+        sub = ctx.memo.lookup(canon)
+        if sub is not None:
+            with ctx.lock:
+                self.stats.component_hits += 1
+            return sub
+        with ctx.lock:
+            self.stats.component_misses += 1
+        return _compile_canonical(canon, ctx)
+
+    def _import_component(self, sub: Circuit, order: tuple[int, ...]) -> int:
+        """Deterministic bottom-up import of ``sub`` into this circuit.
+
+        Gates are visited in ``sub``'s gate-id order (stable across
+        serialization round trips, whose dense renumbering is monotone),
+        so the ids created here — and therefore the final circuit — are
+        byte-identical no matter where ``sub`` came from: a fresh
+        compile, the in-memory memo, a parallel pre-pass, or disk.
+        """
+        circuit = self.circuit
+        labels = self.labels
+        root = sub.output_gate()
+        flags = sub.reachable(root)
+        mapping: dict[int, int] = {}
+        for gate in range(root + 1):
+            if not flags[gate]:
+                continue
+            kind = sub.kind(gate)
+            if kind == VAR:
+                var = order[sub.label(gate) - 1]
+                mapping[gate] = circuit.var(labels.get(var, ("z", var)))
+            elif kind == TRUE:
+                mapping[gate] = circuit.true()
+            elif kind == FALSE:
+                mapping[gate] = circuit.false()
+            elif kind == NOT:
+                mapping[gate] = circuit.not_(mapping[sub.children(gate)[0]])
+            elif kind == AND:
+                mapping[gate] = circuit.and_(
+                    mapping[c] for c in sub.children(gate)
+                )
+            else:
+                mapping[gate] = circuit.or_(
+                    mapping[c] for c in sub.children(gate)
+                )
+        return mapping[root]
+
+    def _precompile(self, comps: list[ClauseSet], jobs: int) -> None:
+        """Compile the distinct memoizable top-level components
+        concurrently, then let the serial sweep stitch them in order.
+
+        Only fills :attr:`_prebuilt`; the deterministic import loop in
+        :meth:`run` is untouched, so parallelism cannot perturb gate
+        ids.  Duplicate canonical forms are compiled once.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        pending: list[ClauseSet] = []
+        seen: set[ClauseSet] = set()
+        for comp in comps:
+            if not self._memoizable(comp):
+                continue
+            canon, _ = self._canonical_form(_canonical(comp))
+            if canon in seen:
+                continue
+            seen.add(canon)
+            pending.append(canon)
+        if len(pending) < 2:
+            return
+        with ThreadPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [
+                (canon, pool.submit(self._lookup_or_compile, canon))
+                for canon in pending
+            ]
+            error: BaseException | None = None
+            for canon, future in futures:
+                try:
+                    self._prebuilt[canon] = future.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    if error is None:
+                        error = exc
+            if error is not None:
+                raise error
+
+
+def _compile_canonical(canon: ClauseSet, context: _RunContext) -> Circuit:
+    """Compile a canonical component standalone and publish it.
+
+    The sub-compiler gets its own circuit and residual cache but shares
+    the run context (budget, deadline, memo, stats).  The component is
+    connected and unit-free by construction, so compilation starts
+    directly at the branching step.
+    """
+    outermost = context.enter_canonical()
+    started = time.perf_counter()
+    try:
+        sub = _Compiler(canon, _IDENTITY_LABELS, context)
+        sub.circuit.output = sub._branch(canon)
+        context.add_foreign(len(sub.circuit))
+    finally:
+        elapsed = time.perf_counter() - started
+        context.exit_canonical()
+    with context.lock:
+        context.stats.component_compilations += 1
+        if outermost:
+            context.stats.component_seconds += elapsed
+    context.memo.publish(canon, sub.circuit)
+    return sub.circuit
+
+
+def canonical_component(clauses: ClauseSet) -> tuple[ClauseSet, tuple[int, ...]]:
+    """Rename-invariant canonical form of a component clause set.
+
+    Returns ``(canonical_clauses, order)`` where ``order[i]`` is the
+    original variable renamed to canonical variable ``i + 1``.  Two
+    clause sets that differ only by a variable bijection map to the same
+    canonical clauses whenever bounded color refinement separates the
+    variables (ties may yield different canonical forms — a missed memo
+    hit, never a wrong one: equal canonical forms are by construction
+    literally isomorphic clause sets).
+
+    Variables are colored by iterated Weisfeiler–Leman refinement over
+    the clause incidence structure: the initial color is the multiset of
+    ``(clause width, sign)`` occurrences, and each round re-colors a
+    variable by the multiset of its clauses' colors (a clause's color
+    being the multiset of its variables' colors with signs).  Colors are
+    re-ranked to small ints every round, so nothing here depends on
+    Python's randomized string hashing.
+    """
+    variables = sorted({abs(lit) for clause in clauses for lit in clause})
+    index = {var: i for i, var in enumerate(variables)}
+    occurrences: list[list] = [[] for _ in variables]
+    for clause in clauses:
+        width = len(clause)
+        for lit in clause:
+            occurrences[index[abs(lit)]].append((width, lit > 0))
+    colors: list = [tuple(sorted(occ)) for occ in occurrences]
+    for _ in range(_REFINEMENT_ROUNDS):
+        rank = {color: r for r, color in enumerate(sorted(set(colors)))}
+        if len(rank) == len(variables):
+            break  # discrete partition: every variable distinguished
+        refined: list[list] = [[] for _ in variables]
+        for clause in clauses:
+            clause_color = tuple(
+                sorted((rank[colors[index[abs(lit)]]], lit > 0) for lit in clause)
+            )
+            for lit in clause:
+                refined[index[abs(lit)]].append((clause_color, lit > 0))
+        new_colors = [
+            (rank[colors[i]], tuple(sorted(refined[i])))
+            for i in range(len(variables))
+        ]
+        if len(set(new_colors)) == len(rank):
+            break  # stable partition: further rounds change nothing
+        colors = new_colors
+    rank = {color: r for r, color in enumerate(sorted(set(colors)))}
+    order = tuple(
+        sorted(variables, key=lambda v: (rank[colors[index[v]]], v))
+    )
+    renumber = {var: i + 1 for i, var in enumerate(order)}
+    renamed = tuple(
+        tuple(renumber[abs(lit)] if lit > 0 else -renumber[abs(lit)] for lit in clause)
+        for clause in clauses
+    )
+    return _canonical(renamed), order
 
 
 def _propagate(
@@ -332,6 +707,11 @@ def compile_cnf(
     cnf: Cnf,
     budget: CompilationBudget | None = None,
     heuristic: str = "widest",
+    *,
+    memo: ComponentMemo | None = None,
+    jobs: int | None = None,
+    memoize_components: bool = True,
+    component_min_vars: int = MEMO_MIN_COMPONENT_VARS,
 ) -> CompilationResult:
     """Compile a CNF into a d-DNNF circuit.
 
@@ -346,20 +726,39 @@ def compile_cnf(
     heuristic:
         Branching heuristic: ``"widest"`` (default; see
         :func:`_select_widest`), ``"moms"``, ``"freq"`` or ``"jw"``.
+    memo:
+        Cross-run :class:`ComponentMemo`.  ``None`` uses a run-local
+        dict, which still dedupes isomorphic components *within* this
+        compile; pass the engine cache's memo to share compiled
+        components across shapes, runs, and (with a persistent store)
+        processes.
+    jobs:
+        When > 1, compile the distinct memoizable top-level components
+        in a thread pool of that width before the deterministic serial
+        stitch.  The output is byte-identical to ``jobs=1``.
+    memoize_components:
+        ``False`` restores the purely inline compiler (no
+        canonicalization, no memo traffic) — the baseline the benchmarks
+        compare against.
+    component_min_vars:
+        Minimum component size (in variables) worth memoizing.
 
     Returns a :class:`CompilationResult` whose circuit is deterministic
     and decomposable by construction.
     """
-    limit = max(10_000, 4 * cnf.num_vars + 1000)
+    limit = max(10_000, 8 * cnf.num_vars + 1000)
     old_limit = sys.getrecursionlimit()
     if old_limit < limit:
         sys.setrecursionlimit(limit)
     try:
-        run = _Compiler(cnf, budget, heuristic)
-        run.circuit.output = run.run()
-        run.stats.seconds = time.perf_counter() - run.start
-        run.stats.nodes = len(run.circuit)
-        return CompilationResult(run.circuit, run.stats)
+        context = _RunContext(
+            budget, heuristic, memo, memoize_components, component_min_vars
+        )
+        run = _Compiler(tuple(cnf.clauses), cnf.labels, context)
+        run.circuit.output = run.run(jobs=max(1, int(jobs or 1)))
+        context.stats.seconds = time.perf_counter() - context.start
+        context.stats.nodes = len(run.circuit)
+        return CompilationResult(run.circuit, context.stats)
     finally:
         if old_limit < limit:
             sys.setrecursionlimit(old_limit)
@@ -369,6 +768,9 @@ def compile_circuit(
     circuit: Circuit,
     budget: CompilationBudget | None = None,
     heuristic: str = "widest",
+    *,
+    memo: ComponentMemo | None = None,
+    jobs: int | None = None,
 ) -> CompilationResult:
     """Compile an arbitrary Boolean circuit into a d-DNNF over the *same*
     variables.
@@ -381,7 +783,7 @@ def compile_circuit(
     from ..circuits.tseytin import tseytin_transform
 
     cnf = tseytin_transform(circuit)
-    result = compile_cnf(cnf, budget=budget, heuristic=heuristic)
+    result = compile_cnf(cnf, budget=budget, heuristic=heuristic, memo=memo, jobs=jobs)
     keep = set(cnf.labels.values())
     cleaned = eliminate_auxiliary(result.circuit, keep)
     result_stats = result.stats

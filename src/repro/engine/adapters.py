@@ -50,6 +50,7 @@ class ExactEngine(Engine):
             cache=options.cache,
             artifacts=options.artifacts,
             numeric_backend=options.numeric_backend,
+            compile_jobs=options.compile_jobs,
         )
         seconds = time.perf_counter() - start
         return EngineResult(

@@ -76,6 +76,11 @@ class EngineOptions:
     seed: int | None = None
     mode: str = "derivative"
     numeric_backend: str | None = None
+    #: Worker threads for top-level component compilation inside
+    #: :func:`~repro.compiler.knowledge.compile_cnf` (``None``/``1`` =
+    #: serial).  Purely a wall-clock knob: stitching is deterministic,
+    #: so the compiled circuit is byte-identical to the serial one.
+    compile_jobs: int | None = None
     cache: "ArtifactCache | None" = field(default=None, repr=False)
     artifacts: "CircuitArtifacts | None" = field(default=None, repr=False)
 

@@ -31,11 +31,19 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
-from ..circuits.circuit import Circuit
+import time
+
+from ..circuits.circuit import VAR, Circuit
 from ..circuits.cnf import Cnf
 from ..circuits.dnnf import eliminate_auxiliary
 from ..circuits.tseytin import tseytin_transform
-from ..compiler.knowledge import BudgetExceeded, CompilationBudget, compile_cnf
+from ..compiler.knowledge import (
+    BudgetExceeded,
+    CompilationBudget,
+    CompilationStats,
+    ComponentMemo,
+    compile_cnf,
+)
 from ..core.numerics.tape import GateTape, compile_tape
 from .store import PersistentArtifactStore
 
@@ -68,6 +76,16 @@ class CacheStats:
     #: kernels — the acceptance counters of the PR 5 fast path.
     fastpath_hits: int = 0
     fastpath_fallbacks: int = 0
+    #: Cross-shape sub-circuit memoization (the PR 6 cold-path tier):
+    #: connected components looked up by canonical clause-set signature.
+    #: ``component_hits`` were stitched from memory or disk instead of
+    #: recompiled; ``component_compilations`` counts standalone
+    #: canonical compiles actually performed fleet-wide through this
+    #: cache.
+    component_hits: int = 0
+    component_misses: int = 0
+    component_compilations: int = 0
+    component_evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -91,6 +109,10 @@ class CacheStats:
             "evictions": self.evictions,
             "fastpath_hits": self.fastpath_hits,
             "fastpath_fallbacks": self.fastpath_fallbacks,
+            "component_hits": self.component_hits,
+            "component_misses": self.component_misses,
+            "component_compilations": self.component_compilations,
+            "component_evictions": self.component_evictions,
         }
 
 
@@ -119,6 +141,94 @@ def _relabel_cnf(cnf: Cnf, mapping: Mapping[Hashable, Hashable]) -> Cnf:
     return clone
 
 
+class _CacheComponentMemo(ComponentMemo):
+    """The cache-backed :class:`ComponentMemo` handed to the compiler.
+
+    Two tiers mirror the whole-shape artifacts: a bounded in-memory
+    LRU of component circuits (``component_cache_size`` slots) over the
+    cache's persistent store (``.comp`` artifacts), if attached.  A
+    disk hit is promoted into memory; a publish lands in both.  All
+    traffic is counted in the cache's ``component_*`` stats, which is
+    how the counters reach ``session.stats`` and socket-worker
+    ``remote_*`` aggregates without any extra plumbing.
+    """
+
+    def __init__(self, cache: "ArtifactCache") -> None:
+        self._cache = cache
+        self._entries: OrderedDict[tuple, Circuit] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._cache._lock:
+            return len(self._entries)
+
+    def lookup(self, key: tuple) -> Circuit | None:
+        cache = self._cache
+        with cache._lock:
+            circuit = self._entries.get(key)
+            if circuit is not None:
+                self._entries.move_to_end(key)
+                cache.stats.component_hits += 1
+                return circuit
+        store = cache.store
+        if store is not None:
+            circuit = store.load_component(key)
+            if circuit is not None and _valid_component(circuit, key):
+                with cache._lock:
+                    cache.stats.component_hits += 1
+                self._insert(key, circuit)
+                return circuit
+        with cache._lock:
+            cache.stats.component_misses += 1
+        return None
+
+    def publish(self, key: tuple, circuit: Circuit) -> None:
+        cache = self._cache
+        with cache._lock:
+            cache.stats.component_compilations += 1
+        self._insert(key, circuit)
+        store = cache.store
+        if store is not None:
+            store.store_component(key, circuit)
+
+    def _insert(self, key: tuple, circuit: Circuit) -> None:
+        cache = self._cache
+        bound = cache.component_cache_size
+        if bound == 0:
+            return
+        with cache._lock:
+            self._entries[key] = circuit
+            self._entries.move_to_end(key)
+            if bound is not None:
+                while len(self._entries) > bound:
+                    self._entries.popitem(last=False)
+                    cache.stats.component_evictions += 1
+
+    def clear(self) -> None:
+        with self._cache._lock:
+            self._entries.clear()
+
+
+def _valid_component(circuit: Circuit, key: tuple) -> bool:
+    """Sanity-check a store-loaded component circuit before stitching.
+
+    The circuit's variable labels must be canonical ints within the
+    key's variable range — anything else would crash (or silently
+    corrupt) the import.  Structural validity is already guaranteed by
+    ``Circuit.from_payload``; a bad label table here means the file was
+    forged or damaged in a way the checksum missed, so treat it as a
+    miss and let the caller recompile.
+    """
+    num_vars = max(
+        (abs(lit) for clause in key for lit in clause), default=0
+    )
+    for gate in range(len(circuit)):
+        if circuit.kind(gate) == VAR:
+            label = circuit.label(gate)
+            if not isinstance(label, int) or not 1 <= label <= num_vars:
+                return False
+    return True
+
+
 class CircuitArtifacts:
     """Handle binding one circuit to its cache slot.
 
@@ -130,7 +240,8 @@ class CircuitArtifacts:
     """
 
     __slots__ = (
-        "_cache", "_entry", "signature", "labels", "_flat", "source_size"
+        "_cache", "_entry", "signature", "labels", "_flat", "source_size",
+        "compile_stats", "tape_lower_seconds",
     )
 
     def __init__(
@@ -150,6 +261,12 @@ class CircuitArtifacts:
         #: gate count of the constant-propagated (pre-flatten) circuit,
         #: mirroring what the uncached pipeline reports as circuit_size
         self.source_size = source_size
+        #: :class:`CompilationStats` of the d-DNNF compile this handle
+        #: performed (``None`` when every request hit a cache tier) —
+        #: the profile split reads component/stitch seconds from here.
+        self.compile_stats: CompilationStats | None = None
+        #: Wall-clock of the tape lowering this handle performed.
+        self.tape_lower_seconds: float = 0.0
 
     @property
     def cache(self) -> "ArtifactCache":
@@ -204,7 +321,11 @@ class CircuitArtifacts:
                 stats.cnf_misses += 1
         return _relabel_cnf(canonical, self._to_actual())
 
-    def ddnnf(self, budget: CompilationBudget | None = None) -> Circuit:
+    def ddnnf(
+        self,
+        budget: CompilationBudget | None = None,
+        jobs: int | None = None,
+    ) -> Circuit:
         """The auxiliary-eliminated d-DNNF, labelled with the circuit's
         facts.
 
@@ -213,22 +334,29 @@ class CircuitArtifacts:
         ``budget``.  On a miss, compilation runs under ``budget`` and
         :class:`~repro.compiler.knowledge.BudgetExceeded` propagates;
         failures are not cached, so a later call with a larger budget
-        retries.
+        retries.  ``jobs`` > 1 compiles independent top-level components
+        concurrently (byte-identical output).
         """
-        return self._canonical_ddnnf(budget).rename(self._to_actual())
+        return self._canonical_ddnnf(budget, jobs).rename(self._to_actual())
 
-    def _canonical_ddnnf(self, budget: CompilationBudget | None) -> Circuit:
+    def _canonical_ddnnf(
+        self, budget: CompilationBudget | None, jobs: int | None = None
+    ) -> Circuit:
         """The canonical (index-labelled) d-DNNF of this shape."""
         cache = self._cache
         with cache._lock:
             canonical = self._entry.ddnnf
         if canonical is None:
-            return self._miss_ddnnf(budget)
+            return self._miss_ddnnf(budget, jobs)
         with cache._lock:
             cache.stats.ddnnf_hits += 1
         return canonical
 
-    def tape(self, budget: CompilationBudget | None = None) -> GateTape:
+    def tape(
+        self,
+        budget: CompilationBudget | None = None,
+        jobs: int | None = None,
+    ) -> GateTape:
         """The compiled gate tape of the d-DNNF, re-targeted at the
         circuit's facts.
 
@@ -245,13 +373,15 @@ class CircuitArtifacts:
         with cache._lock:
             canonical = self._entry.tape
         if canonical is None:
-            canonical = self._miss_tape(budget)
+            canonical = self._miss_tape(budget, jobs)
         else:
             with cache._lock:
                 cache.stats.tape_hits += 1
         return canonical.with_labels(self._to_actual())
 
-    def _miss_tape(self, budget: CompilationBudget | None) -> GateTape:
+    def _miss_tape(
+        self, budget: CompilationBudget | None, jobs: int | None = None
+    ) -> GateTape:
         """Memory-tier miss: consult the persistent store, then lower
         the (cached or freshly compiled) canonical d-DNNF."""
         cache = self._cache
@@ -264,10 +394,12 @@ class CircuitArtifacts:
                         self._entry.tape = loaded
                     cache.stats.tape_misses += 1
                     return self._entry.tape
-        ddnnf = self._canonical_ddnnf(budget)
+        ddnnf = self._canonical_ddnnf(budget, jobs)
         with cache._lock:
             cache.stats.tape_compilations += 1
+        lower_started = time.perf_counter()
         tape = compile_tape(ddnnf)
+        self.tape_lower_seconds += time.perf_counter() - lower_started
         with cache._lock:
             if self._entry.tape is None:
                 self._entry.tape = tape
@@ -278,8 +410,12 @@ class CircuitArtifacts:
             store.store_tape(self.signature, tape)
         return tape
 
-    def _miss_ddnnf(self, budget: CompilationBudget | None) -> Circuit:
-        """Memory-tier miss: consult the persistent store, then compile."""
+    def _miss_ddnnf(
+        self, budget: CompilationBudget | None, jobs: int | None = None
+    ) -> Circuit:
+        """Memory-tier miss: consult the persistent store, then compile
+        — stitching memoized sub-circuits through the cache's component
+        memo wherever the shape contains a known component."""
         cache = self._cache
         store = cache.store
         if store is not None:
@@ -294,12 +430,15 @@ class CircuitArtifacts:
         with cache._lock:
             cache.stats.compile_calls += 1
         try:
-            compiled = compile_cnf(cnf, budget=budget)
+            compiled = compile_cnf(
+                cnf, budget=budget, memo=cache.component_memo(), jobs=jobs
+            )
         except BudgetExceeded:
             with cache._lock:
                 cache.stats.compile_failures += 1
                 cache.stats.ddnnf_misses += 1
             raise
+        self.compile_stats = compiled.stats
         canonical = eliminate_auxiliary(
             compiled.circuit, set(cnf.labels.values())
         )
@@ -341,11 +480,23 @@ class ArtifactCache:
         self,
         max_entries: int | None = None,
         store: PersistentArtifactStore | None = None,
+        component_cache_size: int | None = 256,
     ) -> None:
+        if component_cache_size is not None and component_cache_size < 0:
+            raise ValueError(
+                "component_cache_size must be non-negative, "
+                f"got {component_cache_size}"
+            )
         self.max_entries = max_entries
         self.store = store
+        #: Slots of the in-memory component-circuit LRU (``None`` =
+        #: unbounded, ``0`` = store tier only).  Unlike ``max_entries``,
+        #: ``0`` does not disable the memo — disk-backed component hits
+        #: still flow.
+        self.component_cache_size = component_cache_size
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._memo = _CacheComponentMemo(self)
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
@@ -390,6 +541,15 @@ class ArtifactCache:
         cache (compiling under ``budget`` on a miss)."""
         return self.open(circuit).ddnnf(budget=budget)
 
+    def component_memo(self) -> ComponentMemo:
+        """The cache-backed cross-shape component memo.
+
+        Hand it to :func:`~repro.compiler.knowledge.compile_cnf` (the
+        handle's ``ddnnf``/``tape`` paths do so automatically) to stitch
+        previously compiled sub-circuits into cold compiles.
+        """
+        return self._memo
+
     def record_fastpath(self, hits: int, fallbacks: int) -> None:
         """Merge one computation's machine-width counters (thread-safe;
         called by the exact pipeline after each derivative pass)."""
@@ -410,10 +570,12 @@ class ArtifactCache:
         return merged
 
     def clear(self) -> None:
-        """Drop every cached in-memory artifact (statistics and the
-        persistent store, if any, are kept)."""
+        """Drop every cached in-memory artifact, including memoized
+        component circuits (statistics and the persistent store, if
+        any, are kept)."""
         with self._lock:
             self._entries.clear()
+            self._memo.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.stats

@@ -27,6 +27,7 @@ from __future__ import annotations
 import select
 import socket
 import threading
+from collections import deque
 
 from ..base import EngineResult
 from ..scheduler import assign_shards
@@ -98,6 +99,18 @@ class Coordinator:
         self._batch_lock = threading.Lock()
         self._stop = threading.Event()
         self._accept_thread: threading.Thread | None = None
+        # Compile-ahead queue: shapes submitted via the "warm" op are
+        # compiled by workers off the request path (see _warm_loop).
+        self._warm_queue: deque[dict] = deque()
+        self._warm_lock = threading.Lock()
+        self._warm_event = threading.Event()
+        self._warm_thread: threading.Thread | None = None
+        self._warm_inflight = 0
+        self._warm_completed = 0
+        self._warm_failed = 0
+        #: How long a queued warm task waits for a worker to register
+        #: before it is counted as failed.
+        self.warm_worker_timeout = 30.0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -120,6 +133,7 @@ class Coordinator:
     def shutdown(self) -> None:
         """Stop accepting, dismiss every worker, release the port."""
         self._stop.set()
+        self._warm_event.set()  # unblock the warmer so it can exit
         try:
             self._listener.close()
         except OSError:
@@ -250,12 +264,114 @@ class Coordinator:
                             "message": f"{type(error).__name__}: {error}",
                         }
                     send_msg(conn, reply)
+                elif op == "warm":
+                    send_msg(conn, self._enqueue_warm(message))
+                elif op == "warm_status":
+                    send_msg(conn, self._warm_status())
                 else:
                     send_msg(
                         conn, {"op": "error", "message": f"unknown op {op!r}"}
                     )
         finally:
             conn.close()
+
+    # ------------------------------------------------------------------
+    # Compile-ahead queue
+    # ------------------------------------------------------------------
+
+    def _enqueue_warm(self, message: dict) -> dict:
+        """Queue compile-ahead tasks and reply immediately.
+
+        The client gets back the queue depth, not results: warming is
+        fire-and-forget by design (poll ``warm_status`` to observe
+        drain).  The warmer thread starts lazily on first use."""
+        engine = message["engine"]
+        tasks = message.get("tasks", [])
+        with self._warm_lock:
+            for task in tasks:
+                self._warm_queue.append({**task, "engine": engine})
+            pending = len(self._warm_queue) + self._warm_inflight
+        if self._warm_thread is None:
+            self._warm_thread = threading.Thread(
+                target=self._warm_loop, name="repro-warmer", daemon=True
+            )
+            self._warm_thread.start()
+        self._warm_event.set()
+        return {"op": "queued", "queued": len(tasks), "pending": pending}
+
+    def _warm_status(self) -> dict:
+        with self._warm_lock:
+            return {
+                "op": "warm_status",
+                "queued": len(self._warm_queue),
+                "in_flight": self._warm_inflight,
+                "pending": len(self._warm_queue) + self._warm_inflight,
+                "completed": self._warm_completed,
+                "failed": self._warm_failed,
+            }
+
+    def _warm_loop(self) -> None:
+        """Drain the compile-ahead queue, one task per batch-lock hold.
+
+        Taking ``_batch_lock`` per *task* (not per queue drain) means a
+        client batch arriving mid-warm preempts after at most one
+        compile — warming never blocks the request path for long, which
+        is the whole point of doing it ahead of time."""
+        while True:
+            self._warm_event.wait()
+            if self._stop.is_set():
+                return
+            with self._warm_lock:
+                if not self._warm_queue:
+                    self._warm_event.clear()
+                    continue
+                task = self._warm_queue.popleft()
+                self._warm_inflight += 1
+            ok = False
+            try:
+                with self._batch_lock:
+                    if not self._stop.is_set() and self.wait_for_workers(
+                        1, self.warm_worker_timeout
+                    ) >= 1:
+                        ok = self._warm_one(task)
+            finally:
+                with self._warm_lock:
+                    self._warm_inflight -= 1
+                    if ok:
+                        self._warm_completed += 1
+                    else:
+                        self._warm_failed += 1
+
+    def _warm_one(self, task: dict) -> bool:
+        """Send one warm task to a worker chosen by shape affinity (so
+        the same shape keeps warming the same worker's in-memory cache);
+        survivors are tried in order when a worker dies."""
+        with self._cond:
+            workers = [w for w in self._workers if w.alive]
+        if not workers:
+            return False
+        try:
+            start = int(str(task["affinity"])[:8], 16) % len(workers)
+        except (KeyError, ValueError):
+            start = 0
+        for offset in range(len(workers)):
+            worker = workers[(start + offset) % len(workers)]
+            try:
+                reply = worker.request({
+                    "op": "warm",
+                    "id": task["id"],
+                    "engine": task["engine"],
+                    "circuit": task["circuit"],
+                    "players": task["players"],
+                    "options": task["options"],
+                })
+            except Exception:
+                self._discard_worker(worker)
+                continue
+            if reply.get("op") == "warmed":
+                return bool(reply.get("ok"))
+            return False  # out-of-protocol answer: don't retry elsewhere
+        return False
 
     # ------------------------------------------------------------------
     # Batch execution

@@ -11,10 +11,25 @@ store on the far side.
 
 from __future__ import annotations
 
+import time
+
 from ..base import EngineResult
-from ..scheduler import BatchPlan
+from ..scheduler import BatchPlan, Job
 from .base import Transport, TransportError
 from .protocol import connect, parse_address, recv_msg, send_msg
+
+
+def _task_payload(job: Job) -> dict:
+    """The wire form of one job (portable: handles stripped, signature
+    digested)."""
+    portable = job.portable()
+    return {
+        "id": portable.index,
+        "circuit": portable.circuit,
+        "players": portable.players,
+        "options": portable.options,
+        "affinity": portable.affinity(),
+    }
 
 
 class SocketTransport(Transport):
@@ -44,17 +59,8 @@ class SocketTransport(Transport):
         #: Worker count that served the last batch.
         self.remote_workers = 0
 
-    def run_batch(self, plan: BatchPlan) -> dict[int, EngineResult]:
-        tasks = []
-        for job in plan.jobs:  # answer order: group representatives first
-            portable = job.portable()
-            tasks.append({
-                "id": portable.index,
-                "circuit": portable.circuit,
-                "players": portable.players,
-                "options": portable.options,
-                "affinity": portable.affinity(),
-            })
+    def _roundtrip(self, message: dict) -> dict:
+        """One hello + request + reply exchange with the coordinator."""
         try:
             sock = connect(self.address, retry_for=self.connect_retry_for)
         except OSError as error:
@@ -64,18 +70,24 @@ class SocketTransport(Transport):
             ) from error
         try:
             send_msg(sock, {"op": "hello", "role": "client"})
-            send_msg(sock, {
-                "op": "batch",
-                "engine": plan.engine,
-                "tasks": tasks,
-                "min_workers": self.min_workers,
-                "wait_timeout": self.wait_timeout,
-            })
+            send_msg(sock, message)
             reply = recv_msg(sock)
         finally:
             sock.close()
         if reply is None:
-            raise TransportError("coordinator closed the connection mid-batch")
+            raise TransportError("coordinator closed the connection mid-request")
+        return reply
+
+    def run_batch(self, plan: BatchPlan) -> dict[int, EngineResult]:
+        # answer order: group representatives first
+        tasks = [_task_payload(job) for job in plan.jobs]
+        reply = self._roundtrip({
+            "op": "batch",
+            "engine": plan.engine,
+            "tasks": tasks,
+            "min_workers": self.min_workers,
+            "wait_timeout": self.wait_timeout,
+        })
         if reply.get("op") != "results":
             raise TransportError(
                 reply.get("message", f"unexpected reply {reply!r}")
@@ -88,13 +100,51 @@ class SocketTransport(Transport):
 
     def ping(self) -> int:
         """Worker count currently registered at the coordinator."""
-        sock = connect(self.address, retry_for=self.connect_retry_for)
-        try:
-            send_msg(sock, {"op": "hello", "role": "client"})
-            send_msg(sock, {"op": "ping"})
-            reply = recv_msg(sock)
-        finally:
-            sock.close()
+        reply = self._roundtrip({"op": "ping"})
         if not isinstance(reply, dict) or reply.get("op") != "pong":
             raise TransportError(f"unexpected ping reply {reply!r}")
         return int(reply["workers"])
+
+    # ------------------------------------------------------------------
+    # Compile-ahead
+    # ------------------------------------------------------------------
+
+    def warm_batch(self, plan: BatchPlan) -> int:
+        """Queue the plan's warm wave on the coordinator's compile-ahead
+        queue (one representative per distinct shape) and return the
+        number of tasks queued.  Fire-and-forget: workers compile the
+        shapes into the fleet's shared store off the request path; poll
+        :meth:`warm_status` or block on :meth:`wait_warm` to observe the
+        drain."""
+        tasks = [_task_payload(job) for job in plan.warm_wave]
+        if not tasks:
+            return 0
+        reply = self._roundtrip({
+            "op": "warm", "engine": plan.engine, "tasks": tasks,
+        })
+        if reply.get("op") != "queued":
+            raise TransportError(
+                reply.get("message", f"unexpected warm reply {reply!r}")
+            )
+        return int(reply["queued"])
+
+    def warm_status(self) -> dict[str, int]:
+        """Snapshot of the coordinator's compile-ahead queue."""
+        reply = self._roundtrip({"op": "warm_status"})
+        if reply.get("op") != "warm_status":
+            raise TransportError(
+                reply.get("message", f"unexpected warm_status reply {reply!r}")
+            )
+        return {k: v for k, v in reply.items() if k != "op"}
+
+    def wait_warm(
+        self, timeout: float = 60.0, poll: float = 0.05
+    ) -> dict[str, int]:
+        """Block until the compile-ahead queue drains (or ``timeout``
+        passes); returns the final :meth:`warm_status` snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.warm_status()
+            if status.get("pending", 0) == 0 or time.monotonic() >= deadline:
+                return status
+            time.sleep(poll)

@@ -66,6 +66,13 @@ def run_worker(
                     "result": _execute(cache, message),
                 })
                 executed += 1
+            elif op == "warm":
+                send_msg(sock, {
+                    "op": "warmed",
+                    "id": message["id"],
+                    "ok": _warm(cache, message),
+                })
+                executed += 1
             elif op == "stats":
                 send_msg(sock, {"op": "stats", "stats": cache.stats_dict()})
             else:
@@ -78,6 +85,27 @@ def run_worker(
         except OSError:
             pass
     return executed
+
+
+def _warm(cache: ArtifactCache, message: dict) -> bool:
+    """Compile-only execution of one compile-ahead task.
+
+    Builds the shape's artifacts (CNF, d-DNNF, gate tape) through this
+    worker's cache — landing them in the fleet's shared store — without
+    running Algorithm 1.  Failures (budget, corrupt input) are reported
+    as ``ok=False`` and never kill the worker.
+    """
+    try:
+        options = message["options"].with_(cache=cache)
+        handle = cache.open(message["circuit"].condition({}))
+        budget = options.compilation_budget()
+        if options.mode == "derivative":
+            handle.tape(budget=budget, jobs=options.compile_jobs)
+        else:
+            handle.ddnnf(budget=budget, jobs=options.compile_jobs)
+        return True
+    except Exception:
+        return False
 
 
 def _execute(cache: ArtifactCache, message: dict) -> EngineResult:

@@ -243,6 +243,76 @@ class ExplainSession:
         self._unique_shapes += plan.n_shapes
         return {job.answer: outcomes[job.index] for job in plan.jobs}
 
+    def warm_ahead(
+        self,
+        query: QueryLike,
+        answers: Sequence[tuple] | None = None,
+        executor: str | None = None,
+        wait: bool = True,
+        timeout: float = 60.0,
+    ) -> dict[str, int]:
+        """Compile the query's distinct lineage shapes ahead of demand.
+
+        Plans the batch exactly like :meth:`explain_many` and then
+        compiles only the warm wave — one representative per canonical
+        shape — without running Algorithm 1.  With the ``"socket"``
+        executor the representatives go to the coordinator's
+        compile-ahead queue and workers build the artifacts into the
+        fleet's shared store off the request path (``wait=False``
+        returns as soon as they are queued); locally the session cache
+        (and its store, when attached) is warmed inline.  A subsequent
+        :meth:`explain_many` of the same query then compiles nothing.
+
+        Returns counters: ``shapes`` (distinct shapes planned),
+        ``queued``, ``completed``, ``failed``, and ``pending`` (tasks
+        still in flight — nonzero only with ``wait=False`` or on
+        timeout).
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        executor = executor if executor is not None else self.executor
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
+        jobs = self._build_jobs(query, answers)
+        plan = plan_batch(self.engine.name, jobs, self.engine.uses_cache)
+        if not plan.deduplicated:
+            # Sampling engines never compile: nothing to warm.
+            return {"shapes": 0, "queued": 0, "completed": 0,
+                    "failed": 0, "pending": 0}
+        if executor == "socket":
+            transport = self._transport("socket")
+            queued = transport.warm_batch(plan)
+            status = (
+                transport.wait_warm(timeout) if wait
+                else transport.warm_status()
+            )
+            return {
+                "shapes": plan.n_shapes,
+                "queued": queued,
+                "completed": int(status.get("completed", 0)),
+                "failed": int(status.get("failed", 0)),
+                "pending": int(status.get("pending", 0)),
+            }
+        # Local executors: compile each representative through the
+        # session cache (with a store attached this also pre-warms
+        # process-pool workers, which reload from the same directory).
+        budget = self.options.compilation_budget()
+        completed = failed = 0
+        for job in plan.warm_wave:
+            handle = job.options.artifacts
+            try:
+                if self.options.mode == "derivative":
+                    handle.tape(budget=budget, jobs=self.options.compile_jobs)
+                else:
+                    handle.ddnnf(budget=budget, jobs=self.options.compile_jobs)
+                completed += 1
+            except Exception:
+                failed += 1
+        return {"shapes": plan.n_shapes, "queued": len(plan.warm_wave),
+                "completed": completed, "failed": failed, "pending": 0}
+
     def _build_jobs(
         self, query: QueryLike, answers: Sequence[tuple] | None
     ) -> list[Job]:

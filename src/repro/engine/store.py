@@ -14,9 +14,20 @@ of recompiling.  Because the stored circuit is reconstructed gate for
 gate, the Shapley values computed from a reloaded d-DNNF are *exactly*
 (as :class:`~fractions.Fraction` objects) the values of the cold run.
 
+A fourth artifact kind, ``.comp``, holds *component* d-DNNFs: circuits
+compiled from a canonical connected-component clause set
+(:func:`~repro.compiler.knowledge.canonical_component`), keyed by the
+digest of that clause set instead of a whole-circuit signature.  They
+make cold compiles of brand-new shapes cheap whenever the shape shares
+isomorphic sub-circuits with anything compiled before.  Component
+payloads carry the compiler's
+:data:`~repro.compiler.knowledge.COMPONENT_SCHEME` tag; a scheme bump
+turns stale files into clean misses so cross-run signature parity is
+never violated by circuits from an older compiler generation.
+
 File format (version 1)
 -----------------------
-One file per artifact, named ``<sha256(signature)>.<cnf|dnnf|tape>``::
+One file per artifact, named ``<sha256(signature)>.<cnf|dnnf|tape|comp>``::
 
     repro-artifact <format-version> <kind> <sha256(payload)>\\n
     <payload JSON>
@@ -41,7 +52,12 @@ Bounded disk usage (GC)
 A store constructed with ``max_bytes`` keeps the directory under that
 budget: every successful read refreshes the artifact's mtime (the LRU
 clock), and :meth:`gc` evicts least-recently-used artifacts until the
-total size fits.  Eviction is *generation-safe* — each candidate is
+total size fits.  Two finer knobs exist for fleets where ``.comp``
+artifacts multiply: ``kind_budgets`` caps each artifact kind's bytes
+separately (LRU within the kind), and ``max_age_seconds`` evicts
+anything not read or written for that long, regardless of budget.  A
+:meth:`gc` pass applies TTL first, then per-kind budgets, then the
+total budget.  Eviction is *generation-safe* — each candidate is
 re-checked immediately before deletion and skipped if a concurrent
 writer or reader refreshed it since the scan — and always safe against
 concurrent use: a reader that loses the race simply sees a miss and
@@ -58,11 +74,13 @@ import json
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..circuits.circuit import Circuit, CircuitError
 from ..circuits.cnf import Cnf, CnfError
+from ..compiler.knowledge import COMPONENT_SCHEME
 from ..core.numerics.tape import GateTape, TapeError
 
 #: Bump when the header or payload layout changes; older files are then
@@ -70,7 +88,7 @@ from ..core.numerics.tape import GateTape, TapeError
 FORMAT_VERSION = 1
 
 _MAGIC = "repro-artifact"
-_KINDS = ("cnf", "dnnf", "tape")
+_KINDS = ("cnf", "dnnf", "tape", "comp")
 _SUFFIXES = tuple(f".{kind}" for kind in _KINDS)
 
 
@@ -140,6 +158,20 @@ class GcReport:
         }
 
 
+def _validate_kind_budgets(kind_budgets: dict[str, int] | None) -> None:
+    if not kind_budgets:
+        return
+    for kind, budget in kind_budgets.items():
+        if kind not in _KINDS:
+            raise ValueError(
+                f"unknown artifact kind {kind!r}; choose from {_KINDS}"
+            )
+        if budget <= 0:
+            raise ValueError(
+                f"kind budget must be positive, got {kind}={budget}"
+            )
+
+
 def signature_digest(signature: tuple) -> str:
     """Stable hex digest of a canonical structural signature.
 
@@ -172,12 +204,21 @@ class PersistentArtifactStore:
         self,
         directory: str | os.PathLike,
         max_bytes: int | None = None,
+        kind_budgets: dict[str, int] | None = None,
+        max_age_seconds: float | None = None,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        _validate_kind_budgets(kind_budgets)
+        if max_age_seconds is not None and max_age_seconds < 0:
+            raise ValueError(
+                f"max_age_seconds must be non-negative, got {max_age_seconds}"
+            )
         self.directory = Path(directory).expanduser()
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self.kind_budgets = dict(kind_budgets) if kind_budgets else None
+        self.max_age_seconds = max_age_seconds
         self.stats = StoreStats()
         self._lock = threading.Lock()
         #: Running estimate of the directory size, maintained on writes
@@ -188,6 +229,11 @@ class PersistentArtifactStore:
     # ------------------------------------------------------------------
     # Paths
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def kinds() -> tuple[str, ...]:
+        """Every artifact kind the store knows about."""
+        return _KINDS
 
     def path_for(self, signature: tuple, kind: str) -> Path:
         """The on-disk path of one artifact (``kind``: cnf / dnnf /
@@ -224,6 +270,16 @@ class PersistentArtifactStore:
     def total_bytes(self) -> int:
         """Total size of every artifact file currently in the store."""
         return sum(entry.size for entry in self.entries())
+
+    def kind_summary(self) -> dict[str, dict[str, int]]:
+        """File count and byte total per artifact kind (all kinds are
+        present in the result, zeroed when absent on disk)."""
+        summary = {kind: {"files": 0, "bytes": 0} for kind in _KINDS}
+        for entry in self.entries():
+            bucket = summary[entry.kind]
+            bucket["files"] += 1
+            bucket["bytes"] += entry.size
+        return summary
 
     # ------------------------------------------------------------------
     # Loads
@@ -265,13 +321,50 @@ class PersistentArtifactStore:
         self._hit(self.path_for(signature, "tape"))
         return tape
 
+    def load_component(self, key: tuple) -> Circuit | None:
+        """The memoized component d-DNNF of canonical clause set
+        ``key``, or ``None``.
+
+        A payload written by a different compiler generation (scheme
+        tag mismatch) is a clean miss, not a corruption: it was valid
+        for the compiler that wrote it, but stitching it in could break
+        byte-identical signature parity with fresh compiles.
+        """
+        payload = self._load(key, "comp")
+        if payload is None:
+            return None
+        path = self.path_for(key, "comp")
+        if not isinstance(payload, dict) or payload.get("scheme") != COMPONENT_SCHEME:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            circuit = Circuit.from_payload(payload.get("circuit") or {})
+        except CircuitError:
+            return self._corrupt(path)
+        self._hit(path)
+        return circuit
+
     # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------
 
-    def gc(self, max_bytes: int | None = None) -> GcReport:
-        """Evict least-recently-used artifacts until the directory fits
-        under ``max_bytes`` (defaulting to the store's own budget).
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        kind_budgets: dict[str, int] | None = None,
+        max_age_seconds: float | None = None,
+    ) -> GcReport:
+        """Evict artifacts until the directory satisfies every
+        configured budget (arguments default to the store's own knobs).
+
+        Three passes run in order, each least-recently-used first: an
+        age pass dropping artifacts older than ``max_age_seconds``, a
+        per-kind pass shrinking each kind in ``kind_budgets`` to its
+        byte budget, and a total pass shrinking everything to
+        ``max_bytes``.  At least one knob must be set, here or on the
+        store — otherwise this raises ``ValueError`` (mentioning
+        ``max_bytes``, the knob almost everyone wants).
 
         Safe to run while other threads and *processes* read and write
         the same directory: candidates are re-checked right before
@@ -283,39 +376,62 @@ class PersistentArtifactStore:
         pass only / this instance's lifetime respectively.
         """
         budget = max_bytes if max_bytes is not None else self.max_bytes
-        if budget is None:
-            raise ValueError("gc() needs max_bytes (none set on the store)")
-        if budget <= 0:
+        kinds = kind_budgets if kind_budgets is not None else self.kind_budgets
+        age = (
+            max_age_seconds
+            if max_age_seconds is not None
+            else self.max_age_seconds
+        )
+        if budget is None and not kinds and age is None:
+            raise ValueError(
+                "gc() needs a budget: max_bytes, kind_budgets, or "
+                "max_age_seconds (none set on the store)"
+            )
+        if budget is not None and budget <= 0:
             raise ValueError(f"max_bytes must be positive, got {budget}")
-        entries = self.entries()
-        total = sum(entry.size for entry in entries)
+        _validate_kind_budgets(kinds)
+        if age is not None and age < 0:
+            raise ValueError(f"max_age_seconds must be non-negative, got {age}")
+
+        live = {entry.path: entry for entry in self.entries()}
         evicted = 0
         reclaimed = 0
-        # Oldest mtime first = least recently used first (reads refresh
-        # mtime); path name breaks ties deterministically.
-        for entry in sorted(entries, key=lambda e: (e.mtime_ns, e.path.name)):
-            if total <= budget:
-                break
-            try:
-                stat = entry.path.stat()
-            except OSError:
-                total -= entry.size  # already gone: concurrent eviction
-                continue
-            if stat.st_mtime_ns != entry.mtime_ns:
-                # New generation since the scan — recently written or
-                # read.  It is now MRU, so keep it; a follow-up pass
-                # will see the refreshed clock.
-                continue
-            try:
-                entry.path.unlink()
-            except FileNotFoundError:
+
+        def sweep(entries, over_budget) -> int:
+            """Evict LRU-first from ``entries`` while ``over_budget``
+            says the watched total is still too big; returns the bytes
+            still attributed to surviving entries."""
+            nonlocal evicted, reclaimed
+            total = sum(entry.size for entry in entries)
+            # Oldest mtime first = least recently used first (reads
+            # refresh mtime); path name breaks ties deterministically.
+            for entry in sorted(entries, key=lambda e: (e.mtime_ns, e.path.name)):
+                if not over_budget(total):
+                    break
+                outcome, size = self._try_evict(entry)
+                if outcome == "kept":
+                    # New generation since the scan — recently written
+                    # or read.  It is now MRU, so keep it; a follow-up
+                    # pass will see the refreshed clock.
+                    continue
+                live.pop(entry.path, None)
                 total -= entry.size
-                continue
-            except OSError:
-                continue  # permissions/IO hiccup: skip, never fail GC
-            total -= stat.st_size
-            evicted += 1
-            reclaimed += stat.st_size
+                if outcome == "evicted":
+                    evicted += 1
+                    reclaimed += size
+            return total
+
+        if age is not None:
+            cutoff = time.time_ns() - int(age * 1e9)
+            expired = [e for e in live.values() if e.mtime_ns < cutoff]
+            sweep(expired, lambda total: total > 0)
+        if kinds:
+            for kind, kind_budget in sorted(kinds.items()):
+                subset = [e for e in live.values() if e.kind == kind]
+                sweep(subset, lambda total, b=kind_budget: total > b)
+        total = sum(entry.size for entry in live.values())
+        if budget is not None:
+            total = sweep(list(live.values()), lambda t, b=budget: t > b)
         with self._lock:
             self.stats.evictions += evicted
             self.stats.reclaimed_bytes += reclaimed
@@ -325,6 +441,28 @@ class PersistentArtifactStore:
             evicted, reclaimed, len(remaining),
             sum(entry.size for entry in remaining),
         )
+
+    def _try_evict(self, entry: StoreEntry) -> tuple[str, int]:
+        """Generation-safe single-file eviction.
+
+        Returns ``("evicted", bytes)``, ``("gone", 0)`` for a file a
+        concurrent collector beat us to, or ``("kept", 0)`` when the
+        entry's generation changed (or the unlink hit an IO error) —
+        GC skips, never fails.
+        """
+        try:
+            stat = entry.path.stat()
+        except OSError:
+            return "gone", 0
+        if stat.st_mtime_ns != entry.mtime_ns:
+            return "kept", 0
+        try:
+            entry.path.unlink()
+        except FileNotFoundError:
+            return "gone", 0
+        except OSError:
+            return "kept", 0
+        return "evicted", stat.st_size
 
     # ------------------------------------------------------------------
     # Stores
@@ -342,6 +480,15 @@ class PersistentArtifactStore:
         """Persist the canonical compiled gate tape of ``signature``
         (atomic)."""
         self._store(signature, "tape", tape.to_payload())
+
+    def store_component(self, key: tuple, circuit: Circuit) -> None:
+        """Persist a memoized component d-DNNF keyed by its canonical
+        clause set (atomic)."""
+        self._store(
+            key,
+            "comp",
+            {"scheme": COMPONENT_SCHEME, "circuit": circuit.to_payload()},
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -440,14 +587,21 @@ class PersistentArtifactStore:
 
         Overwrites of an existing artifact inflate the estimate (both
         generations are counted) — that only triggers GC *earlier*, and
-        each pass resets the estimate to the measured total.
+        each pass resets the estimate to the measured total.  A store
+        configured with only per-kind budgets auto-enforces against
+        their sum (the tightest total bound they imply); an age TTL
+        alone never triggers on writes — run :meth:`gc` explicitly or
+        on a schedule for that.
         """
-        if self.max_bytes is None:
+        trigger = self.max_bytes
+        if trigger is None and self.kind_budgets:
+            trigger = sum(self.kind_budgets.values())
+        if trigger is None:
             return
         with self._lock:
             if self._estimated_bytes is not None:
                 self._estimated_bytes += written
-                over = self._estimated_bytes > self.max_bytes
+                over = self._estimated_bytes > trigger
                 measure = False
             else:
                 over = False
@@ -456,7 +610,7 @@ class PersistentArtifactStore:
             total = self.total_bytes()
             with self._lock:
                 self._estimated_bytes = total
-            over = total > self.max_bytes
+            over = total > trigger
         if over:
             self.gc()
 

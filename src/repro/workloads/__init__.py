@@ -21,6 +21,7 @@ from .synthetic import (
     intractable_cnf,
     random_monotone_cnf,
     random_monotone_dnf,
+    shared_block_circuits,
 )
 from .tpch import TpchConfig, generate_tpch, tpch_schema
 from .tpch_queries import TPCH_QUERIES, tpch_query
@@ -33,6 +34,7 @@ __all__ = [
     "QueryShape", "QuerySpec", "describe",
     "bipartite_join_dnf", "chained_dnf", "intractable_circuit",
     "intractable_cnf", "random_monotone_cnf", "random_monotone_dnf",
+    "shared_block_circuits",
     "TpchConfig", "generate_tpch", "tpch_schema",
     "TPCH_QUERIES", "tpch_query",
 ]

@@ -119,6 +119,63 @@ def intractable_circuit(n_vars: int = 60, seed: int = 3) -> Circuit:
     return circuit
 
 
+def shared_block_circuits(
+    n_circuits: int,
+    n_blocks: int = 4,
+    block_vars: int = 10,
+    block_terms: int = 5,
+    term_width: int = 3,
+    pool_size: int | None = None,
+    seed: int = 0,
+) -> list[Circuit]:
+    """A family of lineage circuits that pairwise differ as whole shapes
+    but share large isomorphic sub-blocks.
+
+    Models the fig7/IMDB situation the cross-shape component memo is
+    built for: different answers' lineages are *not* isomorphic as whole
+    circuits (so the d-DNNF/tape caches miss), yet they assemble the
+    same join-union building blocks.  Each circuit is the AND of
+    ``n_blocks`` blocks over disjoint fresh variables — a block is a
+    monotone DNF (OR of ``block_terms`` ANDs of ``term_width`` vars
+    drawn from the block's ``block_vars`` variables), so after Tseytin
+    each block is one connected component.  Block *structures* come
+    from a pool of ``pool_size`` random templates (default
+    ``n_blocks + n_circuits - 1``) and circuit ``i`` uses templates
+    ``i .. i+n_blocks-1``: consecutive circuits overlap in all but one
+    block, while no two circuits use the same combination.
+
+    Variable labels are unique per circuit and per block, so any
+    cross-circuit component reuse is purely structural — exactly what
+    the rename-invariant canonical signature must catch.
+    """
+    if pool_size is None:
+        pool_size = n_blocks + n_circuits - 1
+    rng = random.Random(seed)
+    templates = []
+    for _ in range(pool_size):
+        terms = []
+        for _ in range(block_terms):
+            width = min(term_width, block_vars)
+            terms.append(tuple(rng.sample(range(block_vars), width)))
+        templates.append(tuple(terms))
+    circuits = []
+    for index in range(n_circuits):
+        circuit = Circuit()
+        blocks = []
+        for offset in range(n_blocks):
+            template = templates[(index + offset) % pool_size]
+            prefix = f"c{index}_b{offset}"
+            blocks.append(circuit.or_([
+                circuit.and_([
+                    circuit.var(f"{prefix}_v{v}") for v in term
+                ])
+                for term in template
+            ]))
+        circuit.output = circuit.and_(blocks)
+        circuits.append(circuit)
+    return circuits
+
+
 def random_variable_labels(circuit: Circuit) -> list[Hashable]:
     """Sorted variable labels of a synthetic circuit (stable player
     order for the Shapley APIs)."""

@@ -164,7 +164,8 @@ class TestCli:
         assert payload["transport"] == "thread"
         assert payload["stats"]["compile_calls"] > 0
         assert payload["stats"]["store_writes"] > 0
-        assert payload["store_artifacts"] == 3
+        # cnf + dnnf + tape plus the shape's memoized .comp sub-circuits
+        assert payload["store_artifacts"] >= 3
 
 
 class TestCliValidation:
@@ -275,7 +276,8 @@ class TestCliValidation:
         payload = json.loads(capsys.readouterr().out)
         profile = payload["profile"]
         assert set(profile) == {
-            "compile_seconds", "tape_lower_seconds", "kernel_exec_seconds"
+            "compile_seconds", "component_compile_seconds", "stitch_seconds",
+            "tape_lower_seconds", "kernel_exec_seconds"
         }
         assert all(value >= 0 for value in profile.values())
         # warm repeats serve the tape from cache: lowering stays cheaper
@@ -309,7 +311,8 @@ class TestCacheCli:
         store = self._populate(tmp_path, capsys)
         assert main(["cache", "stats", store]) == 0
         out = capsys.readouterr().out
-        assert "3 artifacts (1 cnf, 1 dnnf, 1 tape)" in out
+        assert "1 cnf, 1 dnnf, 1 tape" in out
+        assert "comp" in out  # per-kind breakdown includes the new kind
 
     def test_stats_json(self, tmp_path, capsys):
         import json
@@ -317,17 +320,24 @@ class TestCacheCli:
         store = self._populate(tmp_path, capsys)
         assert main(["cache", "stats", store, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["artifacts"] == 3
+        kinds = payload["kinds"]
+        assert set(kinds) == {"cnf", "dnnf", "tape", "comp"}
+        assert [kinds[k]["files"] for k in ("cnf", "dnnf", "tape")] == [1, 1, 1]
+        assert payload["artifacts"] == sum(k["files"] for k in kinds.values())
+        assert payload["total_bytes"] == sum(k["bytes"] for k in kinds.values())
         assert payload["total_bytes"] > 0
 
     def test_ls_lists_artifacts_mru_first(self, tmp_path, capsys):
         store = self._populate(tmp_path, capsys)
         assert main(["cache", "ls", store]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
-        assert len(lines) == 3
-        assert {line.split()[1] for line in lines} == {"cnf", "dnnf", "tape"}
+        assert len(lines) >= 3
+        assert {line.split()[1] for line in lines} >= {"cnf", "dnnf", "tape"}
         assert main(["cache", "ls", store, "--limit", "1"]) == 0
         assert len(capsys.readouterr().out.strip().splitlines()) == 1
+        assert main(["cache", "ls", store, "--kind", "tape"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines and all(line.split()[1] == "tape" for line in lines)
 
     def test_gc_trims_to_budget(self, tmp_path, capsys):
         import json
@@ -335,16 +345,45 @@ class TestCacheCli:
         store = self._populate(tmp_path, capsys)
         assert main(["cache", "gc", store, "--max-bytes", "1", "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
-        assert report["evicted"] == 3
+        assert report["evicted"] >= 3
         assert report["remaining_files"] == 0
         assert main(["cache", "stats", store]) == 0
         assert "0 artifacts" in capsys.readouterr().out
 
-    def test_gc_requires_max_bytes(self, tmp_path, capsys):
-        with pytest.raises(SystemExit) as exit_info:
+    def test_gc_kind_budget_evicts_only_that_kind(self, tmp_path, capsys):
+        import json
+
+        store = self._populate(tmp_path, capsys)
+        assert main(["cache", "gc", store, "--kind-budget", "tape=1",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted"] == 1  # only the tape artifact
+        assert main(["cache", "stats", store, "--json"]) == 0
+        kinds = json.loads(capsys.readouterr().out)["kinds"]
+        assert kinds["tape"]["files"] == 0
+        assert kinds["cnf"]["files"] == 1 and kinds["dnnf"]["files"] == 1
+
+    def test_gc_max_age_evicts_stale_artifacts(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        assert main(["cache", "gc", store, "--max-age", "0"]) == 0
+        assert "0 artifacts / 0 bytes remain" in capsys.readouterr().out
+
+    def test_gc_requires_a_knob(self, tmp_path):
+        with pytest.raises(SystemExit, match="--max-bytes"):
             main(["cache", "gc", str(tmp_path)])
-        assert exit_info.value.code == 2
-        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_warm_then_bench_compiles_nothing(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert main(["cache", "warm", store, "--workload", "flights"]) == 0
+        out = capsys.readouterr().out
+        assert "warmed 1/1 shapes" in out
+        assert main(["bench", "--workload", "flights",
+                     "--cache-dir", store]) == 0
+        assert "cache: 0 compilations" in capsys.readouterr().out
+
+    def test_warm_needs_a_target(self):
+        with pytest.raises(SystemExit, match="--coordinator"):
+            main(["cache", "warm", "--workload", "flights"])
 
     def test_missing_directory_is_a_clean_error(self, tmp_path):
         with pytest.raises(SystemExit, match="not a directory"):

@@ -9,6 +9,7 @@ from fractions import Fraction
 
 import pytest
 
+from repro.compiler import CompilationBudget
 from repro.engine import (
     ArtifactCache,
     Coordinator,
@@ -298,6 +299,70 @@ class TestCoordinator:
             parse_address("no-port")
         with pytest.raises(ValueError):
             parse_address("host:abc")
+
+
+class TestCompileAhead:
+    def test_warm_ahead_then_batch_compiles_nothing_new(self, fleet):
+        db = join_database(6, 2)
+        baseline = ExplainSession(db, method="exact").explain_many(JOIN_QUERY)
+        with ExplainSession(
+            db, method="exact", executor="socket",
+            coordinator=fleet.address, min_workers=2,
+        ) as session:
+            status = session.warm_ahead(JOIN_QUERY)
+            assert status == {"shapes": 1, "queued": 1, "completed": 1,
+                              "failed": 0, "pending": 0}
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert values_of(results) == values_of(baseline)
+        # the warm pass did the fleet's only compile; the batch reused
+        # it (worker stats are cumulative since worker start)
+        assert stats["remote_compile_calls"] == 1
+        assert stats["compile_calls"] == 0  # the client never compiles
+
+    def test_warm_status_starts_at_zero(self, fleet):
+        transport = SocketTransport(fleet.address)
+        assert transport.warm_status() == {
+            "queued": 0, "in_flight": 0, "pending": 0,
+            "completed": 0, "failed": 0,
+        }
+
+    def test_warm_ahead_local_executor_warms_inline(self):
+        db = join_database(4, 2)
+        with ExplainSession(db, method="exact") as session:
+            status = session.warm_ahead(JOIN_QUERY)
+            assert status["shapes"] == 1
+            assert status["completed"] == 1
+            assert status["pending"] == 0
+            session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert stats["compile_calls"] == 1  # the warm pass only
+
+    def test_warm_ahead_is_a_noop_for_sampling_engines(self):
+        db = join_database(4, 2)
+        with ExplainSession(
+            db, method="monte_carlo", options=EngineOptions(seed=5)
+        ) as session:
+            status = session.warm_ahead(JOIN_QUERY)
+        assert status == {"shapes": 0, "queued": 0, "completed": 0,
+                          "failed": 0, "pending": 0}
+
+    def test_warm_failures_are_counted_not_fatal(self, fleet):
+        db = join_database(6, 2)
+        tiny = EngineOptions(budget=CompilationBudget(max_nodes=1))
+        with ExplainSession(
+            db, method="exact", executor="socket",
+            coordinator=fleet.address, options=tiny,
+        ) as session:
+            status = session.warm_ahead(JOIN_QUERY)
+        assert status["failed"] == 1
+        assert status["completed"] == 0
+        # the fleet still serves healthy batches afterwards
+        with ExplainSession(
+            db, method="exact", executor="socket", coordinator=fleet.address,
+        ) as session:
+            healthy = session.explain_many(JOIN_QUERY)
+        assert all(r.ok for r in healthy.values())
 
 
 class TestLocalTransports:
