@@ -1,0 +1,17 @@
+"""Static analysis for the repro pipeline: artifact verification and lint.
+
+Two independent prongs, both read-only:
+
+* :mod:`repro.analysis.verify` — audits a persistent artifact store
+  (``repro verify <dir>``) without running Algorithm 1: d-DNNF
+  wellformedness, gate-tape level/bound validity, component canonical
+  form, and cross-artifact consistency.
+* :mod:`repro.analysis.lint` — AST-based repo-invariant lint
+  (``python -m repro.analysis.lint src/``) enforcing the REP001-REP004
+  rules (seeded randomness, sorted set iteration in canonicalization
+  code, float-free exact arithmetic, acyclic lock order).
+"""
+
+from __future__ import annotations
+
+__all__ = ["verify", "lint"]

@@ -1,0 +1,623 @@
+"""Static verification of persistent artifact stores (Prong A).
+
+A pure, read-only audit of compiled artifacts that re-derives every
+invariant the warm paths rely on *without* running Algorithm 1:
+
+* **d-DNNF wellformedness** — negation normal form, decomposability
+  (AND children variable-disjoint), and determinism (OR children
+  logically disjoint).  Dangling gate references and cycles are
+  impossible to express in the payload format and are rejected as
+  ``structure`` violations by the same loader the engine uses.
+* **Gate-tape validity** — the stored level schedule is a correct
+  topological stratification, the label table is duplicate-free, and
+  the stored v2 magnitude bounds equal the bounds re-derived from the
+  fan-in structure (an honest writer always stores the exact analysis,
+  so any drift — in particular an *understated* bound that could
+  under-provision tier selection — is a violation).
+* **Component canonical form** — the ``.comp`` scheme tag matches this
+  build, the stored canonical clause set re-derives the file's digest,
+  and the clause set is a fixed point of :func:`canonical_component`.
+* **Cross-artifact consistency** — re-lowering the stored d-DNNF
+  reproduces the stored tape instruction-for-instruction, and the
+  d-DNNF variable set is covered by the CNF's endogenous label set.
+
+Determinism is checked in two tiers.  The implied-literal pass proves
+most OR gates disjoint from literal structure alone, but a gate whose
+decision variable was auxiliary and then projected away by
+``eliminate_auxiliary`` (Lemma 4.6) carries no such witness.  Those
+gates fall through to exhaustive bit-parallel enumeration over
+``Vars(g)`` when ``|Vars(g)| <= determinism_limit``; beyond the limit
+the gate is counted in ``determinism_assumed`` (reported, not a
+violation) rather than silently passed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..circuits.circuit import AND, FALSE, NOT, OR, VAR, Circuit, CircuitError
+from ..circuits.cnf import Cnf, CnfError
+from ..compiler.knowledge import COMPONENT_SCHEME, canonical_component
+from ..core.numerics.tape import GateTape, TapeError, compile_tape
+from ..engine.store import (
+    ARTIFACT_KINDS,
+    ARTIFACT_MAGIC,
+    FORMAT_VERSION,
+    signature_digest,
+)
+
+#: Default cap on exhaustive OR-determinism enumeration (2^limit
+#: assignments, evaluated bit-parallel in one traversal per child).
+#: 20 covers every undecided gate observed in benchmark-warmed stores
+#: at ~1s/gate; ``repro verify --determinism-limit`` overrides.
+DETERMINISM_LIMIT = 20
+
+#: Cheaper cap for ``ArtifactCache.verify_on_load`` spot checks, which
+#: sit on the warm path: structure violations are still caught, large
+#: undecided OR gates are left to the offline ``repro verify`` audit.
+LOAD_DETERMINISM_LIMIT = 12
+
+#: Instruction-array fields compared by the tape/d-DNNF cross check.
+_TAPE_FIELDS = ("ops", "args", "gaps", "nvars", "var_labels", "source_gates")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant of one artifact file."""
+
+    file: str  #: file name within the store directory
+    kind: str  #: artifact kind the file claims (by suffix)
+    check: str  #: machine-readable check id (see module docstring)
+    detail: str  #: human explanation with gate/field specifics
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "file": self.file,
+            "kind": self.kind,
+            "check": self.check,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :func:`verify_store` audit."""
+
+    directory: str
+    files: int = 0
+    kinds: dict[str, dict[str, int]] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+    #: OR gates whose determinism was neither proven nor refuted
+    #: (variable set larger than the enumeration limit).
+    determinism_assumed: int = 0
+    #: Artifacts with nothing to audit beyond structure (v1 tape
+    #: payloads carry no stored levels/bounds).
+    skipped: int = 0
+    #: Orphaned temp files from interrupted atomic writes (reported,
+    #: GC-able, never counted as artifacts).
+    orphans: int = 0
+    orphan_bytes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "ok": self.ok,
+            "files": self.files,
+            "kinds": self.kinds,
+            "violations": [v.as_dict() for v in self.violations],
+            "determinism_assumed": self.determinism_assumed,
+            "skipped": self.skipped,
+            "orphans": self.orphans,
+            "orphan_bytes": self.orphan_bytes,
+        }
+
+
+# ----------------------------------------------------------------------
+# Circuit invariants (shared by .dnnf / .comp audits and verify_on_load)
+# ----------------------------------------------------------------------
+
+
+def check_circuit(
+    circuit: Circuit,
+    determinism_limit: int = DETERMINISM_LIMIT,
+) -> tuple[list[tuple[str, str]], int]:
+    """Audit an in-memory circuit against the d-DNNF invariants.
+
+    Returns ``(problems, assumed)`` where each problem is a
+    ``(check, detail)`` pair and ``assumed`` counts OR gates whose
+    determinism exceeded the enumeration limit.  Acyclicity and the
+    absence of dangling references hold by :class:`Circuit`
+    construction, so only NNF shape, decomposability, and determinism
+    need re-derivation here.
+    """
+    problems: list[tuple[str, str]] = []
+    try:
+        root = circuit.output_gate()
+    except CircuitError as exc:
+        return [("structure", str(exc))], 0
+    flags = circuit.reachable(root)
+    var_sets = circuit.gate_var_sets(root)
+
+    for gate in range(root + 1):
+        if not flags[gate]:
+            continue
+        if circuit.kind(gate) == NOT:
+            (child,) = circuit.children(gate)
+            if circuit.kind(child) != VAR:
+                problems.append(
+                    ("nnf", f"NOT gate {gate} negates non-variable gate {child}")
+                )
+
+    for gate, vset in sorted(var_sets.items()):
+        kind = circuit.kind(gate)
+        if kind != AND:
+            continue
+        children = circuit.children(gate)
+        if sum(len(var_sets[c]) for c in children) != len(vset):
+            problems.append(
+                (
+                    "decomposability",
+                    f"AND gate {gate} has children with overlapping "
+                    f"variable sets",
+                )
+            )
+
+    assumed = 0
+    implied = _implied_literals(circuit, root, flags)
+    for gate, vset in sorted(var_sets.items()):
+        if circuit.kind(gate) != OR:
+            continue
+        children = circuit.children(gate)
+        if len(children) < 2:
+            continue
+        if _literals_disjoint(children, implied):
+            continue
+        if len(vset) > determinism_limit:
+            assumed += 1
+            continue
+        witness = _enumerate_overlap(circuit, gate, vset)
+        if witness is not None:
+            problems.append(
+                (
+                    "determinism",
+                    f"OR gate {gate} has children {witness[0]} and "
+                    f"{witness[1]} sharing a satisfying assignment",
+                )
+            )
+    return problems, assumed
+
+
+def _implied_literals(
+    circuit: Circuit, root: int, flags: list[bool]
+) -> list[frozenset[tuple[int, bool]] | None]:
+    """Per gate, literals implied by every satisfying assignment.
+
+    Literals are ``(var_gate, polarity)`` pairs; ``None`` marks a gate
+    with no satisfying assignment (FALSE cone).  Bottom-up: variables
+    imply themselves, ANDs take the union over children, ORs the
+    intersection over satisfiable children.
+    """
+    empty: frozenset[tuple[int, bool]] = frozenset()
+    lits: list[frozenset[tuple[int, bool]] | None] = [empty] * (root + 1)
+    for gate in range(root + 1):
+        if not flags[gate]:
+            continue
+        kind = circuit.kind(gate)
+        if kind == VAR:
+            lits[gate] = frozenset({(gate, True)})
+        elif kind == FALSE:
+            lits[gate] = None
+        elif kind == NOT:
+            (child,) = circuit.children(gate)
+            if circuit.kind(child) == VAR:
+                lits[gate] = frozenset({(child, False)})
+        elif kind == AND:
+            union: set[tuple[int, bool]] = set()
+            dead = False
+            for child in circuit.children(gate):
+                if lits[child] is None:
+                    dead = True
+                    break
+                union |= lits[child]
+            lits[gate] = None if dead else frozenset(union)
+        elif kind == OR:
+            alive = [lits[c] for c in circuit.children(gate) if lits[c] is not None]
+            if not alive:
+                lits[gate] = None
+            else:
+                lits[gate] = frozenset(frozenset.intersection(*alive))
+    return lits
+
+
+def _literals_disjoint(
+    children: tuple[int, ...],
+    lits: list[frozenset[tuple[int, bool]] | None],
+) -> bool:
+    """True when every pair of (satisfiable) children carries a
+    complementary implied-literal pair — the syntactic determinism
+    witness a decision-form compiler leaves behind."""
+    alive = [c for c in children if lits[c] is not None]
+    for i, a in enumerate(alive):
+        la = lits[a]
+        for b in alive[i + 1 :]:
+            lb = lits[b]
+            if not any((var, not pol) in lb for var, pol in la):
+                return False
+    return True
+
+
+def _enumerate_overlap(
+    circuit: Circuit, gate: int, vset: frozenset[int]
+) -> tuple[int, int] | None:
+    """Exhaustively test the children of OR ``gate`` for a shared
+    satisfying assignment over ``Vars(gate)``.
+
+    Bit-parallel: assignment *j* lives in bit *j* of every mask, so
+    one :meth:`Circuit.evaluate_batch` traversal per child covers all
+    ``2^|Vars|`` assignments.  Returns an overlapping child pair, or
+    ``None`` when the gate is deterministic.
+    """
+    labels = [circuit.label(v) for v in sorted(vset)]
+    width = 1 << len(labels)
+    assignments = {}
+    for i, label in enumerate(labels):
+        period = 1 << (i + 1)
+        block = ((1 << (1 << i)) - 1) << (1 << i)
+        assignments[label] = ((1 << width) - 1) // ((1 << period) - 1) * block
+    seen = 0
+    outputs: list[tuple[int, int]] = []
+    for child in circuit.children(gate):
+        out = circuit.evaluate_batch(assignments, width, root=child)
+        if seen & out:
+            overlap = seen & out
+            for prior, prior_out in outputs:
+                if prior_out & overlap:
+                    return prior, child
+            return outputs[0][0], child  # pragma: no cover - defensive
+        seen |= out
+        outputs.append((child, out))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-kind payload audits
+# ----------------------------------------------------------------------
+
+
+def check_cnf_payload(payload: Any) -> list[tuple[str, str]]:
+    """Audit a ``.cnf`` payload: loader structure plus label ranges."""
+    try:
+        cnf = Cnf.from_payload(payload)
+    except CnfError as exc:
+        return [("structure", str(exc))]
+    problems = []
+    for var in sorted(cnf.labels):
+        if not isinstance(var, int) or not 1 <= var <= cnf.num_vars:
+            problems.append(
+                ("labels", f"labelled variable {var!r} outside 1..{cnf.num_vars}")
+            )
+    return problems
+
+
+def check_tape_payload(
+    payload: Any,
+) -> tuple[list[tuple[str, str]], GateTape | None, int]:
+    """Audit a ``.tape`` payload.
+
+    Structure is validated by the engine's own loader on the
+    instruction arrays alone; the stored v2 analysis (levels, bounds)
+    is then audited *independently* against a fresh re-derivation so a
+    corrupted schedule or bound is attributed precisely.  Returns
+    ``(problems, tape, skipped)`` — ``tape`` (built without adopting
+    the stored analysis) feeds the cross-artifact check, ``skipped``
+    is 1 for a v1 payload with no stored analysis to audit.
+    """
+    if not isinstance(payload, dict):
+        return [("structure", "tape payload is not an object")], None, 0
+    core = {key: payload[key] for key in _TAPE_FIELDS if key in payload}
+    try:
+        tape = GateTape.from_payload(core)
+    except TapeError as exc:
+        return [("structure", str(exc))], None, 0
+
+    problems: list[tuple[str, str]] = []
+    if len(set(map(repr, tape.var_labels))) != len(tape.var_labels):
+        problems.append(("labels", "duplicate entries in the label table"))
+
+    if "levels" not in payload and "bounds" not in payload:
+        return problems, tape, 1  # v1 payload: nothing else stored
+
+    levels = payload.get("levels")
+    fresh_levels = tape.level_schedule()
+    if not isinstance(levels, list) or len(levels) != len(tape.ops):
+        problems.append(("levels", "stored level array is missing or ragged"))
+    else:
+        for i, level in enumerate(levels):
+            if not isinstance(level, int) or level < 0:
+                problems.append(("levels", f"level[{i}] is not a natural number"))
+                break
+            children = tape.args[i] if fresh_levels[i] else ()
+            if fresh_levels[i] and any(levels[c] >= level for c in children):
+                problems.append(
+                    ("levels", f"level[{i}] does not dominate its children")
+                )
+                break
+
+    bounds = payload.get("bounds")
+    fresh = dict(
+        zip(("forward_bits", "backward_bits", "diff_bits"), tape.bound_bits())
+    )
+    if not isinstance(bounds, dict):
+        problems.append(("bounds", "stored bounds are missing or malformed"))
+    else:
+        for key in ("forward_bits", "backward_bits", "diff_bits"):
+            if bounds.get(key) != fresh[key]:
+                problems.append(
+                    (
+                        "bounds",
+                        f"stored {key}={bounds.get(key)!r} but fan-in "
+                        f"re-derivation gives {fresh[key]}",
+                    )
+                )
+    return problems, tape, 0
+
+
+def check_component_payload(
+    payload: Any,
+    digest: str,
+    determinism_limit: int = DETERMINISM_LIMIT,
+) -> tuple[list[tuple[str, str]], int]:
+    """Audit a ``.comp`` payload: scheme tag, canonical-form key, and
+    the embedded circuit's d-DNNF invariants."""
+    if not isinstance(payload, dict):
+        return [("structure", "component payload is not an object")], 0
+    problems: list[tuple[str, str]] = []
+    if payload.get("scheme") != COMPONENT_SCHEME:
+        problems.append(
+            (
+                "scheme",
+                f"scheme tag {payload.get('scheme')!r} is not this "
+                f"compiler's {COMPONENT_SCHEME}",
+            )
+        )
+
+    clauses = payload.get("clauses")
+    key: tuple[tuple[int, ...], ...] | None = None
+    if clauses is None:
+        problems.append(
+            ("component-key", "payload carries no canonical clause set")
+        )
+    else:
+        try:
+            key = tuple(
+                tuple(int(lit) for lit in clause) for clause in clauses
+            )
+        except (TypeError, ValueError):
+            problems.append(
+                ("component-key", "stored clause set is not lists of ints")
+            )
+            key = None
+    if key is not None:
+        if signature_digest(key) != digest:
+            problems.append(
+                (
+                    "component-key",
+                    "stored clause set does not re-derive the file digest",
+                )
+            )
+        elif canonical_component(key)[0] != key:
+            problems.append(
+                (
+                    "component-canonical",
+                    "stored clause set is not a canonical_component fixed "
+                    "point",
+                )
+            )
+
+    try:
+        circuit = Circuit.from_payload(payload.get("circuit") or {})
+    except CircuitError as exc:
+        problems.append(("structure", str(exc)))
+        return problems, 0
+    circuit_problems, assumed = check_circuit(circuit, determinism_limit)
+    problems.extend(circuit_problems)
+    if key is not None:
+        num_vars = max(
+            (abs(lit) for clause in key for lit in clause), default=0
+        )
+        for label in sorted(circuit.variables(), key=repr):
+            if not isinstance(label, int) or not 1 <= label <= num_vars:
+                problems.append(
+                    (
+                        "labels",
+                        f"component variable {label!r} outside the key's "
+                        f"1..{num_vars}",
+                    )
+                )
+    return problems, assumed
+
+
+def check_loaded_tape(tape: GateTape) -> list[tuple[str, str]]:
+    """Spot check for :class:`~repro.engine.cache.ArtifactCache`
+    ``verify_on_load``: stored (advisory) bounds must equal the
+    re-derived certificate."""
+    stored = tape._analysis.get("payload_bound_bits")
+    if stored is None:
+        return []
+    if tuple(stored) != tape.bound_bits():
+        return [
+            (
+                "bounds",
+                f"stored bound bits {tuple(stored)} differ from re-derived "
+                f"{tape.bound_bits()}",
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Store-level audit
+# ----------------------------------------------------------------------
+
+
+def _read_artifact(
+    path: Path, kind: str
+) -> tuple[Any, list[tuple[str, str]]]:
+    """Parse one artifact file exactly the way the store's loader does,
+    returning ``(payload, problems)`` — payload is ``None`` whenever a
+    problem made it unreadable."""
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        return None, [("header", f"unreadable: {exc}")]
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return None, [("header", "missing header line")]
+    header = blob[:newline].decode("utf-8", errors="replace").split()
+    payload = blob[newline + 1 :]
+    if len(header) != 4 or header[0] != ARTIFACT_MAGIC or header[2] != kind:
+        return None, [("header", "malformed header or kind mismatch")]
+    if header[1] != str(FORMAT_VERSION):
+        return None, [
+            (
+                "version",
+                f"format version {header[1]} is not this build's "
+                f"{FORMAT_VERSION}",
+            )
+        ]
+    if hashlib.sha256(payload).hexdigest() != header[3]:
+        return None, [("checksum", "payload does not match header checksum")]
+    try:
+        return json.loads(payload), []
+    except ValueError:
+        return None, [("payload", "payload is not valid JSON")]
+
+
+def verify_store(
+    directory: str | Path,
+    determinism_limit: int = DETERMINISM_LIMIT,
+) -> VerifyReport:
+    """Audit every artifact in ``directory`` and return the report.
+
+    Read-only: nothing is deleted, rewritten, or recompiled.  Per-kind
+    file counts match :meth:`PersistentArtifactStore.kind_summary`
+    exactly (same suffix discipline); in-flight/orphaned ``*.tmp``
+    files are reported separately and never audited as artifacts.
+    """
+    directory = Path(directory)
+    report = VerifyReport(directory=str(directory))
+    report.kinds = {
+        kind: {"files": 0, "ok": 0, "violations": 0} for kind in ARTIFACT_KINDS
+    }
+    suffixes = {f".{kind}": kind for kind in ARTIFACT_KINDS}
+
+    groups: dict[str, dict[str, Path]] = {}
+    try:
+        candidates = sorted(directory.iterdir())
+    except OSError as exc:
+        raise FileNotFoundError(f"cannot scan {directory}: {exc}") from None
+    for path in candidates:
+        if path.suffix == ".tmp":
+            report.orphans += 1
+            try:
+                report.orphan_bytes += path.stat().st_size
+            except OSError:
+                pass
+            continue
+        kind = suffixes.get(path.suffix)
+        if kind is None:
+            continue
+        groups.setdefault(path.stem, {})[kind] = path
+
+    loaded: dict[str, dict[str, Any]] = {}
+    for digest in sorted(groups):
+        loaded[digest] = {}
+        for kind, path in sorted(groups[digest].items()):
+            report.files += 1
+            report.kinds[kind]["files"] += 1
+            payload, problems = _read_artifact(path, kind)
+            if payload is not None:
+                if kind == "cnf":
+                    problems += check_cnf_payload(payload)
+                    if not problems:
+                        loaded[digest]["cnf"] = Cnf.from_payload(payload)
+                elif kind == "dnnf":
+                    try:
+                        circuit = Circuit.from_payload(payload)
+                    except CircuitError as exc:
+                        problems.append(("structure", str(exc)))
+                    else:
+                        circuit_problems, assumed = check_circuit(
+                            circuit, determinism_limit
+                        )
+                        problems += circuit_problems
+                        report.determinism_assumed += assumed
+                        if not problems:
+                            loaded[digest]["dnnf"] = circuit
+                elif kind == "tape":
+                    tape_problems, tape, skipped = check_tape_payload(payload)
+                    problems += tape_problems
+                    report.skipped += skipped
+                    if tape is not None and not problems:
+                        loaded[digest]["tape"] = tape
+                else:
+                    comp_problems, assumed = check_component_payload(
+                        payload, digest, determinism_limit
+                    )
+                    problems += comp_problems
+                    report.determinism_assumed += assumed
+            if problems:
+                report.kinds[kind]["violations"] += 1
+                report.violations += [
+                    Violation(path.name, kind, check, detail)
+                    for check, detail in problems
+                ]
+            else:
+                report.kinds[kind]["ok"] += 1
+
+    for digest in sorted(loaded):
+        artifacts = loaded[digest]
+        cross: list[tuple[str, str, str]] = []  # (file, check, detail)
+        circuit = artifacts.get("dnnf")
+        tape = artifacts.get("tape")
+        cnf = artifacts.get("cnf")
+        if circuit is not None and tape is not None:
+            expected = compile_tape(circuit)
+            for name in _TAPE_FIELDS:
+                if getattr(tape, name) != getattr(expected, name):
+                    cross.append(
+                        (
+                            f"{digest}.tape",
+                            "tape-match",
+                            f"stored {name} differs from re-lowering the "
+                            f"stored d-DNNF",
+                        )
+                    )
+        if circuit is not None and cnf is not None:
+            missing = circuit.reachable_vars() - set(cnf.labels.values())
+            if missing:
+                cross.append(
+                    (
+                        f"{digest}.dnnf",
+                        "var-match",
+                        f"d-DNNF mentions variables absent from the CNF "
+                        f"label set: {sorted(missing, key=repr)[:5]}",
+                    )
+                )
+        flagged_files: set[str] = set()
+        for file, check, detail in cross:
+            kind = file.rsplit(".", 1)[1]
+            if file not in flagged_files:
+                flagged_files.add(file)
+                report.kinds[kind]["violations"] += 1
+                report.kinds[kind]["ok"] -= 1
+            report.violations.append(Violation(file, kind, check, detail))
+    return report

@@ -40,7 +40,7 @@ def check_decomposable(circuit: Circuit, root: int | None = None) -> bool:
     if root is None:
         root = circuit.output_gate()
     var_sets = circuit.gate_var_sets(root)
-    for gate, vset in var_sets.items():
+    for gate, vset in sorted(var_sets.items()):  # REP002: sorted iteration
         if circuit.kind(gate) != AND:
             continue
         children = circuit.children(gate)
@@ -71,8 +71,11 @@ def check_deterministic_exhaustive(
     if root is None:
         root = circuit.output_gate()
     var_sets = circuit.gate_var_sets(root)
-    labels_of = {g: circuit.label(g) for g in var_sets if circuit.kind(g) == VAR}
-    for gate, vset in var_sets.items():
+    labels_of = {
+        g: circuit.label(g)  # REP002: sorted iteration
+        for g in sorted(var_sets) if circuit.kind(g) == VAR
+    }
+    for gate, vset in sorted(var_sets.items()):  # REP002: sorted iteration
         if circuit.kind(gate) != OR:
             continue
         children = circuit.children(gate)
@@ -357,13 +360,15 @@ def smooth(
             kids = []
             for child in circuit.children(gate):
                 gap = gset - var_sets[child]
-                missing = [circuit.label(v) for v in gap]
+                # REP002: gate ids are sorted so the padding chain is
+                # identical across processes and hash seeds.
+                missing = [circuit.label(v) for v in sorted(gap)]
                 kids.append(pad(new_gate[child], missing))
             new_gate[gate] = result.raw_or(tuple(kids)) if len(kids) != 1 else kids[0]
 
     top = new_gate[root]
     if target_vars is not None:
-        present = {circuit.label(v) for v in var_sets[root]}
+        present = {circuit.label(v) for v in sorted(var_sets[root])}
         extra = [lbl for lbl in target_vars if lbl not in present]
         top = pad(top, extra)
     result.output = top
@@ -531,7 +536,10 @@ def to_nnf_text(circuit: Circuit, root: int | None = None) -> tuple[str, dict[in
             lines.append("O 0 " + " ".join(str(x) for x in [len(kids)] + kids))
         node_id[gate] = len(lines) - 1
     header = f"nnf {len(lines)} {edges} {len(labels)}"
-    return header + "\n" + "\n".join(lines) + "\n", {i: l for l, i in index.items()}
+    return header + "\n" + "\n".join(lines) + "\n", {
+        i: l  # REP002: index-sorted so the label map is order-stable
+        for l, i in sorted(index.items(), key=lambda entry: entry[1])
+    }
 
 
 def from_nnf_text(text: str, labels: Mapping[int, Hashable] | None = None) -> Circuit:

@@ -425,11 +425,13 @@ def cmd_cache(args: argparse.Namespace) -> int:
     store = _open_store(args.dir)
     if args.cache_command == "stats":
         kinds = store.kind_summary()
+        orphans = store.orphan_summary()
         payload = {
             "directory": str(store.directory),
             "artifacts": sum(k["files"] for k in kinds.values()),
             "total_bytes": sum(k["bytes"] for k in kinds.values()),
             "kinds": kinds,
+            "orphans": orphans,
         }
         if args.json:
             print(json.dumps(payload, sort_keys=True))
@@ -442,6 +444,10 @@ def cmd_cache(args: argparse.Namespace) -> int:
             for kind, summary in kinds.items():
                 print(f"  {kind:5s} {summary['files']:>6d} files "
                       f"{summary['bytes']:>12d} bytes")
+            if orphans["files"]:
+                print(f"  {orphans['files']} orphaned temp file(s), "
+                      f"{orphans['bytes']} bytes (interrupted writes; "
+                      f"'cache gc' sweeps them)")
         return 0
     if args.cache_command == "ls":
         entries = sorted(
@@ -478,7 +484,51 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"({report.reclaimed_bytes} bytes reclaimed); "
               f"{report.remaining_files} artifacts / "
               f"{report.remaining_bytes} bytes remain")
+        if report.orphans_removed:
+            print(f"swept {report.orphans_removed} orphaned temp file(s) "
+                  f"({report.orphan_bytes_reclaimed} bytes)")
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Statically audit a persistent artifact store (read-only)."""
+    from .analysis.verify import DETERMINISM_LIMIT, verify_store
+
+    store = _open_store(args.dir)
+    limit = (
+        args.determinism_limit
+        if args.determinism_limit is not None
+        else DETERMINISM_LIMIT
+    )
+    report = verify_store(store.directory, determinism_limit=limit)
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+    else:
+        for kind, summary in report.kinds.items():
+            print(f"  {kind:5s} {summary['files']:>6d} files   "
+                  f"{summary['ok']:>6d} ok   "
+                  f"{summary['violations']:>6d} with violations")
+        for violation in report.violations:
+            print(f"  {violation.file}: [{violation.check}] "
+                  f"{violation.detail}")
+        notes = []
+        if report.determinism_assumed:
+            notes.append(
+                f"{report.determinism_assumed} OR gate(s) above the "
+                f"determinism enumeration limit (unproven, not violations)"
+            )
+        if report.skipped:
+            notes.append(f"{report.skipped} v1 artifact(s) without stored "
+                         f"analysis to audit")
+        if report.orphans:
+            notes.append(f"{report.orphans} orphaned temp file(s), "
+                         f"{report.orphan_bytes} bytes")
+        for note in notes:
+            print(f"  note: {note}")
+        verdict = "OK" if report.ok else "FAILED"
+        print(f"{verdict}: {report.files} artifact file(s), "
+              f"{len(report.violations)} violation(s)")
+    return 0 if report.ok else 1
 
 
 def cmd_cache_warm(args: argparse.Namespace) -> int:
@@ -724,6 +774,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "of waiting for the warmer to drain")
     cw.add_argument("--json", action="store_true")
     cw.set_defaults(func=cmd_cache_warm)
+
+    v = sub.add_parser(
+        "verify",
+        help="statically audit a store's artifacts (d-DNNF invariants, "
+             "tape levels/bounds, component canonical form, cross-"
+             "artifact consistency); read-only, exits non-zero on any "
+             "violation",
+    )
+    v.add_argument("dir", help="store directory to audit")
+    v.add_argument("--determinism-limit", type=_positive_int, default=None,
+                   help="exhaustively enumerate OR gates with up to this "
+                        "many variables when literal structure alone "
+                        "cannot prove determinism (default 20; larger "
+                        "gates are reported as unproven, not violations)")
+    v.add_argument("--json", action="store_true")
+    v.set_defaults(func=cmd_verify)
     return parser
 
 

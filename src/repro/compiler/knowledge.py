@@ -695,7 +695,10 @@ def _connected_components(clauses: ClauseSet) -> list[ClauseSet]:
     for clause in clauses:
         root = find(abs(clause[0]))
         groups.setdefault(root, []).append(clause)
-    return [tuple(group) for group in groups.values()]
+    # Insertion-ordered by first appearance in the (already canonical)
+    # clause list, so this is deterministic; sorting would reorder
+    # components and break byte-parity with previously stored circuits.
+    return [tuple(group) for group in groups.values()]  # repro: allow=REP002 insertion-ordered
 
 
 def _canonical(clauses: ClauseSet) -> ClauseSet:

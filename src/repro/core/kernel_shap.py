@@ -45,7 +45,9 @@ def kernel_shap_values(
     facts = list(endogenous_facts)
     n = len(facts)
     if rng is None:
-        rng = random.Random()
+        # REP001: a deterministic default keeps repeated runs
+        # comparable; callers wanting fresh draws pass their own rng.
+        rng = random.Random(0)
     if (samples is None) == (samples_per_fact is None):
         raise ValueError("specify exactly one of samples / samples_per_fact")
     if samples is None:

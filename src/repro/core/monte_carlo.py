@@ -41,7 +41,9 @@ def monte_carlo_shapley(
     if rounds is None or rounds <= 0:
         raise ValueError("the sampling budget must be positive")
     if rng is None:
-        rng = random.Random()
+        # REP001: a deterministic default keeps repeated runs
+        # comparable; callers wanting fresh draws pass their own rng.
+        rng = random.Random(0)
 
     totals = {fact: 0 for fact in facts}
     if n == 0:

@@ -237,7 +237,7 @@ _REGISTRY: dict[str, type[Kernel]] = {}
 _INSTANCES: dict[str, Kernel] = {}
 
 
-def register_kernel(cls: type[Kernel], aliases: Sequence[str] = ()):
+def register_kernel(cls: type[Kernel], aliases: Sequence[str] = ()) -> type[Kernel]:
     """Register a :class:`Kernel` subclass under its ``name`` (and any
     aliases).  Usable as a plain call; returns the class."""
     for key in (cls.name, *aliases):

@@ -55,7 +55,7 @@ as ``"numpy"``), and the fast path reports itself unavailable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from .base import Kernel, binomial_row, register_kernel
 from .exact import PythonKernel
@@ -225,7 +225,7 @@ class _Ineligible(Exception):
     """Internal: this shape cannot take the machine-width fast path."""
 
 
-def _select_arithmetic(bits: int, width: int):
+def _select_arithmetic(bits: int, width: int) -> tuple[Any, tuple[int, ...] | None]:
     """Pick the cheapest sound arithmetic for a shape whose magnitudes
     fit ``bits`` bits and whose vectors are ``width`` long.
 
@@ -384,10 +384,10 @@ class LevelPlan:
             by_level_or[level[parent]].setdefault(gap, []).append(
                 (parent, child))
 
-        def index(rows):
+        def index(rows: Sequence[int]) -> Any:
             return _np.array(rows, dtype=intp)
 
-        def scatter(rows) -> tuple:
+        def scatter(rows: Sequence[int]) -> tuple:
             """A precompiled scatter-add plan for target ``rows``:
             ``(targets, None)`` when they are distinct (fancy ``+=``
             suffices), else ``(unique_targets, order, starts)`` for a
@@ -456,12 +456,12 @@ class LevelPlan:
     def n_planes(self) -> int:
         return len(self.moduli) if self.moduli else 1
 
-    def _moduli_column(self):
+    def _moduli_column(self) -> Any:
         if self.moduli is None:
             return None
         return _np.array(self.moduli, dtype=_np.int64)[:, None, None]
 
-    def _gap_matrix(self, gap: int, plane: int):
+    def _gap_matrix(self, gap: int, plane: int) -> Any:
         """The banded completion matrix ``M[i, i+j] = C(gap, j)`` (one
         per residue plane in CRT mode), cached on the plan."""
         modulus = self.moduli[plane] if self.moduli else None
@@ -479,7 +479,7 @@ class LevelPlan:
         return matrix
 
     @staticmethod
-    def _scatter_add(buffer, plan: tuple, contribution) -> None:
+    def _scatter_add(buffer: Any, plan: tuple, contribution: Any) -> None:
         """``buffer[:, targets] += contribution`` under a scatter plan
         from ``__init__``: plain fancy add for distinct targets, sort +
         ``add.reduceat`` for duplicated ones."""
@@ -491,7 +491,7 @@ class LevelPlan:
         buffer[:, targets] += reduced
 
     @staticmethod
-    def _conv(short, long, n_terms: int):
+    def _conv(short: Any, long: Any, n_terms: int) -> Any:
         """Batched truncated convolution along the last axis, summing
         over ``short``'s first ``n_terms`` coefficients: one matmul
         over a sliding-window view of the zero-padded ``long``."""
@@ -503,7 +503,7 @@ class LevelPlan:
         coeffs = short[:, :, n_terms - 1::-1]          # reversed prefix
         return _np.matmul(coeffs[:, :, None, :], wins)[:, :, 0, :]
 
-    def _gap_coefficients(self, gap: int):
+    def _gap_coefficients(self, gap: int) -> Any:
         """Pascal row of ``gap`` as a ``(planes, 1, 1, n_terms)``-able
         array (reduced per residue plane in CRT mode), cached."""
         key = ("row", gap)
@@ -521,7 +521,7 @@ class LevelPlan:
             self._gap_matrices[key] = coeffs
         return coeffs
 
-    def _completed(self, gathered, gap: int):
+    def _completed(self, gathered: Any, gap: int) -> Any:
         """``gathered`` convolved with the Pascal row of ``gap``, per
         plane (identity when ``gap == 0``).
 
@@ -555,7 +555,7 @@ class LevelPlan:
         out %= self._moduli_column()
         return out
 
-    def forward(self, check: Callable[[], None] | None = None):
+    def forward(self, check: Callable[[], None] | None = None) -> Any:
         """The level-scheduled ``ComputeAll#SATk`` sweep: one value
         buffer, a handful of array ops per level."""
         width = self.width
@@ -584,7 +584,7 @@ class LevelPlan:
                 vals[:, self.scatter_levels[lv]] %= moduli
         return vals
 
-    def backward(self, vals, check: Callable[[], None] | None = None):
+    def backward(self, vals: Any, check: Callable[[], None] | None = None) -> Any:
         """The level-scheduled derivative sweep over ``vals``."""
         width = self.width
         ders = _np.zeros_like(vals)
@@ -625,7 +625,7 @@ class LevelPlan:
                 self._scatter_add(ders, c_plan, contribution)
         return ders
 
-    def diffs(self, ders) -> dict[int, list[int]]:
+    def diffs(self, ders: Any) -> dict[int, list[int]]:
         """Per-variable difference vectors from the leaf derivatives,
         as exact Python ints (CRT-reconstructed in residue mode)."""
         width = self.width
@@ -671,7 +671,7 @@ class LevelPlan:
                 diffs[slot] = row
         return diffs
 
-    def _sentinel_ok(self, array) -> bool:
+    def _sentinel_ok(self, array: Any) -> bool:
         """Runtime overflow sentinel for the native tiers: magnitudes
         must sit inside the certified budget.  (``not <=`` rather than
         ``>`` so float NaNs also fail closed.)"""

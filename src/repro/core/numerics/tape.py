@@ -463,7 +463,9 @@ class GateTape:
             tape._load_analysis(payload, checked_args)
         return tape
 
-    def _load_analysis(self, payload: Mapping, args) -> None:
+    def _load_analysis(
+        self, payload: Mapping, args: Sequence[tuple[int, ...]]
+    ) -> None:
         """Validate and adopt a v2 payload's levels/bounds.
 
         The levels must be a consistent topological schedule and the
@@ -504,7 +506,13 @@ class GateTape:
 
     @staticmethod
     def _validate_instructions(
-        ops, args, gaps, nvars, n_slots, checked_args, checked_gaps
+        ops: Sequence[int],
+        args: Sequence[Sequence[int]],
+        gaps: Sequence[Sequence[int] | None],
+        nvars: Sequence[int],
+        n_slots: int,
+        checked_args: list[tuple[int, ...]],
+        checked_gaps: list[tuple[int, ...] | None],
     ) -> None:
         for i, (op, arg, gap, nv) in enumerate(zip(ops, args, gaps, nvars)):
             if op not in range(7):

@@ -86,6 +86,11 @@ class CacheStats:
     component_misses: int = 0
     component_compilations: int = 0
     component_evictions: int = 0
+    #: Store-loaded artifacts rejected by ``verify_on_load`` spot
+    #: checks (each one is recompiled instead of trusted); non-zero
+    #: values flow into ``session.stats`` / socket ``remote_*``
+    #: aggregates, flagging a poisoned store fleet-wide.
+    verifier_violations: int = 0
 
     @property
     def hits(self) -> int:
@@ -113,6 +118,7 @@ class CacheStats:
             "component_misses": self.component_misses,
             "component_compilations": self.component_compilations,
             "component_evictions": self.component_evictions,
+            "verifier_violations": self.verifier_violations,
         }
 
 
@@ -172,7 +178,11 @@ class _CacheComponentMemo(ComponentMemo):
         store = cache.store
         if store is not None:
             circuit = store.load_component(key)
-            if circuit is not None and _valid_component(circuit, key):
+            if (
+                circuit is not None
+                and _valid_component(circuit, key)
+                and cache.verify_loaded("comp", circuit)
+            ):
                 with cache._lock:
                     cache.stats.component_hits += 1
                 self._insert(key, circuit)
@@ -388,7 +398,7 @@ class CircuitArtifacts:
         store = cache.store
         if store is not None:
             loaded = store.load_tape(self.signature)
-            if loaded is not None:
+            if loaded is not None and cache.verify_loaded("tape", loaded):
                 with cache._lock:
                     if self._entry.tape is None:
                         self._entry.tape = loaded
@@ -420,7 +430,7 @@ class CircuitArtifacts:
         store = cache.store
         if store is not None:
             loaded = store.load_ddnnf(self.signature)
-            if loaded is not None:
+            if loaded is not None and cache.verify_loaded("dnnf", loaded):
                 with cache._lock:
                     if self._entry.ddnnf is None:
                         self._entry.ddnnf = loaded
@@ -481,6 +491,7 @@ class ArtifactCache:
         max_entries: int | None = None,
         store: PersistentArtifactStore | None = None,
         component_cache_size: int | None = 256,
+        verify_on_load: bool = False,
     ) -> None:
         if component_cache_size is not None and component_cache_size < 0:
             raise ValueError(
@@ -489,6 +500,14 @@ class ArtifactCache:
             )
         self.max_entries = max_entries
         self.store = store
+        #: When set, every artifact loaded from the persistent store is
+        #: spot-checked against the static d-DNNF/tape invariants (see
+        #: :mod:`repro.analysis.verify`) before being trusted; a failed
+        #: check counts in ``stats.verifier_violations`` and the
+        #: artifact is recompiled instead.  Checksums already catch
+        #: bit-rot — this catches *semantically* invalid artifacts
+        #: (e.g. written by a buggy or adversarial producer).
+        self.verify_on_load = verify_on_load
         #: Slots of the in-memory component-circuit LRU (``None`` =
         #: unbounded, ``0`` = store tier only).  Unlike ``max_entries``,
         #: ``0`` does not disable the memo — disk-backed component hits
@@ -540,6 +559,28 @@ class ArtifactCache:
         """Auxiliary-eliminated d-DNNF of ``circuit``, served from the
         cache (compiling under ``budget`` on a miss)."""
         return self.open(circuit).ddnnf(budget=budget)
+
+    def verify_loaded(self, kind: str, artifact: object) -> bool:
+        """Spot-check a store-loaded artifact when ``verify_on_load``
+        is set; returns False (and counts a violation) when the caller
+        must discard it and recompile."""
+        if not self.verify_on_load:
+            return True
+        from ..analysis.verify import (
+            LOAD_DETERMINISM_LIMIT,
+            check_circuit,
+            check_loaded_tape,
+        )
+
+        if kind == "tape":
+            problems = check_loaded_tape(artifact)
+        else:
+            problems, _ = check_circuit(artifact, LOAD_DETERMINISM_LIMIT)
+        if not problems:
+            return True
+        with self._lock:
+            self.stats.verifier_violations += 1
+        return False
 
     def component_memo(self) -> ComponentMemo:
         """The cache-backed cross-shape component memo.

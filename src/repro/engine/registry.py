@@ -16,6 +16,8 @@ class:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from .base import Engine
 
 #: Canonical name -> engine class, in registration order.
@@ -26,7 +28,9 @@ _ALIASES: dict[str, str] = {}
 _INSTANCES: dict[str, Engine] = {}
 
 
-def register_engine(cls: type[Engine] | None = None, *, aliases: tuple[str, ...] = ()):
+def register_engine(
+    cls: type[Engine] | None = None, *, aliases: tuple[str, ...] = ()
+) -> type[Engine] | Callable[[type[Engine]], type[Engine]]:
     """Class decorator adding an :class:`Engine` subclass under its
     ``name`` (plus optional ``aliases``).
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from ...circuits.circuit import Circuit
 from ..base import EngineOptions, EngineResult
 from ..cache import ArtifactCache
 from ..registry import get_engine
@@ -35,7 +36,7 @@ def _worker_cache(store_dir: str | None) -> ArtifactCache:
 
 def _process_explain(
     engine_name: str,
-    circuit,
+    circuit: Circuit,
     players: list,
     options: EngineOptions,
     store_dir: str | None,
@@ -51,7 +52,9 @@ def _process_explain(
     return get_engine(engine_name).explain_circuit(circuit, players, options)
 
 
-def _collect(futures: dict[Future, Job], outcomes: dict[int, EngineResult]):
+def _collect(
+    futures: dict[Future, Job], outcomes: dict[int, EngineResult]
+) -> None:
     """Drain ``futures`` into ``outcomes``; on any failure cancel what
     has not started so an aborted batch never leaks queued work."""
     try:

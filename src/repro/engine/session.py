@@ -43,6 +43,8 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
+from ..circuits.circuit import Circuit
+
 from ..core.numerics import coefficients_cache_info
 from ..core.pipeline import QueryLike, to_plan
 from ..db.database import Database
@@ -203,7 +205,7 @@ class ExplainSession:
     # ------------------------------------------------------------------
 
     def explain_one(
-        self, circuit, players: Sequence[Hashable]
+        self, circuit: Circuit, players: Sequence[Hashable]
     ) -> EngineResult:
         """Explain a single prepared lineage circuit (cache-aware)."""
         return self.engine.explain_circuit(circuit, list(players), self.options)

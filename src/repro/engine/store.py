@@ -76,6 +76,7 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass
+from typing import Callable
 from pathlib import Path
 
 from ..circuits.circuit import Circuit, CircuitError
@@ -90,6 +91,16 @@ FORMAT_VERSION = 1
 _MAGIC = "repro-artifact"
 _KINDS = ("cnf", "dnnf", "tape", "comp")
 _SUFFIXES = tuple(f".{kind}" for kind in _KINDS)
+
+#: Public aliases for read-only consumers (the artifact verifier must
+#: parse files with exactly the store's header discipline).
+ARTIFACT_MAGIC = _MAGIC
+ARTIFACT_KINDS = _KINDS
+
+#: An in-flight temp file older than this is an orphan: a writer died
+#: between ``mkstemp`` and ``os.replace``.  Live writers publish within
+#: milliseconds, so ten minutes is generously conservative.
+ORPHAN_TTL_SECONDS = 600.0
 
 
 @dataclass
@@ -148,6 +159,8 @@ class GcReport:
     reclaimed_bytes: int
     remaining_files: int
     remaining_bytes: int
+    orphans_removed: int = 0
+    orphan_bytes_reclaimed: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -155,6 +168,8 @@ class GcReport:
             "reclaimed_bytes": self.reclaimed_bytes,
             "remaining_files": self.remaining_files,
             "remaining_bytes": self.remaining_bytes,
+            "orphans_removed": self.orphans_removed,
+            "orphan_bytes_reclaimed": self.orphan_bytes_reclaimed,
         }
 
 
@@ -271,6 +286,39 @@ class PersistentArtifactStore:
         """Total size of every artifact file currently in the store."""
         return sum(entry.size for entry in self.entries())
 
+    def orphan_entries(self) -> list[StoreEntry]:
+        """In-flight/orphaned ``*.tmp`` files from atomic writes.
+
+        A live writer's temp file appears here for milliseconds; one
+        whose writer died mid-publish stays until :meth:`gc` sweeps it
+        (after :data:`ORPHAN_TTL_SECONDS`).  These files are invisible
+        to :meth:`entries` / :meth:`kind_summary` — they are not
+        artifacts — but are reported by ``repro cache stats`` and
+        ``repro verify`` so interrupted writes cannot silently leak
+        disk."""
+        found: list[StoreEntry] = []
+        try:
+            candidates = list(self.directory.iterdir())
+        except OSError:
+            return found
+        for path in candidates:
+            if path.suffix != ".tmp":
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            found.append(StoreEntry(path, "tmp", stat.st_size, stat.st_mtime_ns))
+        return found
+
+    def orphan_summary(self) -> dict[str, int]:
+        """File count and byte total of orphaned temp files."""
+        entries = self.orphan_entries()
+        return {
+            "files": len(entries),
+            "bytes": sum(entry.size for entry in entries),
+        }
+
     def kind_summary(self) -> dict[str, dict[str, int]]:
         """File count and byte total per artifact kind (all kinds are
         present in the result, zeroed when absent on disk)."""
@@ -358,7 +406,9 @@ class PersistentArtifactStore:
         """Evict artifacts until the directory satisfies every
         configured budget (arguments default to the store's own knobs).
 
-        Three passes run in order, each least-recently-used first: an
+        Orphaned temp files from interrupted atomic writes (older than
+        :data:`ORPHAN_TTL_SECONDS`) are always swept first.  Then three
+        passes run in order, each least-recently-used first: an
         age pass dropping artifacts older than ``max_age_seconds``, a
         per-kind pass shrinking each kind in ``kind_budgets`` to its
         byte budget, and a total pass shrinking everything to
@@ -393,11 +443,30 @@ class PersistentArtifactStore:
         if age is not None and age < 0:
             raise ValueError(f"max_age_seconds must be non-negative, got {age}")
 
+        # Sweep orphaned temp files first: any *.tmp older than the
+        # orphan TTL was abandoned by a writer that died mid-publish
+        # (live writers rename within milliseconds).  Generation-safe
+        # like artifact eviction — a concurrent writer's fresh temp
+        # file is never touched.
+        orphans_removed = 0
+        orphan_bytes = 0
+        orphan_cutoff = time.time_ns() - int(ORPHAN_TTL_SECONDS * 1e9)
+        for orphan in self.orphan_entries():
+            if orphan.mtime_ns >= orphan_cutoff:
+                continue
+            outcome, size = self._try_evict(orphan)
+            if outcome == "evicted":
+                orphans_removed += 1
+                orphan_bytes += size
+
         live = {entry.path: entry for entry in self.entries()}
         evicted = 0
         reclaimed = 0
 
-        def sweep(entries, over_budget) -> int:
+        def sweep(
+            entries: list[StoreEntry],
+            over_budget: Callable[[int], bool],
+        ) -> int:
             """Evict LRU-first from ``entries`` while ``over_budget``
             says the watched total is still too big; returns the bytes
             still attributed to surviving entries."""
@@ -440,6 +509,7 @@ class PersistentArtifactStore:
         return GcReport(
             evicted, reclaimed, len(remaining),
             sum(entry.size for entry in remaining),
+            orphans_removed, orphan_bytes,
         )
 
     def _try_evict(self, entry: StoreEntry) -> tuple[str, int]:
@@ -483,11 +553,20 @@ class PersistentArtifactStore:
 
     def store_component(self, key: tuple, circuit: Circuit) -> None:
         """Persist a memoized component d-DNNF keyed by its canonical
-        clause set (atomic)."""
+        clause set (atomic).
+
+        The canonical clause set itself rides along in the payload so
+        the file's digest (and the canonical form it keys) can be
+        re-derived and audited offline; loaders ignore the extra field.
+        """
         self._store(
             key,
             "comp",
-            {"scheme": COMPONENT_SCHEME, "circuit": circuit.to_payload()},
+            {
+                "scheme": COMPONENT_SCHEME,
+                "clauses": [list(clause) for clause in key],
+                "circuit": circuit.to_payload(),
+            },
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,389 @@
+"""Tests for the static artifact verifier (repro.analysis.verify and
+the ``repro verify`` CLI): a clean warmed store audits with zero
+violations, and every checker fires on an artifact with that exact
+violation injected."""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.verify import (
+    DETERMINISM_LIMIT,
+    check_circuit,
+    verify_store,
+)
+from repro.circuits.circuit import AND, NOT, OR, VAR, Circuit
+from repro.cli import main as cli_main
+from repro.compiler.knowledge import canonical_component
+from repro.core import run_exact
+from repro.engine import ArtifactCache, PersistentArtifactStore
+from repro.workloads.synthetic import bipartite_join_dnf
+
+
+def warmed_store(tmp_path: Path) -> PersistentArtifactStore:
+    """A store holding one real artifact of every kind: the warm run
+    persists one cnf/dnnf/tape triple and one memoized component."""
+    store = PersistentArtifactStore(tmp_path)
+    circuit = bipartite_join_dnf(3, 3)
+    players = sorted(circuit.reachable_vars())
+    outcome = run_exact(circuit, players, cache=ArtifactCache(store=store))
+    assert outcome.ok
+    return store
+
+
+def component_fixture() -> tuple[tuple, Circuit]:
+    """A canonical clause-set key and a valid d-DNNF for it."""
+    key = canonical_component(((1, 2), (-1, 3)))[0]
+    circuit = Circuit()
+    v1, v2, v3 = circuit.var(1), circuit.var(2), circuit.var(3)
+    left = circuit.raw_and((v1, v2))
+    right = circuit.raw_and((circuit.not_(v1), v3))
+    circuit.output = circuit.raw_or((left, right))
+    return key, circuit
+
+
+def rewrite(path: Path, mutate) -> None:
+    """Apply ``mutate`` to an artifact's JSON payload and rewrite the
+    file with a freshly recomputed checksum (so only the *semantic*
+    checker under test fires, not the checksum one)."""
+    head, _, payload = path.read_bytes().partition(b"\n")
+    parts = head.split()
+    data = json.loads(payload)
+    data = mutate(data) or data
+    fresh = json.dumps(data, separators=(",", ":")).encode("utf-8")
+    parts[3] = hashlib.sha256(fresh).hexdigest().encode("ascii")
+    path.write_bytes(b" ".join(parts) + b"\n" + fresh)
+
+
+def _duplicate_and_child(data):
+    """Replace some AND gate's children with two copies of a child
+    that owns at least one variable — sum-of-child-var-set sizes then
+    exceeds the union, breaking decomposability."""
+    leafy = {
+        g
+        for g, k in enumerate(data["kinds"])
+        if k in (int(VAR), int(NOT))
+    }
+    for gate, kind in enumerate(data["kinds"]):
+        if kind != int(AND):
+            continue
+        for child in data["children"][gate]:
+            if child in leafy:
+                data["children"][gate] = [child, child]
+                return data
+    raise AssertionError("no AND gate with a literal child to corrupt")
+
+
+def only(tmp_path: Path, **kwargs):
+    report = verify_store(tmp_path, **kwargs)
+    assert not report.ok
+    return report
+
+
+def checks_of(report) -> set:
+    return {violation.check for violation in report.violations}
+
+
+def the_file(tmp_path: Path, suffix: str) -> Path:
+    (match,) = [p for p in tmp_path.iterdir() if p.suffix == suffix]
+    return match
+
+
+class TestCleanStore:
+    def test_warmed_store_has_zero_violations(self, tmp_path):
+        warmed_store(tmp_path)
+        report = verify_store(tmp_path)
+        assert report.ok
+        assert report.violations == []
+        assert report.files == 4
+        assert report.determinism_assumed == 0
+
+    def test_kind_counts_agree_with_kind_summary(self, tmp_path):
+        store = warmed_store(tmp_path)
+        # Noise the scanners must agree on ignoring: a foreign file and
+        # an in-flight temp file.
+        (tmp_path / "README.txt").write_text("not an artifact")
+        (tmp_path / ".tape-abc123.tmp").write_bytes(b"partial write")
+        report = verify_store(tmp_path)
+        summary = store.kind_summary()
+        for kind in ("cnf", "dnnf", "tape", "comp"):
+            assert report.kinds[kind]["files"] == summary[kind]["files"]
+        assert report.orphans == 1
+        assert store.orphan_summary()["files"] == 1
+
+    def test_cli_verify_ok_exit_zero(self, tmp_path, capsys):
+        warmed_store(tmp_path)
+        assert cli_main(["verify", str(tmp_path)]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_cli_verify_json(self, tmp_path, capsys):
+        warmed_store(tmp_path)
+        assert cli_main(["verify", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["kinds"]["dnnf"]["files"] == 1
+
+
+class TestInjectedViolations:
+    def test_broken_determinism_duplicated_or_child(self, tmp_path):
+        warmed_store(tmp_path)
+        path = the_file(tmp_path, ".dnnf")
+
+        def mutate(data):
+            for gate, kind in enumerate(data["kinds"]):
+                if kind == int(OR):
+                    data["children"][gate] = [data["children"][gate][0]] * 2
+                    return data
+            raise AssertionError("no OR gate to corrupt")
+
+        rewrite(path, mutate)
+        report = only(tmp_path)
+        assert checks_of(report) == {"determinism"}
+        assert all(v.file == path.name for v in report.violations)
+
+    def test_broken_decomposability_duplicated_and_child(self, tmp_path):
+        warmed_store(tmp_path)
+        path = the_file(tmp_path, ".dnnf")
+
+        rewrite(path, _duplicate_and_child)
+        assert "decomposability" in checks_of(only(tmp_path))
+
+    def test_non_topological_tape_levels(self, tmp_path):
+        warmed_store(tmp_path)
+        rewrite(
+            the_file(tmp_path, ".tape"),
+            lambda data: data["levels"].__setitem__(-1, 0) or data,
+        )
+        assert checks_of(only(tmp_path)) == {"levels"}
+
+    def test_inflated_magnitude_bound(self, tmp_path):
+        warmed_store(tmp_path)
+
+        def mutate(data):
+            data["bounds"]["forward_bits"] += 5
+            return data
+
+        rewrite(the_file(tmp_path, ".tape"), mutate)
+        report = only(tmp_path)
+        assert checks_of(report) == {"bounds"}
+        assert "forward_bits" in report.violations[0].detail
+
+    def test_corrupted_component_canonical_signature(self, tmp_path):
+        warmed_store(tmp_path)
+
+        def mutate(data):
+            data["clauses"][0] = [lit + 100 for lit in data["clauses"][0]]
+            return data
+
+        rewrite(the_file(tmp_path, ".comp"), mutate)
+        assert "component-key" in checks_of(only(tmp_path))
+
+    def test_non_canonical_component_clauses(self, tmp_path):
+        store = PersistentArtifactStore(tmp_path)
+        # A clause set that is NOT a canonical_component fixed point,
+        # filed (consistently) under its own digest.
+        key = ((9, -4), (4, 2))
+        assert canonical_component(key)[0] != key
+        store.store_component(key, component_fixture()[1])
+        report = only(tmp_path)
+        assert "component-canonical" in checks_of(report)
+
+    def test_missing_component_clauses_flagged(self, tmp_path):
+        store = PersistentArtifactStore(tmp_path)
+        store.store_component(*component_fixture())
+        rewrite(
+            the_file(tmp_path, ".comp"),
+            lambda data: data.pop("clauses") and data,
+        )
+        assert "component-key" in checks_of(only(tmp_path))
+
+    def test_wrong_component_scheme_tag(self, tmp_path):
+        store = PersistentArtifactStore(tmp_path)
+        store.store_component(*component_fixture())
+        rewrite(
+            the_file(tmp_path, ".comp"),
+            lambda data: data.__setitem__("scheme", 999) or data,
+        )
+        assert "scheme" in checks_of(only(tmp_path))
+
+    def test_checksum_mismatch(self, tmp_path):
+        warmed_store(tmp_path)
+        path = the_file(tmp_path, ".cnf")
+        path.write_bytes(path.read_bytes() + b" ")  # payload drifts, header stays
+        assert checks_of(only(tmp_path)) == {"checksum"}
+
+    def test_cnf_structure_violation(self, tmp_path):
+        warmed_store(tmp_path)
+
+        def mutate(data):
+            data["clauses"][0] = [data["num_vars"] + 50]
+            return data
+
+        rewrite(the_file(tmp_path, ".cnf"), mutate)
+        assert "structure" in checks_of(only(tmp_path))
+
+    def test_cross_tape_does_not_match_dnnf(self, tmp_path):
+        warmed_store(tmp_path)
+
+        def mutate(data):
+            data["source_gates"] += 7
+            return data
+
+        rewrite(the_file(tmp_path, ".tape"), mutate)
+        report = only(tmp_path)
+        assert checks_of(report) == {"tape-match"}
+        assert "source_gates" in report.violations[0].detail
+
+    def test_cross_dnnf_var_outside_cnf_labels(self, tmp_path):
+        warmed_store(tmp_path)
+        path = the_file(tmp_path, ".dnnf")
+
+        def mutate(data):
+            for gate, kind in enumerate(data["kinds"]):
+                if kind == int(VAR):
+                    data["labels"][gate] = 999_999
+                    return data
+            raise AssertionError("no VAR gate")
+
+        rewrite(path, mutate)
+        report = only(tmp_path)
+        # Relabelling also breaks the stored tape's agreement with the
+        # d-DNNF... except the dnnf no longer round-trips against the
+        # CNF either way; the var-match check must be among the flags.
+        assert "var-match" in checks_of(report)
+
+    def test_cli_verify_exit_nonzero_and_lists_violation(
+        self, tmp_path, capsys
+    ):
+        warmed_store(tmp_path)
+
+        def mutate(data):
+            data["bounds"]["diff_bits"] += 1
+            return data
+
+        rewrite(the_file(tmp_path, ".tape"), mutate)
+        assert cli_main(["verify", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "diff_bits" in out and "FAILED" in out
+
+
+class TestTieredDeterminism:
+    def test_projected_or_gate_proved_by_enumeration(self, tmp_path):
+        """Real stores contain OR gates whose decision literal was
+        auxiliary and projected away (Lemma 4.6); only the exhaustive
+        tier can prove those deterministic."""
+        warmed_store(tmp_path)
+        report = verify_store(tmp_path, determinism_limit=DETERMINISM_LIMIT)
+        assert report.ok
+
+    def test_limit_zero_counts_assumed_not_violations(self, tmp_path):
+        warmed_store(tmp_path)
+        report = verify_store(tmp_path, determinism_limit=0)
+        assert report.ok  # unproven gates are reported, not violations
+        assert report.determinism_assumed >= 0
+
+    def test_check_circuit_flags_overlapping_or(self):
+        circuit = Circuit()
+        v1, v2 = circuit.var(1), circuit.var(2)
+        # x1 OR (x1 AND x2): children share the assignment {x1, x2}.
+        circuit.output = circuit.raw_or((v1, circuit.raw_and((v1, v2))))
+        problems, _ = check_circuit(circuit)
+        assert [check for check, _ in problems] == ["determinism"]
+
+    def test_check_circuit_accepts_decision_or(self):
+        problems, assumed = check_circuit(component_fixture()[1])
+        assert problems == [] and assumed == 0
+
+
+class TestVerifyOnLoad:
+    def test_bad_store_artifact_is_recompiled_and_counted(self, tmp_path):
+        circuit = bipartite_join_dnf(3, 3)
+        players = sorted(circuit.reachable_vars())
+        run_exact(
+            circuit,
+            players,
+            cache=ArtifactCache(store=PersistentArtifactStore(tmp_path)),
+        )
+        # A decomposability break is caught at any determinism limit,
+        # so the cheap LOAD_DETERMINISM_LIMIT spot check must see it.
+        rewrite(the_file(tmp_path, ".dnnf"), _duplicate_and_child)
+        # Drop the tape so the warm path has to load (and vet) the
+        # d-DNNF instead of serving the run from the tape alone.
+        the_file(tmp_path, ".tape").unlink()
+
+        cache = ArtifactCache(
+            store=PersistentArtifactStore(tmp_path), verify_on_load=True
+        )
+        outcome = run_exact(circuit, players, cache=cache)
+        assert outcome.ok
+        assert cache.stats.verifier_violations == 1
+        assert cache.stats.compile_calls == 1  # recompiled, not trusted
+        assert cache.stats_dict()["verifier_violations"] == 1
+
+    def test_disabled_by_default_and_clean_store_unaffected(self, tmp_path):
+        circuit = bipartite_join_dnf(2, 2)
+        players = sorted(circuit.reachable_vars())
+        run_exact(
+            circuit,
+            players,
+            cache=ArtifactCache(store=PersistentArtifactStore(tmp_path)),
+        )
+        cache = ArtifactCache(
+            store=PersistentArtifactStore(tmp_path), verify_on_load=True
+        )
+        outcome = run_exact(circuit, players, cache=cache)
+        assert outcome.ok
+        assert cache.stats.verifier_violations == 0
+        assert cache.stats.compile_calls == 0
+
+
+class TestOrphans:
+    def test_fresh_tmp_file_reported_not_swept(self, tmp_path):
+        store = warmed_store(tmp_path)
+        orphan = tmp_path / ".dnnf-live.tmp"
+        orphan.write_bytes(b"in flight")
+        report = verify_store(tmp_path)
+        assert report.ok and report.orphans == 1
+        gc_report = store.gc(max_bytes=1 << 30)
+        assert gc_report.orphans_removed == 0  # younger than the TTL
+        assert orphan.exists()
+
+    def test_stale_tmp_file_swept_by_gc(self, tmp_path):
+        store = warmed_store(tmp_path)
+        orphan = tmp_path / ".comp-dead.tmp"
+        orphan.write_bytes(b"x" * 64)
+        stale = 1_000_000_000  # far older than ORPHAN_TTL_SECONDS
+        os.utime(orphan, ns=(stale, stale))
+        gc_report = store.gc(max_bytes=1 << 30)
+        assert gc_report.orphans_removed == 1
+        assert gc_report.orphan_bytes_reclaimed == 64
+        assert gc_report.evicted == 0  # artifacts untouched
+        assert not orphan.exists()
+        assert verify_store(tmp_path).orphans == 0
+
+
+class TestPayloadFormats:
+    def test_v1_tape_payload_counts_skipped(self, tmp_path):
+        warmed_store(tmp_path)
+
+        def mutate(data):
+            for key in ("levels", "bounds", "format"):
+                data.pop(key, None)
+            return data
+
+        rewrite(the_file(tmp_path, ".tape"), mutate)
+        report = verify_store(tmp_path)
+        assert report.ok
+        assert report.skipped == 1
+
+    def test_foreign_format_version_is_flagged(self, tmp_path):
+        warmed_store(tmp_path)
+        path = the_file(tmp_path, ".cnf")
+        head, _, payload = path.read_bytes().partition(b"\n")
+        parts = head.split()
+        parts[1] = b"99"
+        path.write_bytes(b" ".join(parts) + b"\n" + payload)
+        assert "version" in checks_of(only(tmp_path))
