@@ -1,0 +1,354 @@
+"""PR 8 acceptance driver: writes BENCH_8.json at the repo root.
+
+Checks, in one run:
+
+1. **Warm-batch throughput** — a 100-answer same-shape batch from the
+   fig7 ground-truth pool, executed warm (tape compiled, plan cached):
+   the cross-answer batched ``(batch, planes, slots, width)`` pass must
+   beat the PR 5 per-answer machine-width loop by >= 2x (median over
+   warmed repeats), with byte-identical Fractions.
+2. **Batched/per-answer x kernel x transport matrix** — on a join
+   workload, batched sessions on every kernel (python / auto / torch)
+   and every transport (thread / process / socket) return Fractions
+   byte-identical to the unbatched reference session.
+3. **Mixed-tier batch** — one batch spanning the float64 tier, the CRT
+   tier, and a beyond-capacity fallback shape stays exact lane by lane
+   (eligible lanes batched, the fallback lane interpreted).
+4. **Budget knob** — ``bench --fastpath-budget`` with a tiny budget
+   reports every answer under ``fastpath_budget_fallbacks`` and still
+   returns exact values.
+
+Run with ``PYTHONPATH=src python benchmarks/run_pr8.py``; pass
+``--quick`` (the CI perf-smoke mode) to shrink the pool, skip the
+timing assertion (CI runners are too noisy to gate on wall-clock
+ratios), and skip writing BENCH_8.json.
+"""
+
+import io
+import json
+import random
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from contextlib import redirect_stdout
+from fractions import Fraction
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import run_suite  # noqa: E402
+from repro.circuits import (  # noqa: E402
+    Circuit, eliminate_auxiliary, tseytin_transform,
+)
+from repro.cli import main as cli_main  # noqa: E402
+from repro.compiler import CompilationBudget, compile_cnf  # noqa: E402
+from repro.core import shapley_all_facts  # noqa: E402
+from repro.core.numerics import (  # noqa: E402
+    HAS_NUMPY,
+    HAS_TORCH,
+    FastpathStats,
+    compile_tape,
+    plan_for,
+)
+from repro.core.shapley import shapley_all_facts_batched  # noqa: E402
+from repro.db import (  # noqa: E402
+    Database, RelationSchema, Schema, cq,
+)
+from repro.engine import (  # noqa: E402
+    Coordinator, EngineOptions, ExplainSession, run_worker,
+)
+from repro.workloads import (  # noqa: E402
+    TPCH_QUERIES, TpchConfig, generate_tpch,
+)
+
+EXACT_BUDGET = CompilationBudget(max_nodes=400_000, max_seconds=2.5)
+TIMING_REPEATS = 9
+BATCH_SIZE = 100
+
+
+def _timed(fn, repeats=TIMING_REPEATS):
+    """``(min, median)`` seconds over ``repeats`` runs, after one
+    explicit warm-up call."""
+    fn()
+    laps = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        laps.append(time.perf_counter() - start)
+    return min(laps), statistics.median(laps)
+
+
+def _compiled(circuit: Circuit):
+    cnf = tseytin_transform(circuit)
+    ddnnf = eliminate_auxiliary(
+        compile_cnf(cnf).circuit, set(cnf.labels.values())
+    )
+    return ddnnf, sorted(ddnnf.reachable_vars(), key=repr)
+
+
+def _engineered_cnf(n_clauses: int, width: int, seed: int) -> Circuit:
+    """Monotone CNF over disjoint shuffled clause blocks (run_pr5's
+    tier-engineering helper)."""
+    rng = random.Random(seed)
+    labels = [f"v{i}" for i in range(n_clauses * width)]
+    rng.shuffle(labels)
+    circuit = Circuit()
+    clauses = []
+    for index in range(n_clauses):
+        block = labels[index * width:(index + 1) * width]
+        clauses.append(circuit.or_([circuit.var(v) for v in block]))
+    circuit.output = circuit.and_(clauses)
+    return circuit
+
+
+def fig7_shape():
+    """The largest machine-width-eligible shape of the fig7 ground
+    truth pool (TPC-H half, same selection as run_pr5)."""
+    runs = run_suite(
+        generate_tpch(TpchConfig(scale_factor=0.0005)), TPCH_QUERIES,
+        "TPC-H", budget=EXACT_BUDGET, keep_values=True,
+    )
+    records = [r for run in runs for r in run.records
+               if r.ok and r.values and r.n_facts >= 2]
+    records.sort(key=lambda r: -r.n_facts)
+    for record in records:
+        ddnnf, _ = _compiled(record.circuit)
+        tape = compile_tape(ddnnf.condition({}))
+        if plan_for(tape) is not None:
+            return tape, sorted(record.values)
+    raise AssertionError("no machine-width-eligible fig7 shape found")
+
+
+def _shape_group(tape, players, size):
+    """``size`` re-targeted answers of one shape, the engine's warm
+    shape group."""
+    tapes, endo = [], []
+    for i in range(size):
+        mapping = {label: (label, i) for label in tape.var_labels}
+        tapes.append(tape.with_labels(mapping))
+        endo.append([mapping.get(p, p) for p in players])
+    return tapes, endo
+
+
+def warm_batch_throughput(quick: bool) -> dict:
+    """The headline gate: batched vs per-answer execution of a
+    100-answer same-shape fig7 batch, warm."""
+    tape, players = fig7_shape()
+    size = 20 if quick else BATCH_SIZE
+    tapes, endo = _shape_group(tape, players, size)
+
+    def per_answer():
+        return [
+            shapley_all_facts(None, facts, method="derivative",
+                              kernel="int64", tape=lane_tape)
+            for lane_tape, facts in zip(tapes, endo)
+        ]
+
+    def batched():
+        return shapley_all_facts_batched(tapes, endo, kernel="int64")
+
+    reference = per_answer()
+    values = batched()
+    assert values == reference
+    for lane in values:
+        for value in lane.values():
+            assert type(value) is Fraction
+    per_min, per_median = _timed(per_answer)
+    batch_min, batch_median = _timed(batched)
+    speedup = round(per_median / batch_median, 3)
+    if not quick:
+        assert speedup >= 2.0, speedup
+    plan = plan_for(tape)
+    return {
+        "batch_size": size,
+        "n_facts": len(players),
+        "tape_instructions": len(tape),
+        "tier": plan.tier_name,
+        "per_answer_median_seconds": round(per_median, 6),
+        "per_answer_min_seconds": round(per_min, 6),
+        "batched_median_seconds": round(batch_median, 6),
+        "batched_min_seconds": round(batch_min, 6),
+        "speedup_median": speedup,
+        "timing_repeats": TIMING_REPEATS,
+        "identical_fractions": True,
+    }
+
+
+JOIN_QUERY = cq(["a"], "R(a, b)", "S(b, c)")
+
+
+def _join_database(n_answers: int, fanout: int) -> Database:
+    """Pairwise-isomorphic lineages — one warm shape group per run
+    (mirrors tests/test_store.py)."""
+    schema = Schema.of(
+        RelationSchema.of("R", "a", "b"), RelationSchema.of("S", "b", "c")
+    )
+    db = Database(schema)
+    for i in range(n_answers):
+        db.add("R", f"x{i}", f"y{i}")
+        for j in range(fanout):
+            db.add("S", f"y{i}", f"z{i}_{j}")
+    return db
+
+
+def transport_matrix(quick: bool) -> dict:
+    """Batched sessions across kernels and transports vs the unbatched
+    reference — the ``identical_fractions`` acceptance matrix."""
+    db = _join_database(6 if quick else 10, 2)
+    reference = ExplainSession(
+        db, method="exact", options=EngineOptions(batch_execution=False),
+    ).explain_many(JOIN_QUERY)
+    expected = {answer: result.values for answer, result in reference.items()}
+    coordinator = Coordinator().start()
+    with tempfile.TemporaryDirectory() as store_dir:
+        ready = threading.Barrier(3, timeout=30)
+        threads = [
+            threading.Thread(
+                target=run_worker, args=(coordinator.address,),
+                kwargs={"cache_dir": store_dir, "on_ready": ready.wait},
+                daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        ready.wait()
+        coordinator.wait_for_workers(2, timeout=30)
+        combos = []
+        try:
+            for backend in ("python", "auto", "torch"):
+                with ExplainSession(
+                    db, method="exact", max_workers=2,
+                    options=EngineOptions(numeric_backend=backend),
+                    coordinator=coordinator.address, min_workers=2,
+                ) as session:
+                    for executor in ("thread", "process", "socket"):
+                        results = session.explain_many(
+                            JOIN_QUERY, executor=executor)
+                        got = {a: r.values for a, r in results.items()}
+                        assert got == expected, (backend, executor)
+                        assert all(
+                            type(v) is Fraction
+                            for values in got.values()
+                            for v in values.values()
+                        ), (backend, executor)
+                        combos.append(f"{backend}/{executor}")
+        finally:
+            coordinator.shutdown()
+            for thread in threads:
+                thread.join(timeout=10)
+    return {
+        "answers": len(expected),
+        "combinations": combos,
+        "torch_available": HAS_TORCH,
+        "identical_fractions": True,
+    }
+
+
+def mixed_tier_batch() -> dict:
+    """One batch spanning float64, CRT, and beyond-capacity lanes."""
+    shapes = [(12, 3, 0), (23, 3, 0), (50, 3, 4)]
+    lanes = []
+    for n_clauses, width, seed in shapes:
+        ddnnf, players = _compiled(_engineered_cnf(n_clauses, width, seed))
+        lanes.append((compile_tape(ddnnf.condition({})), players))
+    tapes, endo = [], []
+    for i, (tape, players) in enumerate(lanes * 2):
+        mapping = {label: (label, i) for label in tape.var_labels}
+        tapes.append(tape.with_labels(mapping))
+        endo.append([mapping[p] for p in players])
+    stats = FastpathStats()
+    values = shapley_all_facts_batched(
+        tapes, endo, kernel="int64", fastpath_stats=stats)
+    for lane_tape, facts, got in zip(tapes, endo, values):
+        reference = shapley_all_facts(
+            None, facts, method="derivative", kernel="python",
+            tape=lane_tape)
+        assert got == reference
+    assert stats.hits == 4 and stats.ineligible == 2, stats
+    return {
+        "lanes": len(tapes),
+        "fastpath_hits": stats.hits,
+        "fastpath_ineligible_fallbacks": stats.ineligible,
+        "identical_fractions": True,
+    }
+
+
+def budget_knob_check() -> dict:
+    """``bench --fastpath-budget`` end to end: a tiny budget routes
+    every answer to the exact pass and counts it by reason."""
+    def bench(extra):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = cli_main([
+                "bench", "--workload", "flights",
+                "--numeric-backend", "auto", "--json", *extra,
+            ])
+        assert code == 0, buffer.getvalue()
+        return json.loads(buffer.getvalue())
+
+    tiny = bench(["--fastpath-budget", "1k"])
+    roomy = bench([])
+    assert tiny["stats"]["fastpath_budget_fallbacks"] == tiny["outputs"]
+    assert tiny["stats"]["fastpath_hits"] == 0
+    assert roomy["stats"]["fastpath_budget_fallbacks"] == 0
+    assert tiny["ok"] == roomy["ok"] == tiny["outputs"]
+    return {
+        "tiny_budget_fallbacks": tiny["stats"]["fastpath_budget_fallbacks"],
+        "default_budget_fallbacks":
+            roomy["stats"]["fastpath_budget_fallbacks"],
+        "outputs": tiny["outputs"],
+    }
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    if not HAS_NUMPY:
+        print("run_pr8 needs NumPy (the batched machine-width tier "
+              "under test)")
+        return 1
+    started = time.time()
+    print("PR 8 acceptance: warm-batch throughput "
+          f"({'20' if quick else str(BATCH_SIZE)}-answer fig7 shape "
+          "group) ...", flush=True)
+    throughput = warm_batch_throughput(quick)
+    print(f"  speedup {throughput['speedup_median']}x "
+          f"({throughput['tier']}, batch {throughput['batch_size']})",
+          flush=True)
+    print("PR 8 acceptance: kernel x transport matrix ...", flush=True)
+    matrix = transport_matrix(quick)
+    torch_note = ("present" if HAS_TORCH
+                  else "absent: int64 serves torch requests")
+    print(f"  {len(matrix['combinations'])} combinations identical "
+          f"(torch {torch_note})", flush=True)
+    print("PR 8 acceptance: mixed-tier batch ...", flush=True)
+    mixed = mixed_tier_batch()
+    print("PR 8 acceptance: fastpath budget knob ...", flush=True)
+    budget = budget_knob_check()
+    payload = {
+        "pr": 8,
+        "title": "Cross-answer batched LevelPlan execution with an "
+                 "optional GPU kernel backend",
+        "numpy_available": HAS_NUMPY,
+        "torch_available": HAS_TORCH,
+        "quick": quick,
+        "warm_batch_throughput": throughput,
+        "transport_matrix": matrix,
+        "mixed_tier_batch": mixed,
+        "fastpath_budget": budget,
+        "total_seconds": round(time.time() - started, 1),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if not quick:
+        out = ROOT / "BENCH_8.json"
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,11 @@ RULES = {
 REP001_EXEMPT_PREFIXES = ("workloads/",)
 REP002_SCOPE = ("compiler/knowledge.py", "engine/cache.py")
 REP002_SCOPE_PREFIXES = ("circuits/",)
-REP003_SCOPE = ("core/numerics/exact.py", "core/shapley.py")
+REP003_SCOPE = (
+    "core/numerics/exact.py",
+    "core/numerics/batched.py",
+    "core/shapley.py",
+)
 REP004_SCOPE = ("engine/store.py",)
 REP004_SCOPE_PREFIXES = ("engine/service/",)
 

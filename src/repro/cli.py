@@ -175,13 +175,20 @@ def _address(text: str) -> tuple[str, int]:
 
 def _numeric_backend(args: argparse.Namespace) -> str | None:
     """The requested numeric kernel, warning once when an explicit
-    ``numpy`` / ``int64`` request will fall back (NumPy not
-    installed)."""
+    ``numpy`` / ``int64`` / ``torch`` request will fall back (the
+    library is not installed)."""
     backend = getattr(args, "numeric_backend", None)
-    if backend in ("numpy", "int64") and not HAS_NUMPY:
+    if backend in ("numpy", "int64", "torch") and not HAS_NUMPY:
         print(f"warning: NumPy is not installed; "
               f"--numeric-backend {backend} falls back to the reference "
               f"kernel", file=sys.stderr)
+    elif backend == "torch":
+        from .core.numerics import HAS_TORCH
+
+        if not HAS_TORCH:
+            print("warning: torch is not installed; --numeric-backend "
+                  "torch falls back to the int64 machine-width kernel",
+                  file=sys.stderr)
     return backend
 
 
@@ -266,6 +273,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             budget=CompilationBudget(max_seconds=args.timeout), timeout=None,
             numeric_backend=_numeric_backend(args),
             compile_jobs=args.compile_jobs,
+            fastpath_budget_bytes=args.fastpath_budget,
+            batch_execution=not args.no_batch,
         ),
         cache=cache,
         max_workers=args.jobs,
@@ -321,7 +330,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"(component-compile {profile['component_compile_seconds']:.3f}s, "
               f"stitch {profile['stitch_seconds']:.3f}s, "
               f"tape-lower {profile['tape_lower_seconds']:.3f}s), "
-              f"kernel-exec {profile['kernel_exec_seconds']:.3f}s "
+              f"kernel-exec {profile['kernel_exec_seconds']:.3f}s, "
+              f"batch-exec {profile['batch_exec_seconds']:.3f}s "
+              f"(float64 {profile['tier_float64_seconds']:.3f}s, "
+              f"int64 {profile['tier_int64_seconds']:.3f}s, "
+              f"crt {profile['tier_crt_seconds']:.3f}s) "
               "(summed over the last repeat's answers)")
     print(f"cache: {stats['compile_calls']} compilations, "
           f"{stats['tape_compilations']} tape compilations for "
@@ -335,7 +348,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{stats['component_compilations']} compilations")
     if stats["fastpath_hits"] or stats["fastpath_fallbacks"]:
         print(f"fastpath: {stats['fastpath_hits']} machine-width passes, "
-              f"{stats['fastpath_fallbacks']} exact fallbacks")
+              f"{stats['fastpath_fallbacks']} exact fallbacks "
+              f"({stats['fastpath_overflow_fallbacks']} overflow, "
+              f"{stats['fastpath_ineligible_fallbacks']} ineligible, "
+              f"{stats['fastpath_budget_fallbacks']} over budget)")
+    if stats["batched_groups"]:
+        print(f"batched: {stats['batched_answers']} answers in "
+              f"{stats['batched_groups']} same-shape group passes")
     if store is not None:
         print(f"store: {stats['store_hits']} hits, "
               f"{stats['store_misses']} misses, "
@@ -364,7 +383,9 @@ def _stage_profile(results) -> dict[str, float]:
     for."""
     stages = {"compile_seconds": 0.0, "component_compile_seconds": 0.0,
               "stitch_seconds": 0.0, "tape_lower_seconds": 0.0,
-              "kernel_exec_seconds": 0.0}
+              "kernel_exec_seconds": 0.0, "batch_exec_seconds": 0.0,
+              "tier_float64_seconds": 0.0, "tier_int64_seconds": 0.0,
+              "tier_crt_seconds": 0.0}
     for result in results.values():
         timings = getattr(result.detail, "timings", None) or {}
         stages["compile_seconds"] += (
@@ -375,6 +396,12 @@ def _stage_profile(results) -> dict[str, float]:
         stages["stitch_seconds"] += timings.get("stitch", 0.0)
         stages["tape_lower_seconds"] += timings.get("tape_lower", 0.0)
         stages["kernel_exec_seconds"] += timings.get("shapley", 0.0)
+        # Batched answers additionally report their share of the group
+        # pass and which machine-width tier the shape ran on.
+        stages["batch_exec_seconds"] += timings.get("batch_exec", 0.0)
+        for tier in ("float64", "int64", "crt"):
+            stages[f"tier_{tier}_seconds"] += timings.get(
+                f"tier_{tier}", 0.0)
     return {key: round(value, 6) for key, value in stages.items()}
 
 
@@ -676,13 +703,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "machine-width fast path, 'auto' the ladder "
                         "int64>numpy>python; NumPy-backed kernels fall "
                         "back to the reference when NumPy is missing)")
+    b.add_argument("--fastpath-budget", type=_byte_size, default=None,
+                   metavar="BYTES",
+                   help="byte budget of the machine-width fast path's "
+                        "value buffers (suffixes k/m/g; default 64m); "
+                        "shapes over budget fall back to the exact pass "
+                        "and count as fastpath_budget_fallbacks")
+    b.add_argument("--no-batch", action="store_true",
+                   help="disable batched same-shape group execution "
+                        "(per-answer passes only; results are identical "
+                        "either way)")
     b.add_argument("--repeats", type=_positive_int, default=1,
                    help="timed repetitions of the batch; > 1 adds one "
                         "explicit warm-up iteration first and reports "
                         "median/min over the repeats (default: 1 cold run)")
     b.add_argument("--profile", action="store_true",
                    help="print a per-stage breakdown (compile / "
-                        "tape-lower / kernel-exec) of the last repeat")
+                        "tape-lower / kernel-exec / batch-exec with "
+                        "per-tier float64/int64/crt splits) of the "
+                        "last repeat")
     b.add_argument("--json", action="store_true",
                    help="emit one machine-readable JSON object instead of "
                         "the human summary")

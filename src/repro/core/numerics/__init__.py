@@ -13,6 +13,12 @@
   overflow-guarded native ``"int64"`` kernel and the level-scheduled
   tape fast path (float64 / int64 / CRT residue planes, per-shape
   fallback to the exact object kernels);
+* :mod:`~repro.core.numerics.batched` — the cross-answer batch axis
+  over the machine-width tier: one ``(batch, planes, slots, width)``
+  sweep per same-shape answer group, per-lane overflow fallback;
+* :mod:`~repro.core.numerics.torch_backend` — the optional ``"torch"``
+  backend (CUDA when available) for the batched sweeps, with the same
+  graceful fallback contract as NumPy;
 * :mod:`~repro.core.numerics.tape` — :class:`GateTape`, the compiled
   flat instruction form of a d-DNNF executing the smoothing-free
   forward/backward sweeps, now carrying its level schedule and
@@ -41,7 +47,10 @@ from .fixed import (
     LevelPlan,
     fastpath_diffs,
     plan_for,
+    plan_with_reason,
 )
+from .batched import BatchLevelPlan, batched_fastpath_diffs
+from .torch_backend import HAS_TORCH, TorchKernel
 from .tape import (
     GateTape,
     NonDecomposableTape,
@@ -51,8 +60,10 @@ from .tape import (
 
 __all__ = [
     "Kernel", "PythonKernel", "NumpyKernel", "Int64Kernel", "HAS_NUMPY",
+    "TorchKernel", "HAS_TORCH",
     "available_kernels", "get_kernel", "register_kernel",
     "binomial_row", "shapley_coefficients", "coefficients_cache_info",
     "FastpathStats", "LevelPlan", "fastpath_diffs", "plan_for",
+    "plan_with_reason", "BatchLevelPlan", "batched_fastpath_diffs",
     "GateTape", "TapeError", "NonDecomposableTape", "compile_tape",
 ]

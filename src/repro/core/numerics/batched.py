@@ -1,0 +1,321 @@
+"""Cross-answer batched LevelPlan execution (the PR 8 tentpole).
+
+A warm ``explain_many`` batch routinely contains dozens of answers
+whose lineages share one tape *shape* — the fig7/IMDB regime of the
+source paper, where many facts of one query instance reuse one lineage
+circuit.  PR 5's :class:`~.fixed.LevelPlan` already executes one such
+shape as a handful of whole-level array operations over a
+``(planes, slots, width)`` SoA buffer; this module adds the batch
+axis: :class:`BatchLevelPlan` runs the forward and backward sweeps of
+*all* answers of one shape group over ``(batch, planes, slots, width)``
+buffers — one sliding-window matmul / banded product / ``reduceat``
+scatter per level for the whole batch — so the per-level Python
+dispatch that dominates small warm shapes is paid once per group
+instead of once per answer.
+
+Exactness is preserved lane by lane: the runtime overflow sentinels of
+the native tiers are evaluated *per lane*, so a single answer that
+trips a sentinel falls back individually to the interpreted exact
+kernels (its lane returns ``None``) while its siblings keep their
+machine-width results.  Because :class:`~.fixed.LevelPlan` execution is
+label-agnostic — leaf initialisation reads only plan index arrays,
+never per-answer data — lanes of one shape group are provably
+identical; :meth:`BatchLevelPlan.execute` therefore shares lane 0's
+diff extraction (the Python-heavy CRT reconstruction) with every lane
+whose buffers compare equal, verified with explicit ``array_equal``
+checks rather than assumed.
+
+The whole-batch buffer respects the same memory budget as a single
+plan: groups whose ``batch * lane_elements`` footprint exceeds the
+budget execute in chunks.
+
+An optional ``torch`` backend (CUDA when available, CPU otherwise) can
+take over the batched sweeps — see
+:mod:`~repro.core.numerics.torch_backend`; absent torch, requests fall
+back to the NumPy path below with no behaviour change.
+
+This module is in the REP003 lint scope: like the exact kernels, it
+must not introduce float literals — all arithmetic stays integral (the
+float64 *tier* is selected by dtype object, never by a literal).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .fixed import (
+    FastpathStats, LevelPlan, _np, _windows,
+    budget_elements, plan_with_reason,
+)
+from .tape import GateTape
+
+__all__ = ["BatchLevelPlan", "batched_fastpath_diffs"]
+
+
+def _same_shape(tape: GateTape, other: GateTape) -> bool:
+    """Whether two tapes share one executable shape.
+
+    Warm engine groups share the analysis box outright (``with_labels``
+    re-targets); independently compiled isomorphic tapes compare their
+    instruction arrays instead (labels are irrelevant — plan execution
+    never reads them)."""
+    return tape._analysis is other._analysis or (
+        tape.ops == other.ops
+        and tape.args == other.args
+        and tape.gaps == other.gaps
+        and tape.nvars == other.nvars
+    )
+
+
+class BatchLevelPlan:
+    """A :class:`~.fixed.LevelPlan` executed over a batch axis.
+
+    Wraps one compiled plan and a lane count; the sweeps mirror the
+    single-answer methods exactly, with every buffer carrying a leading
+    ``batch`` dimension and every gather/scatter moved one axis right.
+    """
+
+    def __init__(
+        self, plan: LevelPlan, batch: int, backend: str | None = None
+    ) -> None:
+        self.plan = plan
+        self.batch = batch
+        self.backend = backend
+
+    # -- 4D primitives ---------------------------------------------------
+
+    @staticmethod
+    def _conv4(short, long, n_terms: int):
+        """Batched truncated convolution along the last axis — the 4D
+        twin of :meth:`LevelPlan._conv`: one matmul over sliding-window
+        views of the zero-padded ``long``, for every lane at once."""
+        batch, planes, rows, width = long.shape
+        padded = _np.zeros(
+            (batch, planes, rows, width + n_terms - 1), dtype=long.dtype)
+        padded[..., n_terms - 1:] = long
+        wins = _windows(padded, width, axis=3)      # (B, P, E, n_terms, W)
+        coeffs = short[..., n_terms - 1::-1]        # reversed prefix
+        return _np.matmul(coeffs[..., None, :], wins)[..., 0, :]
+
+    @staticmethod
+    def _scatter_add4(buffer, plan: tuple, contribution) -> None:
+        """``buffer[:, :, targets] += contribution`` under a scatter
+        plan precompiled by :class:`LevelPlan` (slot axis is now 2)."""
+        if plan[1] is None:
+            buffer[:, :, plan[0]] += contribution
+            return
+        targets, order, starts = plan
+        reduced = _np.add.reduceat(
+            contribution[:, :, order], starts, axis=2)
+        buffer[:, :, targets] += reduced
+
+    def _moduli4(self):
+        # (P, 1, 1) right-aligns against (B, P, E, W): the plane axis
+        # lands on axis -3, exactly where the batch layout keeps it.
+        return self.plan._moduli_column()
+
+    def _completed4(self, gathered, gap: int):
+        """``gathered`` convolved with the Pascal row of ``gap``, per
+        plane and lane (identity when ``gap == 0``)."""
+        plan = self.plan
+        if gap == 0:
+            return gathered
+        width = plan.width
+        n_terms = min(gap + 1, width)
+        if n_terms * 4 > width:
+            if plan.moduli is None:
+                return gathered @ plan._gap_matrix(gap, 0)
+            matrices = _np.stack([
+                plan._gap_matrix(gap, p) for p in range(plan.n_planes)])
+            out = _np.matmul(gathered, matrices)    # (B,P,E,W) @ (P,W,W)
+            out %= self._moduli4()
+            return out
+        coeffs = plan._gap_coefficients(gap)
+        out = _np.zeros_like(gathered)
+        if plan.moduli is None:
+            for j in range(n_terms):
+                out[..., j:] += coeffs[j] * gathered[..., :width - j]
+            return out
+        for j in range(n_terms):
+            out[..., j:] += (
+                coeffs[:, j, None, None] * gathered[..., :width - j])
+        out %= self._moduli4()
+        return out
+
+    # -- sweeps ------------------------------------------------------------
+
+    def forward(self, check: Callable[[], None] | None = None):
+        """The whole-batch ``ComputeAll#SATk`` sweep: one 4D value
+        buffer, one array op per level for every lane at once."""
+        plan = self.plan
+        vals = _np.zeros(
+            (self.batch, plan.n_planes, plan.n_slots, plan.width),
+            dtype=plan.dtype)
+        if len(plan.var_rows):
+            vals[:, :, plan.var_rows, 1] = 1
+        if len(plan.nvar_rows):
+            vals[:, :, plan.nvar_rows, 0] = 1
+        vals[:, :, plan.true_rows, 0] = 1
+        moduli = self._moduli4()
+        for lv in range(1, plan.n_levels):
+            if check is not None:
+                check()
+            group = plan.and_groups[lv]
+            if group is not None:
+                out, left, right, max_left = group[:4]
+                product = self._conv4(
+                    vals[:, :, left], vals[:, :, right], max_left)
+                if moduli is not None:
+                    product %= moduli
+                vals[:, :, out] = product
+            for gap, parents, children, p_plan, _ in plan.or_groups[lv]:
+                completed = self._completed4(vals[:, :, children], gap)
+                self._scatter_add4(vals, p_plan, completed)
+            if moduli is not None and plan.scatter_levels[lv] is not None:
+                vals[:, :, plan.scatter_levels[lv]] %= moduli
+        return vals
+
+    def backward(self, vals, check: Callable[[], None] | None = None):
+        """The whole-batch derivative sweep over ``vals``."""
+        plan = self.plan
+        ders = _np.zeros_like(vals)
+        ders[:, :, plan.n_instructions - 1, 0] = 1
+        moduli = self._moduli4()
+        for lv in range(plan.n_levels - 1, 0, -1):
+            if check is not None:
+                check()
+            group = plan.and_groups[lv]
+            if group is not None:
+                (out, left, right, max_left, max_right, max_der,
+                 left_plan, right_plan) = group
+                derivative = ders[:, :, out]
+                if moduli is not None:
+                    derivative %= moduli
+                for sources, tgt_plan, max_sib in (
+                    (right, left_plan, max_right),
+                    (left, right_plan, max_left),
+                ):
+                    siblings = vals[:, :, sources]
+                    if max_der < max_sib:
+                        contribution = self._conv4(
+                            derivative, siblings, max_der)
+                    else:
+                        contribution = self._conv4(
+                            siblings, derivative, max_sib)
+                    if moduli is not None:
+                        contribution %= moduli
+                    self._scatter_add4(ders, tgt_plan, contribution)
+            for gap, parents, children, _, c_plan in plan.or_groups[lv]:
+                derivative = ders[:, :, parents]
+                if moduli is not None:
+                    derivative %= moduli
+                contribution = self._completed4(derivative, gap)
+                self._scatter_add4(ders, c_plan, contribution)
+        return ders
+
+    # -- execution ---------------------------------------------------------
+
+    def _sweeps(self, check: Callable[[], None] | None):
+        """Both sweeps through the selected backend; always returns
+        NumPy arrays so diff extraction and sentinels stay uniform."""
+        if self.backend == "torch":
+            from .torch_backend import HAS_TORCH, execute_batch
+            if HAS_TORCH:
+                return execute_batch(self.plan, self.batch, check)
+        vals = self.forward(check)
+        return vals, self.backward(vals, check)
+
+    def execute(
+        self, check: Callable[[], None] | None = None
+    ) -> list[dict[int, list[int]] | None]:
+        """Both sweeps plus per-lane diff extraction.
+
+        Returns one entry per lane: the difference-vector dict, or
+        ``None`` when that lane's runtime sentinel tripped (the caller
+        falls back to the interpreted pass for that answer alone).
+        Lanes whose buffers compare equal to lane 0 — always the case
+        for one shape group, since plan execution is label-agnostic —
+        share lane 0's extraction instead of re-running the CRT
+        reconstruction per lane.
+        """
+        plan = self.plan
+        vals, ders = self._sweeps(check)
+        results: list[dict[int, list[int]] | None] = []
+        native = plan.moduli is None
+        for lane in range(self.batch):
+            if check is not None:
+                check()
+            if (
+                results
+                and _np.array_equal(ders[lane], ders[0])
+                and _np.array_equal(vals[lane], vals[0])
+            ):
+                results.append(results[0])
+                continue
+            if native and not (
+                plan._sentinel_ok(vals[lane])
+                and plan._sentinel_ok(ders[lane])
+            ):
+                results.append(None)
+                continue
+            results.append(plan.diffs(ders[lane]))
+        return results
+
+
+def batched_fastpath_diffs(
+    tapes: Sequence[GateTape],
+    stats: FastpathStats | None = None,
+    check: Callable[[], None] | None = None,
+    budget_bytes: int | None = None,
+    backend: str | None = None,
+) -> list[dict[int, list[int]] | None] | None:
+    """Machine-width difference vectors for a same-shape answer group.
+
+    ``tapes`` are the re-targeted handles of one shape group (they
+    share a plan).  Returns one entry per tape — the diff dict, or
+    ``None`` for a lane whose runtime sentinel tripped (that answer
+    falls back individually) — or ``None`` for the whole group when the
+    shape itself is ineligible for the fast path.
+
+    Groups larger than the SoA memory budget execute in chunks, so the
+    whole-batch buffer never exceeds what a single plan was allowed.
+    ``stats`` receives one hit or one per-reason fallback per lane.
+    """
+    if not tapes:
+        return []
+    first = tapes[0]
+    strays = [i for i in range(1, len(tapes))
+              if not _same_shape(tapes[i], first)]
+    if strays:
+        # Defensive: the engine only ever groups one shape, but the
+        # public API tolerates mixed input — stray shapes re-group
+        # recursively and the merged output keeps caller order.
+        stray_set = set(strays)
+        group = [i for i in range(len(tapes)) if i not in stray_set]
+        merged: list[dict[int, list[int]] | None] = [None] * len(tapes)
+        for indices in (group, strays):
+            part = batched_fastpath_diffs(
+                [tapes[i] for i in indices], stats, check,
+                budget_bytes, backend)
+            for slot, entry in zip(indices, part or [None] * len(indices)):
+                merged[slot] = entry
+        return merged
+    limit = budget_elements(budget_bytes)
+    plan, reason = plan_with_reason(first, limit)
+    if plan is None:
+        if stats is not None:
+            stats.count_fallback(reason, len(tapes))
+        return None
+    chunk = max(1, limit // plan.lane_elements)
+    results: list[dict[int, list[int]] | None] = []
+    for start in range(0, len(tapes), chunk):
+        lanes = min(chunk, len(tapes) - start)
+        executor = BatchLevelPlan(plan, lanes, backend=backend)
+        results.extend(executor.execute(check))
+    if stats is not None:
+        for entry in results:
+            if entry is None:
+                stats.count_fallback("overflow")
+            else:
+                stats.hits += 1
+    return results

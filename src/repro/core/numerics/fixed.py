@@ -109,10 +109,30 @@ class FastpathStats:
     One instance travels through a single exact computation; the engine
     layer merges the counts into its cache stats so sessions and remote
     workers report ``fastpath_hits`` / ``fastpath_fallbacks``.
+
+    ``fallbacks`` is the total; the per-reason counters split it:
+    ``overflow`` (a runtime sentinel tripped mid-execution),
+    ``ineligible`` (the shape's magnitude bounds or structure rule the
+    fast path out a priori), and ``budget`` (the SoA value buffers
+    would exceed the configured memory budget).
     """
 
     hits: int = 0
     fallbacks: int = 0
+    overflow: int = 0
+    ineligible: int = 0
+    budget: int = 0
+
+    def count_fallback(self, reason: str, n: int = 1) -> None:
+        """Record ``n`` fallbacks attributed to ``reason`` (one of
+        ``"overflow"`` / ``"ineligible"`` / ``"budget"``)."""
+        self.fallbacks += n
+        if reason == "overflow":
+            self.overflow += n
+        elif reason == "budget":
+            self.budget += n
+        else:
+            self.ineligible += n
 
 
 # ----------------------------------------------------------------------
@@ -222,7 +242,24 @@ register_kernel(Int64Kernel, aliases=("fixed",))
 # ----------------------------------------------------------------------
 
 class _Ineligible(Exception):
-    """Internal: this shape cannot take the machine-width fast path."""
+    """Internal: this shape cannot take the machine-width fast path.
+
+    ``reason`` attributes the refusal for the per-reason fallback
+    counters: ``"ineligible"`` (magnitude bounds / structure) or
+    ``"budget"`` (SoA buffers exceed the memory budget).
+    """
+
+    def __init__(self, message: str, reason: str = "ineligible") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+def budget_elements(budget_bytes: int | None) -> int:
+    """The per-plan element ceiling implied by a byte budget (int64
+    elements are 8 bytes); ``None`` keeps the built-in default."""
+    if budget_bytes is None:
+        return MAX_BUFFER_ELEMENTS
+    return max(1, budget_bytes // 8)
 
 
 def _select_arithmetic(bits: int, width: int) -> tuple[Any, tuple[int, ...] | None]:
@@ -268,7 +305,9 @@ class LevelPlan:
     box, so isomorphic warm hits across a session build the plan once.
     """
 
-    def __init__(self, tape: GateTape) -> None:
+    def __init__(
+        self, tape: GateTape, budget_elements: int = MAX_BUFFER_ELEMENTS
+    ) -> None:
         if not HAS_NUMPY:
             raise _Ineligible("NumPy is not available")
         ops = tape.ops
@@ -446,8 +485,10 @@ class LevelPlan:
         forward_bits, backward_bits, diff_bits = tape.bound_bits()
         self.bound_bits = max(forward_bits, backward_bits, diff_bits)
         self.dtype, self.moduli = _select_arithmetic(self.bound_bits, width)
-        if self.n_planes * self.n_slots * width > MAX_BUFFER_ELEMENTS:
-            raise _Ineligible("value buffers exceed the memory budget")
+        self.lane_elements = self.n_planes * self.n_slots * width
+        if self.lane_elements > budget_elements:
+            raise _Ineligible(
+                "value buffers exceed the memory budget", reason="budget")
         self._gap_matrices: dict[tuple, object] = {}
 
     # -- execution helpers ---------------------------------------------
@@ -455,6 +496,16 @@ class LevelPlan:
     @property
     def n_planes(self) -> int:
         return len(self.moduli) if self.moduli else 1
+
+    @property
+    def tier_name(self) -> str:
+        """The arithmetic tier this shape runs in: ``"float64"``,
+        ``"int64"``, or ``"crt"``."""
+        if self.moduli:
+            return "crt"
+        if self.dtype == _np.float64:
+            return "float64"
+        return "int64"
 
     def _moduli_column(self) -> Any:
         if self.moduli is None:
@@ -704,28 +755,44 @@ class LevelPlan:
         )
 
 
-def plan_for(tape: GateTape) -> LevelPlan | None:
-    """The cached :class:`LevelPlan` of a tape shape, or ``None`` when
-    the shape is ineligible (no NumPy, general negation, bounds beyond
-    CRT capacity, non-decomposable AND).  The result — including the
-    negative one — is cached on the tape's shared analysis box, so
-    isomorphic re-targets of a warm shape never re-plan.
+def plan_with_reason(
+    tape: GateTape, limit: int = MAX_BUFFER_ELEMENTS
+) -> tuple[LevelPlan | None, str | None]:
+    """The cached :class:`LevelPlan` of a tape shape plus the refusal
+    reason (``None`` on success, ``"ineligible"`` / ``"budget"``
+    otherwise).
+
+    The result — including the negative one — is cached on the tape's
+    shared analysis box, so isomorphic re-targets of a warm shape never
+    re-plan.  Non-default budgets key a separate cache slot: a shape
+    refused under a tight budget is re-planned when a looser session
+    asks again.
     """
-    cached = tape._analysis.get("plan", False)
+    key = "plan" if limit == MAX_BUFFER_ELEMENTS else ("plan", limit)
+    cached = tape._analysis.get(key, False)
     if cached is not False:
         return cached
     try:
-        plan = LevelPlan(tape)
-    except _Ineligible:
-        plan = None
-    tape._analysis["plan"] = plan
-    return plan
+        entry = (LevelPlan(tape, budget_elements=limit), None)
+    except _Ineligible as refusal:
+        entry = (None, refusal.reason)
+    tape._analysis[key] = entry
+    return entry
+
+
+def plan_for(tape: GateTape) -> LevelPlan | None:
+    """The cached :class:`LevelPlan` of a tape shape, or ``None`` when
+    the shape is ineligible (no NumPy, general negation, bounds beyond
+    CRT capacity, non-decomposable AND, memory budget).
+    """
+    return plan_with_reason(tape)[0]
 
 
 def fastpath_diffs(
     tape: GateTape,
     stats: FastpathStats | None = None,
     check: Callable[[], None] | None = None,
+    budget_bytes: int | None = None,
 ) -> dict[int, list[int]] | None:
     """Machine-width difference vectors of ``tape``, or ``None`` when
     the shape must take the interpreted exact path.
@@ -733,13 +800,13 @@ def fastpath_diffs(
     A non-``None`` result is byte-identical to
     :meth:`GateTape.backward_diffs` over the reference kernel (up to
     trailing zeros, which Equation 3 ignores).  ``stats`` receives one
-    hit or one fallback per call.
+    hit or one fallback (attributed per reason) per call.
     """
-    plan = plan_for(tape)
+    plan, reason = plan_with_reason(tape, budget_elements(budget_bytes))
     diffs = plan.execute(check) if plan is not None else None
     if stats is not None:
         if diffs is None:
-            stats.fallbacks += 1
+            stats.count_fallback("overflow" if plan is not None else reason)
         else:
             stats.hits += 1
     return diffs

@@ -1,0 +1,281 @@
+"""Optional torch backend for the batched machine-width sweeps.
+
+The batched level-scheduled execution of
+:mod:`~repro.core.numerics.batched` is a sequence of dense tensor
+operations — sliding-window matmuls, banded completions, scatter-adds —
+that map directly onto torch (and through it, CUDA) with no custom
+kernels: the float64 tier hits cuBLAS ``matmul``; the integer tiers
+use unfold + multiply + sum because torch has no int64 ``matmul`` on
+either device (the a-priori magnitude bounds that certify the NumPy
+tier certify the same products here, so the mul+sum contraction cannot
+wrap).  Scatter-adds become ``index_add_``, which accumulates
+duplicate indices natively.
+
+torch is an *optional* dependency with the same graceful-degradation
+contract as NumPy: without it, :data:`HAS_TORCH` is False, the
+``"torch"`` kernel name resolves down the ladder
+(``torch → int64 → python``), and the batched executor silently keeps
+its NumPy path — selection is a performance knob, never a correctness
+switch.  Results are converted back to NumPy arrays so the per-lane
+sentinels and CRT diff extraction stay byte-identical to every other
+backend.
+
+Device selection is automatic: CUDA when ``torch.cuda.is_available()``,
+CPU otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .base import register_kernel
+from .fixed import Int64Kernel, LevelPlan, _np
+
+try:  # pragma: no cover - exercised only on the with-torch CI tier
+    import torch as _torch
+
+    HAS_TORCH = True
+except Exception:  # pragma: no cover - the default tier in this repo
+    _torch = None
+    HAS_TORCH = False
+
+__all__ = ["HAS_TORCH", "TorchKernel", "execute_batch"]
+
+
+class TorchKernel(Int64Kernel):
+    """The ``"torch"`` numeric backend.
+
+    Per-call primitives are inherited from :class:`Int64Kernel`
+    unchanged (they are already machine-width and overflow-guarded;
+    shipping single polynomial products to a device would lose to
+    transfer latency).  What the name *selects* is the device-side
+    batched sweep: the batched executor routes its whole-group
+    forward/backward passes through :func:`execute_batch` when this
+    kernel is active.
+    """
+
+    name = "torch"
+
+
+register_kernel(TorchKernel)
+
+
+def _device() -> Any:  # pragma: no cover - needs torch
+    if _torch.cuda.is_available():
+        return _torch.device("cuda")
+    return _torch.device("cpu")
+
+
+def _full_scatter_index(plan: tuple) -> Any:
+    """The original (possibly duplicated) target list of a LevelPlan
+    scatter plan, plus the column order to apply first — the form
+    ``index_add_`` wants."""
+    if plan[1] is None:
+        return plan[0], None
+    targets, order, starts = plan
+    counts = _np.diff(_np.append(starts, len(order)))
+    return _np.repeat(targets, counts), order
+
+
+class _TorchPlan:  # pragma: no cover - needs torch
+    """Per-(plan, device) tensor mirrors of a LevelPlan's index arrays
+    and coefficient tables, built once and cached on the plan."""
+
+    def __init__(self, plan: LevelPlan, device: Any) -> None:
+        self.plan = plan
+        self.device = device
+        self.is_float = plan.moduli is None and plan.dtype == _np.float64
+        self.dtype = _torch.float64 if self.is_float else _torch.int64
+        as_index = lambda arr: _torch.as_tensor(
+            _np.ascontiguousarray(arr), dtype=_torch.int64, device=device)
+        self.var_rows = as_index(plan.var_rows)
+        self.nvar_rows = as_index(plan.nvar_rows)
+        self.true_rows = as_index(plan.true_rows)
+        if plan.moduli is None:
+            self.moduli = None
+        else:
+            self.moduli = _torch.tensor(
+                plan.moduli, dtype=_torch.int64, device=device
+            ).view(-1, 1, 1)
+        self.and_groups: list[tuple | None] = []
+        for group in plan.and_groups:
+            if group is None:
+                self.and_groups.append(None)
+                continue
+            (out, left, right, max_left, max_right, max_der,
+             left_plan, right_plan) = group
+            self.and_groups.append((
+                as_index(out), as_index(left), as_index(right),
+                max_left, max_right, max_der,
+                self._scatter(left_plan), self._scatter(right_plan),
+            ))
+        self.or_groups: list[list[tuple]] = []
+        for groups in plan.or_groups:
+            self.or_groups.append([
+                (gap, as_index(parents), as_index(children),
+                 self._scatter(p_plan), self._scatter(c_plan))
+                for gap, parents, children, p_plan, c_plan in groups
+            ])
+        self.scatter_levels = [
+            as_index(rows) if rows is not None else None
+            for rows in plan.scatter_levels
+        ]
+        self._rows: dict[int, Any] = {}
+        self._mats: dict[int, Any] = {}
+
+    def _scatter(self, numpy_plan: tuple) -> tuple:
+        targets, order = _full_scatter_index(numpy_plan)
+        return (
+            _torch.as_tensor(
+                _np.ascontiguousarray(targets),
+                dtype=_torch.int64, device=self.device),
+            None if order is None else _torch.as_tensor(
+                _np.ascontiguousarray(order),
+                dtype=_torch.int64, device=self.device),
+        )
+
+    def gap_row(self, gap: int) -> Any:
+        """Pascal-row coefficients of ``gap`` (per plane in CRT mode)
+        as a device tensor."""
+        row = self._rows.get(gap)
+        if row is None:
+            coeffs = self.plan._gap_coefficients(gap)
+            row = _torch.as_tensor(
+                _np.ascontiguousarray(coeffs),
+                dtype=self.dtype, device=self.device)
+            self._rows[gap] = row
+        return row
+
+    def gap_matrix(self, gap: int) -> Any:
+        """Banded completion matrix of ``gap`` (float tier only)."""
+        matrix = self._mats.get(gap)
+        if matrix is None:
+            matrix = _torch.as_tensor(
+                _np.ascontiguousarray(self.plan._gap_matrix(gap, 0)),
+                dtype=self.dtype, device=self.device)
+            self._mats[gap] = matrix
+        return matrix
+
+
+def _torch_plan(plan: LevelPlan, device: Any):  # pragma: no cover
+    cache = getattr(plan, "_torch_plans", None)
+    if cache is None:
+        cache = plan._torch_plans = {}
+    state = cache.get(str(device))
+    if state is None:
+        state = cache[str(device)] = _TorchPlan(plan, device)
+    return state
+
+
+def _conv4(state, short, long, n_terms: int):  # pragma: no cover
+    """Truncated convolution along the last axis, batched over
+    ``(batch, planes, rows)`` — unfold + contract."""
+    batch, planes, rows, width = long.shape
+    padded = _torch.zeros(
+        (batch, planes, rows, width + n_terms - 1),
+        dtype=long.dtype, device=long.device)
+    padded[..., n_terms - 1:] = long
+    wins = padded.unfold(3, width, 1)           # (B, P, E, n_terms, W)
+    coeffs = _torch.flip(short[..., :n_terms], dims=(-1,))
+    if state.is_float:
+        return _torch.matmul(coeffs.unsqueeze(-2), wins).squeeze(-2)
+    # No int64 matmul on either torch device: contract explicitly.
+    # Safe by the same a-priori bounds that certify the NumPy tier.
+    return (coeffs.unsqueeze(-1) * wins).sum(dim=-2)
+
+
+def _scatter_add4(buffer, scatter: tuple, contribution) -> None:  # pragma: no cover
+    targets, order = scatter
+    if order is not None:
+        contribution = contribution.index_select(2, order)
+    buffer.index_add_(2, targets, contribution)
+
+
+def _completed4(state, gathered, gap: int):  # pragma: no cover
+    plan = state.plan
+    if gap == 0:
+        return gathered
+    width = plan.width
+    n_terms = min(gap + 1, width)
+    if state.is_float and n_terms * 4 > width:
+        return _torch.matmul(gathered, state.gap_matrix(gap))
+    coeffs = state.gap_row(gap)
+    out = _torch.zeros_like(gathered)
+    if plan.moduli is None:
+        for j in range(n_terms):
+            out[..., j:] += coeffs[j] * gathered[..., :width - j]
+        return out
+    for j in range(n_terms):
+        out[..., j:] += (
+            coeffs[:, j].view(-1, 1, 1) * gathered[..., :width - j])
+    out %= state.moduli
+    return out
+
+
+def execute_batch(
+    plan: LevelPlan, batch: int, check: Callable[[], None] | None = None
+):  # pragma: no cover - needs torch (mirrored by the NumPy path)
+    """Both batched sweeps of ``plan`` on the torch device; returns
+    ``(vals, ders)`` as NumPy arrays of shape
+    ``(batch, planes, slots, width)`` so sentinels and diff extraction
+    run unchanged."""
+    state = _torch_plan(plan, _device())
+    moduli = state.moduli
+    vals = _torch.zeros(
+        (batch, plan.n_planes, plan.n_slots, plan.width),
+        dtype=state.dtype, device=state.device)
+    if len(plan.var_rows):
+        vals[:, :, state.var_rows, 1] = 1
+    if len(plan.nvar_rows):
+        vals[:, :, state.nvar_rows, 0] = 1
+    vals[:, :, state.true_rows, 0] = 1
+    for lv in range(1, plan.n_levels):
+        if check is not None:
+            check()
+        group = state.and_groups[lv]
+        if group is not None:
+            out, left, right, max_left = group[:4]
+            product = _conv4(
+                state, vals[:, :, left], vals[:, :, right], max_left)
+            if moduli is not None:
+                product %= moduli
+            vals[:, :, out] = product
+        for gap, parents, children, p_scatter, _ in state.or_groups[lv]:
+            completed = _completed4(state, vals[:, :, children], gap)
+            _scatter_add4(vals, p_scatter, completed)
+        if moduli is not None and state.scatter_levels[lv] is not None:
+            vals[:, :, state.scatter_levels[lv]] %= moduli
+
+    ders = _torch.zeros_like(vals)
+    ders[:, :, plan.n_instructions - 1, 0] = 1
+    for lv in range(plan.n_levels - 1, 0, -1):
+        if check is not None:
+            check()
+        group = state.and_groups[lv]
+        if group is not None:
+            (out, left, right, max_left, max_right, max_der,
+             left_scatter, right_scatter) = group
+            derivative = ders[:, :, out]
+            if moduli is not None:
+                derivative %= moduli
+            for sources, tgt_scatter, max_sib in (
+                (right, left_scatter, max_right),
+                (left, right_scatter, max_left),
+            ):
+                siblings = vals[:, :, sources]
+                if max_der < max_sib:
+                    contribution = _conv4(
+                        state, derivative, siblings, max_der)
+                else:
+                    contribution = _conv4(
+                        state, siblings, derivative, max_sib)
+                if moduli is not None:
+                    contribution %= moduli
+                _scatter_add4(ders, tgt_scatter, contribution)
+        for gap, parents, children, _, c_scatter in state.or_groups[lv]:
+            derivative = ders[:, :, parents]
+            if moduli is not None:
+                derivative %= moduli
+            contribution = _completed4(state, derivative, gap)
+            _scatter_add4(ders, c_scatter, contribution)
+    return vals.cpu().numpy(), ders.cpu().numpy()

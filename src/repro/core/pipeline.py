@@ -28,8 +28,10 @@ from ..db.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..db.database import Database, Fact
 from ..db.evaluate import LineageResult, lineage
 from ..db.sql import plan_sql
-from .numerics.fixed import FastpathStats
-from .shapley import ShapleyTimeout, shapley_all_facts
+from .numerics.fixed import FastpathStats, budget_elements, plan_with_reason
+from .shapley import (
+    ShapleyTimeout, shapley_all_facts, shapley_all_facts_batched,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - engine imports this module
     from ..engine.cache import ArtifactCache, CircuitArtifacts
@@ -150,6 +152,7 @@ def run_exact(
     artifacts: "CircuitArtifacts | None" = None,
     numeric_backend: str | None = None,
     compile_jobs: int | None = None,
+    fastpath_budget_bytes: int | None = None,
 ) -> ExactOutcome:
     """Run the knowledge-compilation pipeline on one lineage circuit,
     catching budget events into the outcome.
@@ -176,6 +179,10 @@ def run_exact(
     ``compile_jobs`` > 1 compiles independent top-level CNF components
     concurrently; stitching stays deterministic, so results are
     byte-identical to the serial compile.
+
+    ``fastpath_budget_bytes`` bounds the machine-width fast path's SoA
+    value buffers (default 64 MiB); shapes over budget fall back to the
+    interpreted exact pass and are counted as budget fallbacks.
     """
     endo = list(endogenous_facts)
     stats = ProvenanceStats()
@@ -247,6 +254,7 @@ def run_exact(
         values = shapley_all_facts(
             ddnnf, endo, method=method, deadline=deadline,
             kernel=numeric_backend, tape=tape, fastpath_stats=fastpath,
+            fastpath_budget_bytes=fastpath_budget_bytes,
         )
     except ShapleyTimeout as exc:
         timings["shapley"] = time.perf_counter() - t0
@@ -255,9 +263,193 @@ def run_exact(
         recorder = cache if cache is not None else (
             artifacts.cache if artifacts is not None else None)
         if recorder is not None:
-            recorder.record_fastpath(fastpath.hits, fastpath.fallbacks)
+            recorder.record_fastpath(fastpath)
     timings["shapley"] = time.perf_counter() - t0
     return ExactOutcome("ok", values, stats, timings)
+
+
+def _prepare_tape(
+    circuit: Circuit,
+    budget: CompilationBudget | None,
+    cache: "ArtifactCache | None",
+    artifacts: "CircuitArtifacts | None",
+    compile_jobs: int | None,
+    stats: ProvenanceStats,
+    timings: dict[str, float],
+):
+    """The pre-Algorithm-1 stages of one derivative-mode answer:
+    artifact acquisition, Tseytin/CNF, and the gate-tape stage — the
+    same bookkeeping as :func:`run_exact`, factored out so
+    :func:`run_exact_batch` can run them per answer before the shared
+    batched sweep.
+
+    Returns ``(tape, failure)``: exactly one is ``None``; ``failure``
+    is the budget :class:`ExactOutcome` when compilation blew its
+    budget (timings already recorded).
+    """
+    if artifacts is not None:
+        stats.n_facts = len(artifacts.labels)
+        stats.circuit_size = artifacts.source_size
+        simplified = None
+    else:
+        simplified = circuit.condition({})
+        stats.n_facts = len(simplified.reachable_vars())
+        stats.circuit_size = len(simplified)
+        if cache is not None:
+            artifacts = cache.open(simplified)
+
+    t0 = time.perf_counter()
+    cnf = (
+        artifacts.cnf() if artifacts is not None
+        else tseytin_transform(simplified)
+    )
+    timings["tseytin"] = time.perf_counter() - t0
+    stats.cnf_vars = cnf.num_vars
+    stats.cnf_clauses = cnf.num_clauses
+
+    stage = "compile"
+    compile_stats = None
+    t0 = time.perf_counter()
+    try:
+        if artifacts is not None:
+            stats_before = artifacts.compile_stats
+            lower_before = artifacts.tape_lower_seconds
+            stage = "tape"
+            tape = artifacts.tape(budget=budget, jobs=compile_jobs)
+            if artifacts.compile_stats is not stats_before:
+                compile_stats = artifacts.compile_stats
+            tape_lower = artifacts.tape_lower_seconds - lower_before
+        else:
+            from .numerics import compile_tape
+
+            compiled = compile_cnf(cnf, budget=budget, jobs=compile_jobs)
+            ddnnf = eliminate_auxiliary(
+                compiled.circuit, set(cnf.labels.values()))
+            compile_stats = compiled.stats
+            t1 = time.perf_counter()
+            tape = compile_tape(ddnnf.condition({}))
+            tape_lower = time.perf_counter() - t1
+    except BudgetExceeded as exc:
+        timings[stage] = time.perf_counter() - t0
+        return None, ExactOutcome("budget", None, stats, timings, str(exc))
+    timings[stage] = time.perf_counter() - t0
+    _split_compile_timings(timings, compile_stats, tape_lower)
+    stats.ddnnf_size = tape.source_gates
+    return tape, None
+
+
+def run_exact_batch(
+    circuits,
+    endo_lists,
+    budget: CompilationBudget | None = None,
+    method: str = "derivative",
+    cache: "ArtifactCache | None" = None,
+    artifacts_list=None,
+    numeric_backend: str | None = None,
+    compile_jobs: int | None = None,
+    fastpath_budget_bytes: int | None = None,
+) -> list[ExactOutcome]:
+    """Run the exact pipeline over a *same-shape answer group*.
+
+    ``circuits[i]`` / ``endo_lists[i]`` (and optionally
+    ``artifacts_list[i]``) describe answer *i*.  In ``"derivative"``
+    mode the group's Algorithm-1 sweeps run as one batched machine-width
+    pass (:func:`~repro.core.shapley.shapley_all_facts_batched`); per
+    answer, compilation failures become individual budget outcomes and
+    sentinel-tripped lanes fall back individually to the interpreted
+    pass, so every answer's Fractions are identical to a
+    :func:`run_exact` loop.  Other modes (and singleton groups) *are*
+    that loop.
+
+    Timing attribution: each answer's ``shapley`` stage receives an
+    equal share of the group sweep, mirrored as ``batch_exec``, plus a
+    ``tier_<float64|int64|crt>`` entry naming the arithmetic tier the
+    group's plan executed in (absent when the shape fell back).
+    """
+    n_answers = len(circuits)
+    endo_lists = [list(endo) for endo in endo_lists]
+    if artifacts_list is None:
+        artifacts_list = [None] * n_answers
+    if method != "derivative" or n_answers <= 1:
+        return [
+            run_exact(
+                circuit, endo, budget=budget, method=method, cache=cache,
+                artifacts=artifacts, numeric_backend=numeric_backend,
+                compile_jobs=compile_jobs,
+                fastpath_budget_bytes=fastpath_budget_bytes,
+            )
+            for circuit, endo, artifacts
+            in zip(circuits, endo_lists, artifacts_list)
+        ]
+
+    start = time.perf_counter()
+    deadline = (
+        start + budget.max_seconds
+        if budget is not None and budget.max_seconds is not None
+        else None
+    )
+    outcomes: list[ExactOutcome | None] = [None] * n_answers
+    prepared: list[tuple[int, object, ProvenanceStats, dict]] = []
+    for i in range(n_answers):
+        stats = ProvenanceStats()
+        timings: dict[str, float] = {}
+        tape, failure = _prepare_tape(
+            circuits[i], budget, cache, artifacts_list[i], compile_jobs,
+            stats, timings,
+        )
+        if failure is not None:
+            outcomes[i] = failure
+        else:
+            prepared.append((i, tape, stats, timings))
+    if not prepared:
+        return outcomes
+
+    fastpath = FastpathStats()
+    tapes = [entry[1] for entry in prepared]
+    group_endo = [endo_lists[entry[0]] for entry in prepared]
+    t0 = time.perf_counter()
+    try:
+        values_list = shapley_all_facts_batched(
+            tapes, group_endo, deadline=deadline, kernel=numeric_backend,
+            fastpath_stats=fastpath,
+            fastpath_budget_bytes=fastpath_budget_bytes,
+        )
+    except ShapleyTimeout as exc:
+        elapsed = time.perf_counter() - t0
+        share = elapsed / len(prepared)
+        for i, tape, stats, timings in prepared:
+            timings["shapley"] = share
+            outcomes[i] = ExactOutcome(
+                "timeout", None, stats, timings, str(exc))
+        values_list = None
+    finally:
+        recorder = cache
+        if recorder is None:
+            recorder = next(
+                (a.cache for a in artifacts_list
+                 if a is not None and a.cache is not None), None)
+        if recorder is not None:
+            recorder.record_fastpath(fastpath)
+            recorder.record_batch(1, len(prepared))
+    if values_list is None:
+        return outcomes
+
+    elapsed = time.perf_counter() - t0
+    share = elapsed / len(prepared)
+    # Attribute the group's arithmetic tier (the plan lookup is a pure
+    # cache hit here; the sweep above already built or refused it).
+    tier = None
+    if not tapes[0].is_constant:
+        plan, _ = plan_with_reason(
+            tapes[0], budget_elements(fastpath_budget_bytes))
+        tier = plan.tier_name if plan is not None else None
+    for (i, tape, stats, timings), values in zip(prepared, values_list):
+        timings["shapley"] = share
+        timings["batch_exec"] = share
+        if tier is not None:
+            timings[f"tier_{tier}"] = share
+        outcomes[i] = ExactOutcome("ok", values, stats, timings)
+    return outcomes
 
 
 @dataclass

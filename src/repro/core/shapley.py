@@ -42,6 +42,7 @@ from ..circuits.circuit import AND, FALSE, NOT, OR, TRUE, VAR, Circuit, CircuitE
 from ..circuits.dnnf import count_models_by_size, smooth
 from .numerics import GateTape, compile_tape
 from .numerics.base import Kernel, get_kernel, shapley_coefficients
+from .numerics.batched import batched_fastpath_diffs
 from .numerics.fixed import FastpathStats, Int64Kernel, fastpath_diffs
 
 __all__ = [
@@ -51,6 +52,7 @@ __all__ = [
     "conditioned_counts",
     "shapley_of_fact",
     "shapley_all_facts",
+    "shapley_all_facts_batched",
     "efficiency_gap",
 ]
 
@@ -157,6 +159,7 @@ def shapley_all_facts(
     kernel=None,
     tape: GateTape | None = None,
     fastpath_stats: FastpathStats | None = None,
+    fastpath_budget_bytes: int | None = None,
 ) -> dict[Hashable, Fraction]:
     """Shapley values of every endogenous fact.
 
@@ -195,7 +198,8 @@ def shapley_all_facts(
     if method != "derivative":
         raise ValueError(f"unknown method {method!r}; choose from {MODES}")
     return _shapley_all_derivative(
-        circuit, endo, deadline, resolved, tape, fastpath_stats
+        circuit, endo, deadline, resolved, tape, fastpath_stats,
+        fastpath_budget_bytes,
     )
 
 
@@ -213,6 +217,7 @@ def _shapley_all_derivative(
     kernel: Kernel | None = None,
     tape: GateTape | None = None,
     fastpath_stats: FastpathStats | None = None,
+    fastpath_budget_bytes: int | None = None,
 ) -> dict[Hashable, Fraction]:
     """Smoothing-free shared pass over a compiled gate tape.
 
@@ -259,20 +264,96 @@ def _shapley_all_derivative(
     _check_time(deadline)
     diffs = None
     if isinstance(kernel, Int64Kernel):
-        diffs = fastpath_diffs(tape, fastpath_stats, check)
+        diffs = fastpath_diffs(
+            tape, fastpath_stats, check, fastpath_budget_bytes)
         _check_time(deadline)
     if diffs is None:
         vals = tape.forward(kernel, check)
         _check_time(deadline)
         diffs = tape.backward_diffs(kernel, vals, check)
     _check_time(deadline)
+    return _combine_diffs(values, tape, diffs, kernel, n)
 
+
+def _combine_diffs(
+    values: dict[Hashable, Fraction],
+    tape: GateTape,
+    diffs: Mapping[int, list[int]],
+    kernel: Kernel,
+    n: int,
+) -> dict[Hashable, Fraction]:
+    """Fold per-slot difference vectors into ``values`` (Equation 3)."""
     extra = n - tape.root_nvars  # endogenous facts outside the circuit
     for slot, diff in diffs.items():
         values[tape.var_labels[slot]] = kernel.equation3(
             kernel.complete(diff, extra), None, n
         )
     return values
+
+
+def shapley_all_facts_batched(
+    tapes: Sequence[GateTape],
+    endo_lists: Sequence[Iterable[Hashable]],
+    deadline: float | None = None,
+    kernel=None,
+    fastpath_stats: FastpathStats | None = None,
+    fastpath_budget_bytes: int | None = None,
+) -> list[dict[Hashable, Fraction]]:
+    """Shapley values for a *same-shape answer group*, derivative mode.
+
+    ``tapes[i]`` is answer *i*'s (re-targeted) gate tape and
+    ``endo_lists[i]`` its endogenous facts.  With a machine-width
+    kernel selected, the group's forward/backward sweeps run as one
+    batched ``(batch, planes, slots, width)`` pass
+    (:func:`~.numerics.batched.batched_fastpath_diffs`); any lane whose
+    runtime sentinel trips — and every lane of an ineligible shape —
+    falls back individually to the interpreted per-gate pass, so each
+    answer's Fractions are identical to :func:`shapley_all_facts` on
+    every input.  The ``"torch"`` kernel routes the batched sweeps
+    through the optional torch backend (CUDA when available).
+    """
+    if len(tapes) != len(endo_lists):
+        raise ValueError("tapes and endo_lists must have equal length")
+    resolved = _resolve_kernel(kernel)
+    check = (lambda: _check_time(deadline)) if deadline is not None else None
+    outputs: list[dict[Hashable, Fraction] | None] = []
+    lanes: list[int] = []  # indices that join the batched sweep
+    zero = Fraction(0)
+    per_answer: list[tuple[list[Hashable], dict[Hashable, Fraction]]] = []
+    for tape, endo_facts in zip(tapes, endo_lists):
+        endo = list(endo_facts)
+        values: dict[Hashable, Fraction] = {fact: zero for fact in endo}
+        per_answer.append((endo, values))
+        if len(endo) == 0 or tape.is_constant:
+            outputs.append(values)
+            continue
+        present = tape.labels()
+        endo_set = set(endo)
+        if not present <= endo_set:
+            raise _foreign_vars_error(present, endo_set)
+        outputs.append(None)
+        lanes.append(len(outputs) - 1)
+
+    diffs_by_lane: list[dict[int, list[int]] | None] | None = None
+    if lanes and isinstance(resolved, Int64Kernel):
+        backend = resolved.name if resolved.name == "torch" else None
+        _check_time(deadline)
+        diffs_by_lane = batched_fastpath_diffs(
+            [tapes[i] for i in lanes], fastpath_stats, check,
+            fastpath_budget_bytes, backend,
+        )
+    for position, index in enumerate(lanes):
+        _check_time(deadline)
+        tape = tapes[index]
+        endo, values = per_answer[index]
+        diffs = diffs_by_lane[position] if diffs_by_lane else None
+        if diffs is None:
+            vals = tape.forward(resolved, check)
+            _check_time(deadline)
+            diffs = tape.backward_diffs(resolved, vals, check)
+        outputs[index] = _combine_diffs(
+            values, tape, diffs, resolved, len(endo))
+    return outputs
 
 
 def _shapley_all_smoothed(

@@ -21,7 +21,7 @@ from ..core.cnf_proxy import cnf_proxy_from_circuit, cnf_proxy_values
 from ..core.hybrid import hybrid_shapley
 from ..core.kernel_shap import kernel_shap_values
 from ..core.monte_carlo import monte_carlo_shapley
-from ..core.pipeline import run_exact
+from ..core.pipeline import run_exact, run_exact_batch
 from .base import DEFAULT_OPTIONS, Engine, EngineOptions, EngineResult
 from .registry import register_engine
 
@@ -33,6 +33,7 @@ class ExactEngine(Engine):
     name = "exact"
     exact = True
     uses_cache = True
+    supports_batch = True
 
     def explain_circuit(
         self,
@@ -51,12 +52,59 @@ class ExactEngine(Engine):
             artifacts=options.artifacts,
             numeric_backend=options.numeric_backend,
             compile_jobs=options.compile_jobs,
+            fastpath_budget_bytes=options.fastpath_budget_bytes,
         )
         seconds = time.perf_counter() - start
         return EngineResult(
             self.name, outcome.values, outcome.ok, outcome.status, seconds,
             detail=outcome, error=outcome.error,
         )
+
+    def explain_batch(
+        self,
+        requests: Sequence[tuple[Circuit, Sequence[Hashable],
+                                 EngineOptions | None]],
+    ) -> list[EngineResult]:
+        """One batched pass over a same-shape answer group.
+
+        Budget/timeout/backend knobs come from the first request's
+        options (sessions hand every member of a shape group the same
+        options, cache included); per-answer artifacts handles are
+        honoured individually.  Falls back to the per-answer loop for
+        non-derivative modes, disabled batching, and singleton groups.
+        """
+        if not requests:
+            return []
+        options = requests[0][2] or DEFAULT_OPTIONS
+        if (
+            options.mode != "derivative"
+            or not options.batch_execution
+            or len(requests) == 1
+        ):
+            return super().explain_batch(requests)
+        start = time.perf_counter()
+        outcomes = run_exact_batch(
+            [request[0] for request in requests],
+            [request[1] for request in requests],
+            budget=options.compilation_budget(),
+            method=options.mode,
+            cache=options.cache,
+            artifacts_list=[
+                (request[2] or DEFAULT_OPTIONS).artifacts
+                for request in requests
+            ],
+            numeric_backend=options.numeric_backend,
+            compile_jobs=options.compile_jobs,
+            fastpath_budget_bytes=options.fastpath_budget_bytes,
+        )
+        seconds = (time.perf_counter() - start) / len(requests)
+        return [
+            EngineResult(
+                self.name, outcome.values, outcome.ok, outcome.status,
+                seconds, detail=outcome, error=outcome.error,
+            )
+            for outcome in outcomes
+        ]
 
 
 @register_engine

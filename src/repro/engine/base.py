@@ -81,6 +81,16 @@ class EngineOptions:
     #: serial).  Purely a wall-clock knob: stitching is deterministic,
     #: so the compiled circuit is byte-identical to the serial one.
     compile_jobs: int | None = None
+    #: Byte budget of the machine-width fast path's SoA value buffers
+    #: (``None`` = the built-in 64 MiB default).  Shapes over budget
+    #: fall back to the interpreted exact pass and are counted under
+    #: ``fastpath_budget_fallbacks``.
+    fastpath_budget_bytes: int | None = None
+    #: Whether sessions may group same-shape answers into one batched
+    #: machine-width execution (the PR 8 warm path).  Purely a
+    #: performance knob: batched and per-answer execution return
+    #: byte-identical Fractions.
+    batch_execution: bool = True
     cache: "ArtifactCache | None" = field(default=None, repr=False)
     artifacts: "CircuitArtifacts | None" = field(default=None, repr=False)
 
@@ -164,6 +174,10 @@ class Engine(ABC):
     #: Whether the engine reads :attr:`EngineOptions.cache`.  Sessions
     #: skip circuit deduplication for engines that never compile.
     uses_cache: ClassVar[bool] = False
+    #: Whether :meth:`explain_batch` executes a same-shape answer group
+    #: as one batched pass (sessions emit shape groups only for engines
+    #: that do; the default implementation just loops).
+    supports_batch: ClassVar[bool] = False
 
     @abstractmethod
     def explain_circuit(
@@ -173,6 +187,23 @@ class Engine(ABC):
         options: EngineOptions | None = None,
     ) -> EngineResult:
         """Compute contributions of ``players`` in ``circuit``."""
+
+    def explain_batch(
+        self,
+        requests: Sequence[tuple["Circuit", Sequence[Hashable],
+                                 EngineOptions | None]],
+    ) -> list[EngineResult]:
+        """Explain several circuits; one result per request, in order.
+
+        The base implementation is a plain :meth:`explain_circuit`
+        loop.  Engines with ``supports_batch`` override it to execute a
+        *same-shape group* as one batched pass — results must stay
+        byte-identical to the loop either way.
+        """
+        return [
+            self.explain_circuit(circuit, players, options)
+            for circuit, players, options in requests
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

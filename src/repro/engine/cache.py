@@ -74,8 +74,20 @@ class CacheStats:
     #: Machine-width derivative passes (level-scheduled int64/float64/
     #: CRT execution) vs. per-shape falls back to the interpreted exact
     #: kernels — the acceptance counters of the PR 5 fast path.
+    #: ``fastpath_fallbacks`` is the total; the three reason counters
+    #: split it: a runtime overflow sentinel tripped, the shape's
+    #: bounds/structure were ineligible a priori, or the SoA value
+    #: buffers exceeded the (configurable) memory budget.
     fastpath_hits: int = 0
     fastpath_fallbacks: int = 0
+    fastpath_overflow_fallbacks: int = 0
+    fastpath_ineligible_fallbacks: int = 0
+    fastpath_budget_fallbacks: int = 0
+    #: Cross-answer batched execution (the PR 8 tentpole): same-shape
+    #: answer groups whose Algorithm-1 sweeps ran as one batched
+    #: machine-width pass, and the answers they covered.
+    batched_groups: int = 0
+    batched_answers: int = 0
     #: Cross-shape sub-circuit memoization (the PR 6 cold-path tier):
     #: connected components looked up by canonical clause-set signature.
     #: ``component_hits`` were stitched from memory or disk instead of
@@ -114,6 +126,12 @@ class CacheStats:
             "evictions": self.evictions,
             "fastpath_hits": self.fastpath_hits,
             "fastpath_fallbacks": self.fastpath_fallbacks,
+            "fastpath_overflow_fallbacks": self.fastpath_overflow_fallbacks,
+            "fastpath_ineligible_fallbacks":
+                self.fastpath_ineligible_fallbacks,
+            "fastpath_budget_fallbacks": self.fastpath_budget_fallbacks,
+            "batched_groups": self.batched_groups,
+            "batched_answers": self.batched_answers,
             "component_hits": self.component_hits,
             "component_misses": self.component_misses,
             "component_compilations": self.component_compilations,
@@ -591,13 +609,26 @@ class ArtifactCache:
         """
         return self._memo
 
-    def record_fastpath(self, hits: int, fallbacks: int) -> None:
-        """Merge one computation's machine-width counters (thread-safe;
-        called by the exact pipeline after each derivative pass)."""
-        if hits or fallbacks:
+    def record_fastpath(self, fastpath) -> None:
+        """Merge one computation's machine-width counters — a
+        :class:`~repro.core.numerics.fixed.FastpathStats` — including
+        the per-reason fallback split (thread-safe; called by the exact
+        pipeline after each derivative pass)."""
+        if fastpath.hits or fastpath.fallbacks:
             with self._lock:
-                self.stats.fastpath_hits += hits
-                self.stats.fastpath_fallbacks += fallbacks
+                self.stats.fastpath_hits += fastpath.hits
+                self.stats.fastpath_fallbacks += fastpath.fallbacks
+                self.stats.fastpath_overflow_fallbacks += fastpath.overflow
+                self.stats.fastpath_ineligible_fallbacks += (
+                    fastpath.ineligible)
+                self.stats.fastpath_budget_fallbacks += fastpath.budget
+
+    def record_batch(self, groups: int, answers: int) -> None:
+        """Count one batched same-shape group execution covering
+        ``answers`` answers (thread-safe)."""
+        with self._lock:
+            self.stats.batched_groups += groups
+            self.stats.batched_answers += answers
 
     def stats_dict(self) -> dict[str, int]:
         """Hit/miss stats of both tiers as one flat dict.

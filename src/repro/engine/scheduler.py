@@ -101,10 +101,22 @@ class BatchPlan:
     main_wave: list[Job]
     n_shapes: int
     deduplicated: bool
+    #: Main-wave jobs grouped by shape, in first-occurrence order
+    #: (the unit of batched execution when ``batched`` is true; empty
+    #: groups are never emitted).  Only meaningful when deduplicated.
+    groups: list[list[Job]] = None  # type: ignore[assignment]
+    #: Whether transports should execute ``groups`` as whole-shape
+    #: batched calls instead of one call per main-wave job.
+    batched: bool = False
+
+    def __post_init__(self) -> None:
+        if self.groups is None:
+            self.groups = [[job] for job in self.main_wave]
 
 
 def plan_batch(
-    engine: str, jobs: Sequence[Job], deduplicate: bool
+    engine: str, jobs: Sequence[Job], deduplicate: bool,
+    batch: bool = False,
 ) -> BatchPlan:
     """Group ``jobs`` by canonical shape and plan the warm-up wave.
 
@@ -112,6 +124,13 @@ def plan_batch(
     every job is its own shape and the whole batch is one wave.  Jobs
     whose ``signature`` is ``None`` never share a group even when
     deduplicating — an unknown shape must not alias another.
+
+    With ``batch`` true (engines whose ``supports_batch`` is set and
+    sessions that keep ``batch_execution`` on), the plan additionally
+    carries the main wave as same-shape *groups*: transports then
+    execute each group as one batched engine call.  The warm wave is
+    unchanged — each shape's representative still runs first and alone,
+    so compile-once/store invariants hold batched or not.
     """
     jobs = list(jobs)
     if not deduplicate:
@@ -122,7 +141,11 @@ def plan_batch(
         groups.setdefault(key, []).append(job)
     warm_wave = [group[0] for group in groups.values()]
     main_wave = [job for group in groups.values() for job in group[1:]]
-    return BatchPlan(engine, jobs, warm_wave, main_wave, len(groups), True)
+    shape_groups = [group[1:] for group in groups.values() if group[1:]]
+    return BatchPlan(
+        engine, jobs, warm_wave, main_wave, len(groups), True,
+        groups=shape_groups if batch else None, batched=batch,
+    )
 
 
 def assign_shards(

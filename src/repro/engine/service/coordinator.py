@@ -80,6 +80,22 @@ class _BatchFailed(RuntimeError):
     """No live workers remained for part of a batch."""
 
 
+def _affinity_runs(shard: list[dict]) -> list[list[dict]]:
+    """Split a shard into runs of consecutive equal-affinity tasks.
+
+    :func:`~repro.engine.scheduler.assign_shards` keeps each affinity
+    group contiguous and in input order, so one run is one same-shape
+    answer group (representative first) — the unit a worker can execute
+    as a single batched ``task_group`` call."""
+    runs: list[list[dict]] = []
+    for task in shard:
+        if runs and runs[-1][0].get("affinity") == task.get("affinity"):
+            runs[-1].append(task)
+        else:
+            runs.append([task])
+    return runs
+
+
 class Coordinator:
     """A coordinator service bound to ``host:port`` (``port=0`` picks a
     free port; read the actual one from :attr:`address`).
@@ -382,6 +398,7 @@ class Coordinator:
         tasks = message["tasks"]
         min_workers = max(1, int(message.get("min_workers") or 1))
         wait_timeout = message.get("wait_timeout", 60.0)
+        batched = bool(message.get("batched"))
         with self._batch_lock:
             if self.wait_for_workers(min_workers, wait_timeout) < min_workers:
                 raise _BatchFailed(
@@ -402,7 +419,9 @@ class Coordinator:
                     raise _BatchFailed(
                         f"no live workers for {len(pending)} task(s)"
                     )
-                pending = self._dispatch(engine, pending, workers, results)
+                pending = self._dispatch(
+                    engine, pending, workers, results, batched
+                )
             worker_stats, n_reporting = self._collect_stats()
         return {
             "op": "results",
@@ -417,6 +436,7 @@ class Coordinator:
         tasks: list[dict],
         workers: list[_WorkerLink],
         results: dict[int, EngineResult],
+        batched: bool = False,
     ) -> list[dict]:
         """Run one placement round; returns the tasks that failed on a
         dead worker (distinct result keys make the shared dict safe)."""
@@ -430,7 +450,7 @@ class Coordinator:
                 continue
             thread = threading.Thread(
                 target=self._run_shard,
-                args=(engine, worker, shard, results, failed),
+                args=(engine, worker, shard, results, failed, batched),
                 daemon=True,
             )
             thread.start()
@@ -446,26 +466,58 @@ class Coordinator:
         shard: list[dict],
         results: dict[int, EngineResult],
         failed: list[dict],
+        batched: bool = False,
     ) -> None:
-        for position, task in enumerate(shard):
+        # With a batched plan each consecutive same-affinity run ships
+        # as one task_group call (singletons stay plain tasks, keeping
+        # the wire compatible with pre-batching workers for them);
+        # otherwise every task is its own round-trip.  Dead-worker
+        # redistribution is unchanged: everything not yet answered goes
+        # back to the pending list.
+        groups = _affinity_runs(shard) if batched else [[t] for t in shard]
+        done = 0
+        for group in groups:
             try:
-                reply = worker.request({
-                    "op": "task",
-                    "id": task["id"],
-                    "engine": engine,
-                    "circuit": task["circuit"],
-                    "players": task["players"],
-                    "options": task["options"],
-                })
-                if reply.get("op") != "result" or reply.get("id") != task["id"]:
-                    raise ConnectionError(
-                        f"worker {worker.peer} answered out of protocol"
-                    )
+                if len(group) == 1:
+                    task = group[0]
+                    reply = worker.request({
+                        "op": "task",
+                        "id": task["id"],
+                        "engine": engine,
+                        "circuit": task["circuit"],
+                        "players": task["players"],
+                        "options": task["options"],
+                    })
+                    if (reply.get("op") != "result"
+                            or reply.get("id") != task["id"]):
+                        raise ConnectionError(
+                            f"worker {worker.peer} answered out of protocol"
+                        )
+                    results[task["id"]] = reply["result"]
+                else:
+                    reply = worker.request({
+                        "op": "task_group",
+                        "engine": engine,
+                        "tasks": [
+                            {key: task[key] for key in
+                             ("id", "circuit", "players", "options")}
+                            for task in group
+                        ],
+                    })
+                    replies = reply.get("results")
+                    if (reply.get("op") != "result_group"
+                            or not isinstance(replies, dict)
+                            or set(replies)
+                            != {task["id"] for task in group}):
+                        raise ConnectionError(
+                            f"worker {worker.peer} answered out of protocol"
+                        )
+                    results.update(replies)
             except Exception:
                 self._discard_worker(worker)
-                failed.extend(shard[position:])
+                failed.extend(shard[done:])
                 return
-            results[task["id"]] = reply["result"]
+            done += len(group)
 
     def _collect_stats(self) -> tuple[dict[str, int], int]:
         """Sum every live worker's cache counters (best-effort)."""

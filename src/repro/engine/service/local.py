@@ -52,6 +52,32 @@ def _process_explain(
     return get_engine(engine_name).explain_circuit(circuit, players, options)
 
 
+def _process_explain_group(
+    engine_name: str,
+    requests: list[tuple[Circuit, list, EngineOptions]],
+    store_dir: str | None,
+) -> list[EngineResult]:
+    """Top-level body of one batched :class:`ProcessPoolTransport` task.
+
+    The whole same-shape group runs in one pool worker through the
+    engine's ``explain_batch`` — one batched machine-width pass instead
+    of one task round-trip per answer."""
+    cache = _worker_cache(store_dir)
+    prepared = [
+        (circuit, players, options.with_(cache=cache))
+        for circuit, players, options in requests
+    ]
+    return get_engine(engine_name).explain_batch(prepared)
+
+
+def _explain_group(engine, jobs: list[Job]) -> list[EngineResult]:
+    """In-process body of one batched group: engine.explain_batch over
+    the group's jobs, results in job order."""
+    return engine.explain_batch(
+        [(job.circuit, job.players, job.options) for job in jobs]
+    )
+
+
 def _collect(
     futures: dict[Future, Job], outcomes: dict[int, EngineResult]
 ) -> None:
@@ -60,6 +86,21 @@ def _collect(
     try:
         for future, job in futures.items():
             outcomes[job.index] = future.result()
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+
+
+def _collect_groups(
+    futures: dict[Future, list[Job]], outcomes: dict[int, EngineResult]
+) -> None:
+    """Group-wise :func:`_collect`: each future yields one result per
+    job of its group, in order."""
+    try:
+        for future, jobs in futures.items():
+            for job, result in zip(jobs, future.result()):
+                outcomes[job.index] = result
     except BaseException:
         for future in futures:
             future.cancel()
@@ -91,14 +132,29 @@ class InProcessTransport(Transport):
         # Warm wave first, then the rest: the barrier guarantees every
         # shape's representative populated the cache before its
         # siblings run as hits.
-        for wave in (plan.warm_wave, plan.main_wave):
-            futures = {
-                pool.submit(
-                    engine.explain_circuit, job.circuit, job.players, job.options
-                ): job
-                for job in wave
+        futures = {
+            pool.submit(
+                engine.explain_circuit, job.circuit, job.players, job.options
+            ): job
+            for job in plan.warm_wave
+        }
+        _collect(futures, outcomes)
+        if plan.batched:
+            # One pool task per shape group: the engine executes the
+            # whole group as a single batched pass.
+            group_futures = {
+                pool.submit(_explain_group, engine, group): group
+                for group in plan.groups
             }
-            _collect(futures, outcomes)
+            _collect_groups(group_futures, outcomes)
+            return outcomes
+        futures = {
+            pool.submit(
+                engine.explain_circuit, job.circuit, job.players, job.options
+            ): job
+            for job in plan.main_wave
+        }
+        _collect(futures, outcomes)
         return outcomes
 
     def close(self) -> None:
@@ -144,20 +200,37 @@ class ProcessPoolTransport(Transport):
         if not plan.main_wave:
             return outcomes
         pool = self._ensure_pool()
-        futures = {}
-        for job in plan.main_wave:
-            portable = job.portable()
-            futures[
-                pool.submit(
-                    _process_explain,
-                    plan.engine,
-                    portable.circuit,
-                    portable.players,
-                    portable.options,
-                    self.store_dir,
-                )
-            ] = job
         try:
+            if plan.batched:
+                # One pool task per shape group: the worker process
+                # runs the group as a single batched engine call.
+                group_futures = {}
+                for group in plan.groups:
+                    portables = [job.portable() for job in group]
+                    group_futures[
+                        pool.submit(
+                            _process_explain_group,
+                            plan.engine,
+                            [(p.circuit, p.players, p.options)
+                             for p in portables],
+                            self.store_dir,
+                        )
+                    ] = group
+                _collect_groups(group_futures, outcomes)
+                return outcomes
+            futures = {}
+            for job in plan.main_wave:
+                portable = job.portable()
+                futures[
+                    pool.submit(
+                        _process_explain,
+                        plan.engine,
+                        portable.circuit,
+                        portable.players,
+                        portable.options,
+                        self.store_dir,
+                    )
+                ] = job
             _collect(futures, outcomes)
         except BrokenProcessPool:
             # A dead worker poisons the whole executor; drop it so the

@@ -87,6 +87,9 @@ class SocketTransport(Transport):
             "tasks": tasks,
             "min_workers": self.min_workers,
             "wait_timeout": self.wait_timeout,
+            # Batched plans let workers execute a same-shape run as one
+            # task_group call instead of one round-trip per answer.
+            "batched": plan.batched,
         })
         if reply.get("op") != "results":
             raise TransportError(

@@ -66,6 +66,12 @@ def run_worker(
                     "result": _execute(cache, message),
                 })
                 executed += 1
+            elif op == "task_group":
+                send_msg(sock, {
+                    "op": "result_group",
+                    "results": _execute_group(cache, message),
+                })
+                executed += len(message.get("tasks", ()))
             elif op == "warm":
                 send_msg(sock, {
                     "op": "warmed",
@@ -106,6 +112,39 @@ def _warm(cache: ArtifactCache, message: dict) -> bool:
         return True
     except Exception:
         return False
+
+
+def _execute_group(cache: ArtifactCache, message: dict) -> dict:
+    """One batched ``task_group``: a same-shape answer run executed as
+    a single ``engine.explain_batch`` call.
+
+    Returns ``{task id: EngineResult}``.  A group-level failure is
+    reported per task (status ``"error"``), mirroring :func:`_execute`:
+    nothing kills the worker loop.
+    """
+    engine_name = message["engine"]
+    tasks = message["tasks"]
+    try:
+        engine = get_engine(engine_name)
+        requests = [
+            (task["circuit"], task["players"],
+             task["options"].with_(cache=cache))
+            for task in tasks
+        ]
+        results = engine.explain_batch(requests)
+        return {task["id"]: result for task, result in zip(tasks, results)}
+    except Exception as error:
+        failure = f"{type(error).__name__}: {error}"
+        return {
+            task["id"]: EngineResult(
+                method=engine_name,
+                values=None,
+                exact=False,
+                status="error",
+                error=failure,
+            )
+            for task in tasks
+        }
 
 
 def _execute(cache: ArtifactCache, message: dict) -> EngineResult:

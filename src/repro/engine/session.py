@@ -230,7 +230,11 @@ class ExplainSession:
                 f"unknown executor {executor!r}; choose from {EXECUTORS}"
             )
         jobs = self._build_jobs(query, answers)
-        plan = plan_batch(self.engine.name, jobs, self.engine.uses_cache)
+        plan = plan_batch(
+            self.engine.name, jobs, self.engine.uses_cache,
+            batch=(self.engine.supports_batch
+                   and self.options.batch_execution),
+        )
         transport = self._transport(executor)
         outcomes = transport.run_batch(plan)
         if transport.kind == "socket":
@@ -368,8 +372,14 @@ class ExplainSession:
         number: with repeated lineage shapes it is strictly smaller.
         ``fastpath_hits`` / ``fastpath_fallbacks`` count machine-width
         derivative passes vs. per-shape exact fallbacks (int64/auto
-        backends), and the ``shapley_coefficients_cache_*`` keys expose
-        the bounded Equation-3 weight cache.  With a persistent store
+        backends), with the fallbacks split by reason under
+        ``fastpath_overflow_fallbacks`` (runtime sentinel tripped),
+        ``fastpath_ineligible_fallbacks`` (bounds/structure) and
+        ``fastpath_budget_fallbacks`` (SoA memory budget);
+        ``batched_groups`` / ``batched_answers`` count same-shape
+        groups executed as one batched machine-width pass and the
+        answers they covered.  The ``shapley_coefficients_cache_*``
+        keys expose the bounded Equation-3 weight cache.  With a persistent store
         attached, ``store_*`` counters report the disk tier.  Pool
         workers of the ``"process"`` executor keep
         their own local counters (only their artifact *files* are

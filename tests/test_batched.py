@@ -1,0 +1,480 @@
+"""Tests for cross-answer batched LevelPlan execution (PR 8).
+
+Covers the batch axis of the machine-width tier
+(:func:`~repro.core.numerics.batched.batched_fastpath_diffs` and
+:class:`~repro.core.numerics.batched.BatchLevelPlan`): parity with the
+per-answer fast path across all three tiers, per-lane sentinel
+fallback, mixed-shape and mixed-tier inputs, the configurable SoA
+memory budget with its per-reason counters, the batched derivative
+pipeline (:func:`~repro.core.shapley.shapley_all_facts_batched`,
+:func:`~repro.core.pipeline.run_exact_batch`), shape-group scheduling,
+the optional torch backend's graceful absence, and the headline
+randomized property: batched and per-answer execution return
+byte-identical Fractions across kernels and all three transports.
+"""
+
+import threading
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import circuit_from_nested
+from repro.core import shapley_all_facts
+from repro.core.numerics import (
+    HAS_NUMPY,
+    HAS_TORCH,
+    FastpathStats,
+    Int64Kernel,
+    available_kernels,
+    batched_fastpath_diffs,
+    compile_tape,
+    fastpath_diffs,
+    get_kernel,
+    plan_with_reason,
+)
+from repro.core.numerics.fixed import budget_elements
+from repro.core.pipeline import run_exact, run_exact_batch
+from repro.core.shapley import shapley_all_facts_batched
+from repro.engine import (
+    ArtifactCache,
+    Coordinator,
+    EngineOptions,
+    ExplainSession,
+    run_worker,
+)
+from repro.engine.scheduler import Job, plan_batch
+
+from .test_numerics import _compile, _disjoint_monotone_cnf
+from .test_store import JOIN_QUERY, join_database
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="NumPy required")
+
+#: (n_clauses, width, seed) per machine-width tier (see
+#: test_numerics.TestMachineWidthFastpath for the boundary derivation).
+FLOAT64_SHAPE = (12, 3, 0)
+INT64_SHAPE = (20, 3, 0)
+CRT_SHAPE = (23, 3, 0)
+#: ~141 bits: beyond every tier, the whole shape declines the fast path.
+FALLBACK_SHAPE = (50, 3, 4)
+
+
+def _tape(shape):
+    n_clauses, width, seed = shape
+    return compile_tape(_compile(_disjoint_monotone_cnf(
+        n_clauses, width, seed)))
+
+
+def _group(tape, size):
+    """``size`` re-targeted handles of one tape — the engine's shape
+    group: they share the analysis box, labels differ per answer."""
+    return [
+        tape.with_labels({label: (label, i) for label in tape.var_labels})
+        for i in range(size)
+    ]
+
+
+class TestBatchedFastpathParity:
+    @needs_numpy
+    @pytest.mark.parametrize(
+        "shape", [FLOAT64_SHAPE, INT64_SHAPE, CRT_SHAPE],
+        ids=["float64", "int64", "crt"])
+    def test_batched_matches_per_answer_across_tiers(self, shape):
+        tapes = _group(_tape(shape), 4)
+        stats = FastpathStats()
+        batched = batched_fastpath_diffs(tapes, stats)
+        assert batched is not None
+        assert stats.hits == 4 and stats.fallbacks == 0
+        for tape, got in zip(tapes, batched):
+            assert got == fastpath_diffs(tape)
+
+    @needs_numpy
+    def test_independently_compiled_isomorphic_tapes_batch(self):
+        # No shared analysis box: shape identity falls back to the
+        # instruction-array comparison and still batches as one group.
+        a = _tape(FLOAT64_SHAPE)
+        b = _tape(FLOAT64_SHAPE)
+        assert a._analysis is not b._analysis
+        batched = batched_fastpath_diffs([a, b])
+        assert batched == [fastpath_diffs(a), fastpath_diffs(b)]
+
+    @needs_numpy
+    def test_mixed_shape_input_regroups_preserving_order(self):
+        a = _group(_tape(FLOAT64_SHAPE), 2)
+        b = _group(_tape(CRT_SHAPE), 2)
+        tapes = [a[0], b[0], a[1], b[1]]
+        stats = FastpathStats()
+        batched = batched_fastpath_diffs(tapes, stats)
+        assert stats.hits == 4
+        for tape, got in zip(tapes, batched):
+            assert got == fastpath_diffs(tape)
+
+    @needs_numpy
+    def test_mixed_tier_batch_with_an_ineligible_shape(self):
+        # One batch spanning the float64 tier, the CRT tier, and a
+        # shape beyond every tier: the eligible lanes keep their
+        # machine-width results, the ineligible lanes come back None
+        # (per-answer interpreted fallback) and are counted by reason.
+        eligible = _group(_tape(FLOAT64_SHAPE), 2) + [_tape(CRT_SHAPE)]
+        fallback = _tape(FALLBACK_SHAPE)
+        assert plan_with_reason(fallback, budget_elements(None))[0] is None
+        tapes = [eligible[0], fallback, eligible[1], eligible[2]]
+        stats = FastpathStats()
+        batched = batched_fastpath_diffs(tapes, stats)
+        assert batched[1] is None
+        assert stats.hits == 3
+        assert stats.ineligible == 1 and stats.fallbacks == 1
+        for slot in (0, 2, 3):
+            assert batched[slot] == fastpath_diffs(tapes[slot])
+
+    @needs_numpy
+    def test_whole_group_ineligible_returns_none(self):
+        tapes = _group(_tape(FALLBACK_SHAPE), 3)
+        stats = FastpathStats()
+        assert batched_fastpath_diffs(tapes, stats) is None
+        assert stats.ineligible == 3 and stats.fallbacks == 3
+
+    def test_empty_input(self):
+        assert batched_fastpath_diffs([]) == []
+
+    @needs_numpy
+    def test_negated_lineage_batches(self):
+        circuit = circuit_from_nested(
+            ("or", ("and", "a", ("not", "b")), ("and", ("not", "a"), "b"))
+        )
+        tapes = _group(compile_tape(_compile(circuit)), 3)
+        batched = batched_fastpath_diffs(tapes)
+        assert batched == [fastpath_diffs(tape) for tape in tapes]
+
+
+class TestFastpathBudget:
+    @needs_numpy
+    def test_budget_rejection_counted_per_lane(self):
+        tapes = _group(_tape(FLOAT64_SHAPE), 3)
+        stats = FastpathStats()
+        assert batched_fastpath_diffs(tapes, stats, budget_bytes=64) is None
+        assert stats.budget == 3 and stats.fallbacks == 3
+        assert stats.hits == 0 and stats.overflow == 0
+
+    @needs_numpy
+    def test_chunked_execution_stays_exact(self):
+        tape = _tape(CRT_SHAPE)
+        plan, reason = plan_with_reason(tape, budget_elements(None))
+        assert reason is None
+        # Budget for exactly one lane: a 5-lane group runs in 5 chunks.
+        budget = plan.lane_elements * 8
+        tapes = _group(tape, 5)
+        stats = FastpathStats()
+        batched = batched_fastpath_diffs(tapes, stats, budget_bytes=budget)
+        assert stats.hits == 5
+        for lane_tape, got in zip(tapes, batched):
+            assert got == fastpath_diffs(lane_tape)
+
+    @needs_numpy
+    def test_per_answer_budget_knob_matches_batched(self):
+        tape = _tape(INT64_SHAPE)
+        tiny = FastpathStats()
+        assert fastpath_diffs(tape, tiny, budget_bytes=64) is None
+        assert tiny.budget == 1
+        roomy = FastpathStats()
+        assert fastpath_diffs(tape, roomy, budget_bytes=1 << 26) is not None
+        assert roomy.hits == 1
+
+    @needs_numpy
+    def test_session_budget_knob_counts_and_stays_exact(self):
+        db = join_database(4, 2)
+        baseline = {
+            a: r.values
+            for a, r in ExplainSession(db, method="exact")
+            .explain_many(JOIN_QUERY).items()
+        }
+        with ExplainSession(
+            db, method="exact",
+            options=EngineOptions(numeric_backend="auto",
+                                  fastpath_budget_bytes=64),
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert stats["fastpath_budget_fallbacks"] == len(results)
+        assert stats["fastpath_hits"] == 0
+        assert {a: r.values for a, r in results.items()} == baseline
+
+
+class TestShapleyAllFactsBatched:
+    def _players(self, tape, i):
+        return [(label, i) for label in tape.var_labels]
+
+    @pytest.mark.parametrize("kernel", ["python", "auto", "torch"])
+    def test_group_fractions_identical_to_per_answer(self, kernel):
+        tape = _tape(FLOAT64_SHAPE)
+        tapes = _group(tape, 3)
+        endo = [self._players(tape, i) for i in range(3)]
+        batched = shapley_all_facts_batched(tapes, endo, kernel=kernel)
+        for lane_tape, players, values in zip(tapes, endo, batched):
+            reference = shapley_all_facts(
+                None, players, method="derivative", tape=lane_tape,
+                kernel="python",
+            )
+            assert values == reference
+            for fact in players:
+                assert type(values[fact]) is Fraction
+                assert values[fact].numerator == reference[fact].numerator
+                assert (values[fact].denominator
+                        == reference[fact].denominator)
+
+    @needs_numpy
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("kernel", ["int64", "torch"])
+    def test_randomized_mixed_tier_batch_parity(self, seed, kernel):
+        # The property test of the PR: a batch mixing lanes from every
+        # tier (float64 / CRT / beyond-capacity fallback) in a seeded
+        # shuffled order returns byte-identical Fractions to the
+        # interpreted per-answer pass, on every machine-width kernel.
+        import random
+
+        rng = random.Random(seed)
+        shapes = [FLOAT64_SHAPE, CRT_SHAPE, FALLBACK_SHAPE]
+        lanes = []
+        for shape in shapes:
+            lanes.extend([_tape(shape)] * rng.randint(1, 3))
+        rng.shuffle(lanes)
+        tapes, endo = [], []
+        for i, base in enumerate(lanes):
+            tapes.append(base.with_labels(
+                {label: (label, i) for label in base.var_labels}))
+            endo.append(self._players(base, i))
+        stats = FastpathStats()
+        batched = shapley_all_facts_batched(
+            tapes, endo, kernel=kernel, fastpath_stats=stats)
+        assert stats.hits + stats.fallbacks == len(tapes)
+        assert stats.ineligible > 0  # the fallback shape was present
+        for lane_tape, players, values in zip(tapes, endo, batched):
+            reference = shapley_all_facts(
+                None, players, method="derivative", tape=lane_tape,
+                kernel="python",
+            )
+            assert values == reference
+            for fact in players:
+                assert type(values[fact]) is Fraction
+
+    def test_length_mismatch_rejected(self):
+        tape = _tape(FLOAT64_SHAPE)
+        with pytest.raises(ValueError, match="equal length"):
+            shapley_all_facts_batched([tape], [])
+
+    def test_empty_endo_list_yields_empty_dict(self):
+        tape = _tape(FLOAT64_SHAPE)
+        players = self._players(tape, 1)
+        out = shapley_all_facts_batched(
+            _group(tape, 2), [[], players])
+        assert out[0] == {}
+        assert set(out[1]) == set(players)
+
+
+class TestRunExactBatch:
+    def _answers(self, size):
+        circuit = _disjoint_monotone_cnf(4, 2, seed=1)
+        circuits, endo = [], []
+        for i in range(size):
+            renamed = circuit.rename(
+                {label: (label, i) for label in circuit.reachable_vars()})
+            circuits.append(renamed)
+            endo.append(sorted(renamed.reachable_vars(), key=repr))
+        return circuits, endo
+
+    def test_parity_with_the_per_answer_loop(self):
+        circuits, endo = self._answers(5)
+        cache = ArtifactCache()
+        outcomes = run_exact_batch(circuits, endo, cache=cache,
+                                   numeric_backend="auto")
+        for circuit, players, outcome in zip(circuits, endo, outcomes):
+            reference = run_exact(circuit, players)
+            assert outcome.ok and outcome.values == reference.values
+        assert cache.stats.batched_groups == 1
+        assert cache.stats.batched_answers == 5
+
+    def test_batched_timings_report_the_group_pass(self):
+        circuits, endo = self._answers(3)
+        outcomes = run_exact_batch(circuits, endo, cache=ArtifactCache(),
+                                   numeric_backend="auto")
+        for outcome in outcomes:
+            if not HAS_NUMPY:
+                break
+            assert "batch_exec" in outcome.timings
+            assert any(key.startswith("tier_") for key in outcome.timings)
+
+    def test_singleton_delegates_to_run_exact(self):
+        circuits, endo = self._answers(1)
+        cache = ArtifactCache()
+        outcomes = run_exact_batch(circuits, endo, cache=cache)
+        assert len(outcomes) == 1 and outcomes[0].ok
+        assert cache.stats.batched_groups == 0
+
+
+class TestShapeGroupScheduling:
+    def _jobs(self, signatures):
+        options = EngineOptions()
+        return [
+            Job(index=i, answer=(i,), circuit=None, players=[],
+                options=options, signature=signature)
+            for i, signature in enumerate(signatures)
+        ]
+
+    def test_plan_batch_emits_shape_groups(self):
+        jobs = self._jobs(["s1", "s1", "s1", "s2", "s2"])
+        plan = plan_batch("exact", jobs, deduplicate=True, batch=True)
+        assert plan.batched
+        assert [job.index for job in plan.warm_wave] == [0, 3]
+        assert [[job.index for job in group] for group in plan.groups] \
+            == [[1, 2], [4]]
+
+    def test_unbatched_plans_default_to_singleton_groups(self):
+        jobs = self._jobs(["s1", "s1", "s2"])
+        plan = plan_batch("exact", jobs, deduplicate=True)
+        assert not plan.batched
+        assert [[job.index for job in group] for group in plan.groups] \
+            == [[job.index] for job in plan.main_wave]
+
+    def test_unknown_signatures_never_group(self):
+        jobs = self._jobs([None, None, None])
+        plan = plan_batch("exact", jobs, deduplicate=True, batch=True)
+        assert plan.batched and plan.groups == []
+        assert len(plan.warm_wave) == 3
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    """A live coordinator with two in-thread workers sharing a store."""
+    coordinator = Coordinator().start()
+    store_dir = str(tmp_path / "fleet-store")
+    ready = threading.Barrier(3, timeout=10)
+    threads = [
+        threading.Thread(
+            target=run_worker,
+            args=(coordinator.address,),
+            kwargs={"cache_dir": store_dir, "on_ready": ready.wait},
+            daemon=True,
+        )
+        for _ in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    ready.wait()
+    coordinator.wait_for_workers(2, timeout=10)
+    yield coordinator
+    coordinator.shutdown()
+    for thread in threads:
+        thread.join(timeout=10)
+
+
+class TestBatchedTransportParity:
+    def test_identical_fractions_across_kernels_and_transports(self, fleet):
+        # The acceptance matrix: batched execution on three kernels x
+        # three transports == the unbatched reference, byte for byte.
+        db = join_database(6, 2)
+        baseline = ExplainSession(
+            db, method="exact",
+            options=EngineOptions(batch_execution=False),
+        ).explain_many(JOIN_QUERY)
+        expected = {a: r.values for a, r in baseline.items()}
+        for backend in ("python", "auto", "torch"):
+            with ExplainSession(
+                db, method="exact", max_workers=2,
+                options=EngineOptions(numeric_backend=backend),
+                coordinator=fleet.address, min_workers=2,
+            ) as session:
+                for executor in ("thread", "process", "socket"):
+                    results = session.explain_many(
+                        JOIN_QUERY, executor=executor)
+                    got = {a: r.values for a, r in results.items()}
+                    assert got == expected, (backend, executor)
+                    for values in got.values():
+                        assert all(type(v) is Fraction
+                                   for v in values.values()), \
+                            (backend, executor)
+
+    def test_thread_session_reports_batched_counters(self):
+        db = join_database(6, 2)
+        with ExplainSession(
+            db, method="exact",
+            options=EngineOptions(numeric_backend="auto"),
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert all(r.ok for r in results.values())
+        # six isomorphic answers, one shape: the warm representative
+        # runs alone, the other five execute as one batched group.
+        assert stats["batched_groups"] == 1
+        assert stats["batched_answers"] == 5
+
+    def test_socket_workers_report_batched_counters(self, fleet):
+        db = join_database(6, 2)
+        with ExplainSession(
+            db, method="exact", executor="socket",
+            options=EngineOptions(numeric_backend="auto"),
+            coordinator=fleet.address, min_workers=2,
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert all(r.ok for r in results.values())
+        assert stats["remote_batched_groups"] >= 1
+        assert stats["remote_batched_answers"] >= 5
+
+    def test_batch_execution_off_disables_grouping(self):
+        db = join_database(5, 2)
+        with ExplainSession(
+            db, method="exact",
+            options=EngineOptions(numeric_backend="auto",
+                                  batch_execution=False),
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert all(r.ok for r in results.values())
+        assert stats["batched_groups"] == 0
+        assert stats["batched_answers"] == 0
+
+    def test_non_derivative_mode_skips_batching(self):
+        db = join_database(4, 2)
+        with ExplainSession(
+            db, method="exact",
+            options=EngineOptions(mode="conditioning"),
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert all(r.ok for r in results.values())
+        assert stats["batched_groups"] == 0
+
+
+class TestTorchBackendGating:
+    def test_torch_is_a_registered_kernel_name(self):
+        assert "torch" in available_kernels()
+
+    @pytest.mark.skipif(HAS_TORCH, reason="torch installed")
+    def test_absent_torch_falls_back_to_the_ladder(self):
+        kernel = get_kernel("torch")
+        if HAS_NUMPY:
+            assert isinstance(kernel, Int64Kernel)
+            assert kernel.name == "int64"
+        else:
+            assert kernel is get_kernel("python")
+
+    @pytest.mark.skipif(HAS_TORCH, reason="torch installed")
+    def test_absent_torch_strict_raises(self):
+        with pytest.raises(ValueError, match="unavailable"):
+            get_kernel("torch", strict=True)
+
+    @needs_numpy
+    def test_torch_backend_request_stays_exact(self):
+        # With torch installed this routes the sweeps through the torch
+        # backend; without it the NumPy path serves the request — the
+        # results must be identical either way.
+        tapes = _group(_tape(CRT_SHAPE), 3)
+        batched = batched_fastpath_diffs(tapes, backend="torch")
+        assert batched == [fastpath_diffs(tape) for tape in tapes]
+
+    @pytest.mark.skipif(not HAS_TORCH, reason="torch not installed")
+    def test_torch_sweeps_match_numpy_across_tiers(self):
+        for shape in (FLOAT64_SHAPE, INT64_SHAPE, CRT_SHAPE):
+            tapes = _group(_tape(shape), 3)
+            via_torch = batched_fastpath_diffs(tapes, backend="torch")
+            via_numpy = batched_fastpath_diffs(tapes)
+            assert via_torch == via_numpy

@@ -277,7 +277,9 @@ class TestCliValidation:
         profile = payload["profile"]
         assert set(profile) == {
             "compile_seconds", "component_compile_seconds", "stitch_seconds",
-            "tape_lower_seconds", "kernel_exec_seconds"
+            "tape_lower_seconds", "kernel_exec_seconds",
+            "batch_exec_seconds", "tier_float64_seconds",
+            "tier_int64_seconds", "tier_crt_seconds",
         }
         assert all(value >= 0 for value in profile.values())
         # warm repeats serve the tape from cache: lowering stays cheaper
