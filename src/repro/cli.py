@@ -275,6 +275,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             compile_jobs=args.compile_jobs,
             fastpath_budget_bytes=args.fastpath_budget,
             batch_execution=not args.no_batch,
+            pipeline_execution=not args.no_pipeline,
+            pipeline_cost_scale=args.pipeline_cost_scale,
         ),
         cache=cache,
         max_workers=args.jobs,
@@ -298,6 +300,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ok = sum(r.ok for r in results.values())
     elapsed = statistics.median(laps)
     profile = _stage_profile(results) if args.profile else None
+    if profile is not None:
+        # The pipeline stage breakdown comes from the session/cache
+        # stats rather than per-answer timings: overlap is a batch-level
+        # property (socket batches report it under remote_*).
+        profile["pipeline_overlap_seconds"] = round(
+            _pipeline_stat(stats, "pipeline_overlap_seconds"), 6)
+        profile["component_pass_compiles"] = int(
+            _pipeline_stat(stats, "component_pass_compiles"))
+        profile["stitch_jobs"] = int(_pipeline_stat(stats, "stitch_jobs"))
     if args.json:
         payload = {
             "workload": args.workload,
@@ -311,6 +322,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "warmup": warmed,
             "stats": stats,
             "store_artifacts": len(store) if store is not None else None,
+            # Stable digest of every answer's exact Fractions: two runs
+            # (pipelined vs barrier, different transports) agree iff
+            # their digests match — what 'bench compare' checks.
+            "fractions_digest": _fractions_digest(results),
         }
         if profile is not None:
             payload["profile"] = profile
@@ -336,6 +351,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"int64 {profile['tier_int64_seconds']:.3f}s, "
               f"crt {profile['tier_crt_seconds']:.3f}s) "
               "(summed over the last repeat's answers)")
+        print("pipeline: "
+              f"{profile['pipeline_overlap_seconds']:.3f}s "
+              f"compile/execute overlap, "
+              f"{profile['component_pass_compiles']} one-pass component "
+              f"compiles, {profile['stitch_jobs']} stitch jobs")
     print(f"cache: {stats['compile_calls']} compilations, "
           f"{stats['tape_compilations']} tape compilations for "
           f"{stats['answers_explained']} answers "
@@ -355,6 +375,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if stats["batched_groups"]:
         print(f"batched: {stats['batched_answers']} answers in "
               f"{stats['batched_groups']} same-shape group passes")
+    if (_pipeline_stat(stats, "component_pass_compiles")
+            or _pipeline_stat(stats, "stitch_jobs")):
+        print(f"pipeline: "
+              f"{int(_pipeline_stat(stats, 'component_pass_compiles'))} "
+              f"one-pass component compiles, "
+              f"{int(_pipeline_stat(stats, 'stitch_jobs'))} stitch jobs, "
+              f"{_pipeline_stat(stats, 'pipeline_overlap_seconds'):.3f}s "
+              f"compile/execute overlap")
     if store is not None:
         print(f"store: {stats['store_hits']} hits, "
               f"{stats['store_misses']} misses, "
@@ -367,6 +395,95 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{stats['remote_store_hits']} store hits "
               f"(cumulative since worker start)")
     return 0
+
+
+def _pipeline_stat(stats: dict, key: str) -> float:
+    """One pipeline counter across both reporting paths: the local
+    cache's value plus — for socket batches — the fleet aggregate
+    under ``remote_*``."""
+    return float(stats.get(key, 0) or 0) + float(
+        stats.get(f"remote_{key}", 0) or 0
+    )
+
+
+def _fractions_digest(results) -> str:
+    """A stable hex digest of every answer's exact values.
+
+    Answers and facts are sorted by ``repr`` and values rendered as
+    exact ``Fraction`` reprs, so the digest is independent of answer
+    order, transport, scheduling, and pipelining — two bench runs agree
+    byte-for-byte iff their digests match.  Failed answers contribute
+    their status instead of values.
+    """
+    import hashlib
+
+    entries = []
+    for answer, result in results.items():
+        if result.values is None:
+            entries.append((repr(answer), result.status))
+        else:
+            entries.append((repr(answer), sorted(
+                (repr(fact), repr(value))
+                for fact, value in result.values.items()
+            )))
+    entries.sort()
+    return hashlib.sha256(repr(entries).encode()).hexdigest()
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Compare two ``bench --json`` payloads: per-metric speedup table
+    plus a Fractions-parity flag from their digests.  Exits 1 when both
+    payloads carry digests and they differ."""
+    try:
+        a = json.loads(Path(args.baseline).read_text())
+        b = json.loads(Path(args.candidate).read_text())
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    digest_a = a.get("fractions_digest")
+    digest_b = b.get("fractions_digest")
+    if digest_a is None or digest_b is None:
+        parity = None
+    else:
+        parity = digest_a == digest_b
+    rows = []
+    for label, key in (("seconds (median)", "seconds"),
+                       ("seconds (min)", "seconds_min")):
+        left, right = a.get(key), b.get(key)
+        if left is None or right is None:
+            continue
+        speedup = (left / right) if right else float("inf")
+        rows.append((label, left, right, speedup))
+    if args.json:
+        payload = {
+            "baseline": args.baseline,
+            "candidate": args.candidate,
+            "speedup": {label: round(speedup, 4)
+                        for label, _, _, speedup in rows},
+            "baseline_seconds": a.get("seconds"),
+            "candidate_seconds": b.get("seconds"),
+            "outputs_match": a.get("outputs") == b.get("outputs"),
+            "identical_fractions": parity,
+        }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        name_a = Path(args.baseline).name
+        name_b = Path(args.candidate).name
+        print(f"{'metric':<18} {name_a:>14} {name_b:>14} {'speedup':>9}")
+        for label, left, right, speedup in rows:
+            print(f"{label:<18} {left:>13.4f}s {right:>13.4f}s "
+                  f"{speedup:>8.2f}x")
+        if a.get("outputs") != b.get("outputs"):
+            print(f"outputs differ: {a.get('outputs')} vs "
+                  f"{b.get('outputs')}")
+        if parity is None:
+            print("fractions parity: unknown (digest missing; re-run "
+                  "bench --json with this version)")
+        elif parity:
+            print("fractions parity: identical")
+        else:
+            print("fractions parity: MISMATCH")
+    return 1 if parity is False else 0
 
 
 def _stage_profile(results) -> dict[str, float]:
@@ -599,6 +716,10 @@ def cmd_cache_warm(args: argparse.Namespace) -> int:
         print(f"warmed {status['completed']}/{status['shapes']} shapes "
               f"({status['failed']} failed, {status['pending']} pending) "
               f"via {where}")
+        if status.get("component_tasks"):
+            print(f"one-pass component phase: "
+                  f"{status['component_tasks']} distinct components "
+                  f"compiled ahead of the shape representatives")
         if executor == "thread" and (
             stats["component_hits"] or stats["component_compilations"]
         ):
@@ -713,6 +834,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable batched same-shape group execution "
                         "(per-answer passes only; results are identical "
                         "either way)")
+    b.add_argument("--no-pipeline", action="store_true",
+                   help="disable pipelined cold-batch execution (run the "
+                        "classic warm-wave compile barrier instead; "
+                        "results are identical either way — the A/B "
+                        "switch for 'bench compare')")
+    b.add_argument("--pipeline-cost-scale", type=float, default=None,
+                   metavar="SECONDS_PER_UNIT",
+                   help="seed the compile cost model's seconds-per-unit "
+                        "scale instead of calibrating from the first "
+                        "batch's recorded compile timings (advanced; "
+                        "affects compile ordering only, never results)")
     b.add_argument("--repeats", type=_positive_int, default=1,
                    help="timed repetitions of the batch; > 1 adds one "
                         "explicit warm-up iteration first and reports "
@@ -726,6 +858,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit one machine-readable JSON object instead of "
                         "the human summary")
     b.set_defaults(func=cmd_bench)
+    bsub = b.add_subparsers(dest="bench_command", required=False,
+                            metavar="compare")
+    bc = bsub.add_parser(
+        "compare",
+        help="compare two 'bench --json' files: speedup table and "
+             "Fractions-parity flag (exit 1 on digest mismatch)",
+    )
+    bc.add_argument("baseline", help="baseline bench --json file")
+    bc.add_argument("candidate", help="candidate bench --json file")
+    bc.add_argument("--json", action="store_true")
+    bc.set_defaults(func=cmd_bench_compare)
 
     s = sub.add_parser(
         "serve",

@@ -552,6 +552,63 @@ def _compile_canonical(canon: ClauseSet, context: _RunContext) -> Circuit:
     return sub.circuit
 
 
+def plan_components(
+    cnf: Cnf, min_vars: int = MEMO_MIN_COMPONENT_VARS
+) -> list[ClauseSet]:
+    """The distinct canonical top-level components a compile of ``cnf``
+    will request from its :class:`ComponentMemo`.
+
+    Mirrors :meth:`_Compiler.run` exactly — unit propagation, connected
+    components, the ``min_vars`` memoizability cut, then
+    :func:`canonical_component` — so a *component pass* that compiles
+    every returned key into a shared memo guarantees the later full
+    compile of ``cnf`` is pure stitching (every memo lookup hits).
+    Keys are returned deduplicated, in first-occurrence order.  An
+    unsatisfiable or fully unit-propagated CNF has no components.
+    """
+    _, residual, conflict = _propagate(tuple(cnf.clauses), {})
+    if conflict or not residual:
+        return []
+    keys: list[ClauseSet] = []
+    seen: set[ClauseSet] = set()
+    for component in _connected_components(residual):
+        variables = {abs(lit) for clause in component for lit in clause}
+        if len(variables) < min_vars:
+            continue
+        canon, _ = canonical_component(_canonical(component))
+        if canon not in seen:
+            seen.add(canon)
+            keys.append(canon)
+    return keys
+
+
+def compile_component(
+    canon: ClauseSet,
+    memo: ComponentMemo,
+    budget: CompilationBudget | None = None,
+    heuristic: str = "widest",
+) -> bool:
+    """Ensure one canonical component is available in ``memo``.
+
+    The unit of the pipelined component-compile pass: looks ``canon``
+    up and — on a miss — compiles it standalone and publishes it, just
+    as a full compile's :meth:`_Compiler._stitch` would.  Returns
+    ``True`` when a standalone compile actually ran, ``False`` on a
+    memo (or store) hit.  The compile is byte-identical to the one the
+    stitching path would have produced, so running the pass ahead of
+    time cannot perturb any downstream circuit.  Budget and failure
+    semantics match the inline path: :class:`BudgetExceeded` (or any
+    compile error) propagates and nothing is published.
+    """
+    if memo.lookup(canon) is not None:
+        return False
+    context = _RunContext(
+        budget, heuristic, memo, True, MEMO_MIN_COMPONENT_VARS
+    )
+    _compile_canonical(canon, context)
+    return True
+
+
 def canonical_component(clauses: ClauseSet) -> tuple[ClauseSet, tuple[int, ...]]:
     """Rename-invariant canonical form of a component clause set.
 

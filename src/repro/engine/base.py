@@ -91,6 +91,18 @@ class EngineOptions:
     #: performance knob: batched and per-answer execution return
     #: byte-identical Fractions.
     batch_execution: bool = True
+    #: Whether sessions may replace the warm-wave barrier with the
+    #: pipelined cold-batch schedule (fleet-deduplicated one-pass
+    #: component compilation overlapped with stitch/group execution —
+    #: the PR 9 cold path).  Purely a performance knob: pipelined and
+    #: barrier execution return byte-identical Fractions.
+    pipeline_execution: bool = True
+    #: Initial seconds-per-unit scale of the compile cost model (see
+    #: :class:`~repro.engine.scheduler.CompileCostModel`); ``None``
+    #: starts uncalibrated and learns from the first recorded
+    #: component-compile timings.  Only the critical-path *ordering* of
+    #: compiles depends on it, never any result.
+    pipeline_cost_scale: float | None = None
     cache: "ArtifactCache | None" = field(default=None, repr=False)
     artifacts: "CircuitArtifacts | None" = field(default=None, repr=False)
 

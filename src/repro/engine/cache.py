@@ -43,6 +43,7 @@ from ..compiler.knowledge import (
     CompilationStats,
     ComponentMemo,
     compile_cnf,
+    plan_components,
 )
 from ..core.numerics.tape import GateTape, compile_tape
 from .store import PersistentArtifactStore
@@ -103,6 +104,17 @@ class CacheStats:
     #: values flow into ``session.stats`` / socket ``remote_*``
     #: aggregates, flagging a poisoned store fleet-wide.
     verifier_violations: int = 0
+    #: Pipelined cold-batch execution (the PR 9 tentpole).
+    #: ``component_pass_compiles`` counts standalone compiles performed
+    #: by the fleet-wide one-pass component phase (a subset of
+    #: ``component_compilations``); ``stitch_jobs`` the per-shape stitch
+    #: jobs dispatched once their components landed;
+    #: ``pipeline_overlap_seconds`` the wall-clock during which compile
+    #: and execute work genuinely overlapped (union-interval
+    #: intersection — the seconds the old warm-wave barrier wasted).
+    component_pass_compiles: int = 0
+    stitch_jobs: int = 0
+    pipeline_overlap_seconds: float = 0.0
 
     @property
     def hits(self) -> int:
@@ -137,6 +149,9 @@ class CacheStats:
             "component_compilations": self.component_compilations,
             "component_evictions": self.component_evictions,
             "verifier_violations": self.verifier_violations,
+            "component_pass_compiles": self.component_pass_compiles,
+            "stitch_jobs": self.stitch_jobs,
+            "pipeline_overlap_seconds": self.pipeline_overlap_seconds,
         }
 
 
@@ -480,6 +495,40 @@ class CircuitArtifacts:
             store.store_ddnnf(self.signature, canonical)
         return canonical
 
+    def is_warm(self, kind: str = "tape") -> bool:
+        """Whether serving ``kind`` for this shape needs no compile.
+
+        A shape is warm when its d-DNNF is already in memory or on disk
+        (any request then pays at most a tape lowering), or — for
+        ``kind="tape"`` — when the tape itself is stored.  The pipeline
+        planner uses this as its cold/warm cut: warm shapes contribute
+        no component-compile jobs, which is what keeps the warm-store
+        zero-compiles invariant intact under pipelining.  A probe only:
+        no artifact is loaded and no stats are touched.
+        """
+        with self._cache._lock:
+            if self._entry.ddnnf is not None or self._entry.tape is not None:
+                return True
+        store = self._cache.store
+        if store is None:
+            return False
+        if store.path_for(self.signature, "dnnf").exists():
+            return True
+        return kind == "tape" and store.path_for(
+            self.signature, "tape"
+        ).exists()
+
+    def component_plan(self) -> list:
+        """The distinct canonical components a cold compile of this
+        shape would request — the shape's contribution to the pipelined
+        batch's fleet-wide component-compile pass (see
+        :func:`~repro.compiler.knowledge.plan_components`).  Computes
+        (and caches/stores) the canonical CNF as a side effect, which a
+        cold shape pays anyway.
+        """
+        canonical, _ = self._canonical_cnf()
+        return plan_components(canonical)
+
 
 class ArtifactCache:
     """Memoizes Tseytin CNFs and compiled d-DNNFs across lineages.
@@ -629,6 +678,20 @@ class ArtifactCache:
         with self._lock:
             self.stats.batched_groups += groups
             self.stats.batched_answers += answers
+
+    def record_pipeline(
+        self,
+        overlap_seconds: float = 0.0,
+        compiles: int = 0,
+        stitches: int = 0,
+    ) -> None:
+        """Account one pipelined cold batch (thread-safe): seconds of
+        genuine compile/execute overlap, standalone compiles performed
+        by the component pass, and stitch jobs dispatched."""
+        with self._lock:
+            self.stats.pipeline_overlap_seconds += float(overlap_seconds)
+            self.stats.component_pass_compiles += int(compiles)
+            self.stats.stitch_jobs += int(stitches)
 
     def stats_dict(self) -> dict[str, int]:
         """Hit/miss stats of both tiers as one flat dict.

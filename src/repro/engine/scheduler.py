@@ -25,7 +25,9 @@ Scheduling invariants
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import math
+import threading
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence, TypeVar
 
 from .base import EngineOptions
@@ -82,6 +84,138 @@ class Job:
         return signature_digest(self.signature)
 
 
+def estimate_compile_cost(key: Sequence, scale: float = 1.0) -> float:
+    """A priori cost estimate for compiling one canonical component.
+
+    ``key`` is a canonical clause set (tuple of literal tuples).  The
+    model is deliberately crude — d-DNNF compile time is exponential in
+    the worst case — but it only has to *rank* components: literal
+    count times ``log2`` of the variable count tracks the branching
+    work of the compiler's divide-and-conquer well enough to put big
+    components first.  ``scale`` converts the unitless raw score into
+    seconds once calibrated (see :class:`CompileCostModel`).
+    """
+    n_literals = 0
+    variables: set[int] = set()
+    for clause in key:
+        n_literals += len(clause)
+        for lit in clause:
+            variables.add(abs(lit))
+    raw = float(n_literals) * max(1.0, math.log2(len(variables) + 1))
+    return scale * raw
+
+
+class CompileCostModel:
+    """Calibrated compile-cost estimator for critical-path scheduling.
+
+    Starts from the structural score of :func:`estimate_compile_cost`
+    and learns a single seconds-per-unit ``scale`` from observed
+    component-compile timings (exponentially weighted, so the model
+    adapts within a few observations but never flaps on one outlier).
+    One instance lives on the session and persists across batches, so
+    the second cold batch is scheduled with calibrated estimates.
+
+    Thread-safe: transports report timings from worker threads.
+    """
+
+    #: EWMA weight of each new observation.
+    ALPHA = 0.3
+
+    def __init__(self, scale: float | None = None) -> None:
+        self._scale = float(scale) if scale is not None else 1.0
+        self._calibrated = scale is not None
+        self._lock = threading.Lock()
+
+    @property
+    def scale(self) -> float:
+        with self._lock:
+            return self._scale
+
+    def estimate(self, key: Sequence) -> float:
+        return estimate_compile_cost(key, self.scale)
+
+    def observe(self, key: Sequence, seconds: float) -> None:
+        """Fold one measured component compile into the scale."""
+        raw = estimate_compile_cost(key, 1.0)
+        if raw <= 0.0 or seconds < 0.0:
+            return
+        observed = seconds / raw
+        with self._lock:
+            if not self._calibrated:
+                self._scale = observed
+                self._calibrated = True
+            else:
+                self._scale += self.ALPHA * (observed - self._scale)
+
+
+@dataclass(frozen=True)
+class ComponentJob:
+    """One fleet-deduplicated component compile of the pipeline pass.
+
+    ``key`` is the canonical clause set (the :mod:`compiler.knowledge`
+    memo key), ``cost`` the model's estimate, and ``shapes`` the
+    affinity digests of every shape in this batch that stitches it.
+    """
+
+    key: object
+    cost: float
+    shapes: tuple[str, ...]
+
+
+@dataclass
+class PipelinePlan:
+    """The dependency DAG of a pipelined cold batch.
+
+    ``components`` holds each distinct canonical component exactly once,
+    in dispatch order (critical-path-first: components of the most
+    expensive shapes, largest first).  ``needs`` maps a shape's affinity
+    digest to the indexes (into ``components``) it must have compiled
+    before its stitch job is pure stitching; shapes absent from
+    ``needs`` (warm, or too small to memoize) have no compile
+    dependencies and may dispatch immediately.
+    """
+
+    components: list[ComponentJob]
+    needs: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    #: The session's :class:`CompileCostModel`, threaded through so
+    #: transports can calibrate it with measured compile timings.
+    #: Process-local (never pickled — the wire payload carries only
+    #: components and needs).
+    cost_model: "CompileCostModel | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def total_cost(self) -> float:
+        return sum(job.cost for job in self.components)
+
+
+def artifact_component_planner(kind: str = "tape") -> Callable[["Job"], object]:
+    """Build the ``component_planner`` callback for cache-using engines.
+
+    The returned closure inspects a shape representative's artifact
+    handle (duck-typed; see
+    :meth:`~repro.engine.cache.CircuitArtifacts.component_plan`): warm
+    shapes — ``kind`` artifact already in memory or on disk — plan no
+    compiles, cold shapes plan their distinct canonical components.
+    Planning failures degrade to "no plan" rather than aborting the
+    batch: the shape then compiles inline in its stitch job, exactly as
+    the non-pipelined path would.
+    """
+
+    def planner(job: "Job") -> object:
+        handle = getattr(job.options, "artifacts", None)
+        if handle is None:
+            return None
+        try:
+            if handle.is_warm(kind):
+                return None
+            return handle.component_plan()
+        except Exception:
+            return None
+
+    return planner
+
+
 @dataclass
 class BatchPlan:
     """The execution plan of one ``explain_many`` batch.
@@ -108,15 +242,82 @@ class BatchPlan:
     #: Whether transports should execute ``groups`` as whole-shape
     #: batched calls instead of one call per main-wave job.
     batched: bool = False
+    #: The compile/execute pipeline DAG, or ``None`` for the classic
+    #: warm-wave-barrier schedule (warm batches, sampling engines, or
+    #: pipelining disabled).  When set, transports overlap the
+    #: component-compile pass with stitch and group execution.
+    pipeline: "PipelinePlan | None" = None
 
     def __post_init__(self) -> None:
         if self.groups is None:
             self.groups = [[job] for job in self.main_wave]
 
 
+def plan_pipeline(
+    warm_wave: Sequence[Job],
+    component_planner: Callable[[Job], object],
+    cost_model: CompileCostModel | None = None,
+) -> PipelinePlan | None:
+    """Plan the fleet-wide one-pass component compile for a batch.
+
+    Calls ``component_planner`` on each shape representative (``None``
+    or an empty plan means the shape is warm or has nothing memoizable),
+    dedupes the canonical component keys across *all* shapes, and
+    orders the distinct compiles critical-path-first: components owned
+    by the costliest shape go first (so the longest stitch chain starts
+    as early as possible), ties broken by own cost descending, then by
+    key — fully deterministic.  Returns ``None`` when no shape plans
+    any component: the batch should then run the classic schedule, with
+    zero pipeline overhead.
+    """
+    owners: dict[object, list[str]] = {}
+    shape_keys: dict[str, list[object]] = {}
+    for rep in warm_wave:
+        keys = component_planner(rep)
+        if not keys:
+            continue
+        affinity = rep.affinity()
+        if affinity in shape_keys:
+            continue
+        shape_keys[affinity] = list(keys)
+        for key in keys:
+            owned = owners.setdefault(key, [])
+            if affinity not in owned:
+                owned.append(affinity)
+    if not owners:
+        return None
+    estimate = (
+        cost_model.estimate if cost_model is not None else estimate_compile_cost
+    )
+    costs = {key: float(estimate(key)) for key in owners}
+    shape_cost = {
+        affinity: sum(costs[key] for key in keys)
+        for affinity, keys in shape_keys.items()
+    }
+    ordered = sorted(
+        owners,
+        key=lambda key: (
+            -max(shape_cost[affinity] for affinity in owners[key]),
+            -costs[key],
+            key,
+        ),
+    )
+    components = [
+        ComponentJob(key, costs[key], tuple(owners[key])) for key in ordered
+    ]
+    position = {job.key: index for index, job in enumerate(components)}
+    needs = {
+        affinity: tuple(sorted(position[key] for key in keys))
+        for affinity, keys in shape_keys.items()
+    }
+    return PipelinePlan(components, needs, cost_model=cost_model)
+
+
 def plan_batch(
     engine: str, jobs: Sequence[Job], deduplicate: bool,
     batch: bool = False,
+    component_planner: Callable[[Job], object] | None = None,
+    cost_model: CompileCostModel | None = None,
 ) -> BatchPlan:
     """Group ``jobs`` by canonical shape and plan the warm-up wave.
 
@@ -131,6 +332,12 @@ def plan_batch(
     execute each group as one batched engine call.  The warm wave is
     unchanged — each shape's representative still runs first and alone,
     so compile-once/store invariants hold batched or not.
+
+    With a ``component_planner`` (see :func:`artifact_component_planner`
+    and :func:`plan_pipeline`), the plan also carries the compile/
+    execute pipeline DAG in :attr:`BatchPlan.pipeline` — ``None`` when
+    every shape turns out warm, in which case transports fall back to
+    the classic schedule at no cost.
     """
     jobs = list(jobs)
     if not deduplicate:
@@ -142,9 +349,15 @@ def plan_batch(
     warm_wave = [group[0] for group in groups.values()]
     main_wave = [job for group in groups.values() for job in group[1:]]
     shape_groups = [group[1:] for group in groups.values() if group[1:]]
+    pipeline = (
+        plan_pipeline(warm_wave, component_planner, cost_model)
+        if component_planner is not None
+        else None
+    )
     return BatchPlan(
         engine, jobs, warm_wave, main_wave, len(groups), True,
         groups=shape_groups if batch else None, batched=batch,
+        pipeline=pipeline,
     )
 
 

@@ -27,10 +27,12 @@ from __future__ import annotations
 import select
 import socket
 import threading
+import time
 from collections import deque
 
 from ..base import EngineResult
 from ..scheduler import assign_shards
+from .pipeline import interval_overlap
 from .protocol import recv_msg, send_msg
 
 
@@ -124,9 +126,17 @@ class Coordinator:
         self._warm_inflight = 0
         self._warm_completed = 0
         self._warm_failed = 0
+        self._warm_compile_completed = 0
+        self._warm_compile_failed = 0
         #: How long a queued warm task waits for a worker to register
         #: before it is counted as failed.
         self.warm_worker_timeout = 30.0
+        #: Cumulative compile/execute overlap of every pipelined batch
+        #: this coordinator ran (seconds).  Reported to clients inside
+        #: ``worker_stats`` so the session surfaces it under
+        #: ``remote_pipeline_overlap_seconds``, cumulative like every
+        #: other remote counter.
+        self._pipeline_overlap_total = 0.0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -300,10 +310,22 @@ class Coordinator:
 
         The client gets back the queue depth, not results: warming is
         fire-and-forget by design (poll ``warm_status`` to observe
-        drain).  The warmer thread starts lazily on first use."""
+        drain).  The warmer thread starts lazily on first use.
+
+        Pipelined clients also send ``components`` — fleet-deduplicated
+        canonical component compiles.  They are queued *ahead* of the
+        shape representatives (the serial warmer then compiles each
+        shared component exactly once before any representative
+        stitches it) and tracked under separate counters, so
+        ``completed``/``failed`` keep meaning representatives."""
         engine = message["engine"]
         tasks = message.get("tasks", [])
+        components = message.get("components", [])
         with self._warm_lock:
+            for component in components:
+                self._warm_queue.append(
+                    {**component, "engine": engine, "kind": "compile"}
+                )
             for task in tasks:
                 self._warm_queue.append({**task, "engine": engine})
             pending = len(self._warm_queue) + self._warm_inflight
@@ -313,7 +335,12 @@ class Coordinator:
             )
             self._warm_thread.start()
         self._warm_event.set()
-        return {"op": "queued", "queued": len(tasks), "pending": pending}
+        return {
+            "op": "queued",
+            "queued": len(tasks),
+            "components": len(components),
+            "pending": pending,
+        }
 
     def _warm_status(self) -> dict:
         with self._warm_lock:
@@ -324,6 +351,8 @@ class Coordinator:
                 "pending": len(self._warm_queue) + self._warm_inflight,
                 "completed": self._warm_completed,
                 "failed": self._warm_failed,
+                "component_completed": self._warm_compile_completed,
+                "component_failed": self._warm_compile_failed,
             }
 
     def _warm_loop(self) -> None:
@@ -353,14 +382,21 @@ class Coordinator:
             finally:
                 with self._warm_lock:
                     self._warm_inflight -= 1
-                    if ok:
+                    if task.get("kind") == "compile":
+                        if ok:
+                            self._warm_compile_completed += 1
+                        else:
+                            self._warm_compile_failed += 1
+                    elif ok:
                         self._warm_completed += 1
                     else:
                         self._warm_failed += 1
 
     def _warm_one(self, task: dict) -> bool:
         """Send one warm task to a worker chosen by shape affinity (so
-        the same shape keeps warming the same worker's in-memory cache);
+        the same shape keeps warming the same worker's in-memory cache;
+        component-compile tasks carry their owning shape's affinity and
+        land on the same worker its representative will);
         survivors are tried in order when a worker dies."""
         with self._cond:
             workers = [w for w in self._workers if w.alive]
@@ -370,21 +406,32 @@ class Coordinator:
             start = int(str(task["affinity"])[:8], 16) % len(workers)
         except (KeyError, ValueError):
             start = 0
+        if task.get("kind") == "compile":
+            request = {
+                "op": "compile",
+                "id": task["id"],
+                "key": task["key"],
+                "budget": task.get("budget"),
+            }
+            expected = "compiled"
+        else:
+            request = {
+                "op": "warm",
+                "id": task["id"],
+                "engine": task["engine"],
+                "circuit": task["circuit"],
+                "players": task["players"],
+                "options": task["options"],
+            }
+            expected = "warmed"
         for offset in range(len(workers)):
             worker = workers[(start + offset) % len(workers)]
             try:
-                reply = worker.request({
-                    "op": "warm",
-                    "id": task["id"],
-                    "engine": task["engine"],
-                    "circuit": task["circuit"],
-                    "players": task["players"],
-                    "options": task["options"],
-                })
+                reply = worker.request(request)
             except Exception:
                 self._discard_worker(worker)
                 continue
-            if reply.get("op") == "warmed":
+            if reply.get("op") == expected:
                 return bool(reply.get("ok"))
             return False  # out-of-protocol answer: don't retry elsewhere
         return False
@@ -399,36 +446,291 @@ class Coordinator:
         min_workers = max(1, int(message.get("min_workers") or 1))
         wait_timeout = message.get("wait_timeout", 60.0)
         batched = bool(message.get("batched"))
+        pipeline = message.get("pipeline")
+        component_timings: list[tuple[int, float]] = []
         with self._batch_lock:
             if self.wait_for_workers(min_workers, wait_timeout) < min_workers:
                 raise _BatchFailed(
                     f"{min_workers} worker(s) required, "
                     f"{self.n_workers} connected after {wait_timeout}s"
                 )
-            results: dict[int, EngineResult] = {}
-            pending = list(tasks)
-            # Redistribute until done or the fleet is gone: survivors
-            # absorb the shards of any worker that died mid-batch (they
-            # reload finished shapes from the shared store, or
-            # recompile without one).  Each failing round discards at
-            # least one dead worker, so this terminates.
-            while pending:
-                with self._cond:
-                    workers = [w for w in self._workers if w.alive]
-                if not workers:
-                    raise _BatchFailed(
-                        f"no live workers for {len(pending)} task(s)"
-                    )
-                pending = self._dispatch(
-                    engine, pending, workers, results, batched
+            if pipeline:
+                results, component_timings = self._run_pipelined(
+                    engine, tasks, batched, pipeline
                 )
+            else:
+                results = {}
+                pending = list(tasks)
+                # Redistribute until done or the fleet is gone:
+                # survivors absorb the shards of any worker that died
+                # mid-batch (they reload finished shapes from the
+                # shared store, or recompile without one).  Each
+                # failing round discards at least one dead worker, so
+                # this terminates.
+                while pending:
+                    with self._cond:
+                        workers = [w for w in self._workers if w.alive]
+                    if not workers:
+                        raise _BatchFailed(
+                            f"no live workers for {len(pending)} task(s)"
+                        )
+                    pending = self._dispatch(
+                        engine, pending, workers, results, batched
+                    )
             worker_stats, n_reporting = self._collect_stats()
+            # The overlap is a coordinator-side observation (workers
+            # cannot see each other's concurrency); fold the cumulative
+            # total into the aggregate so it rides the same
+            # latest-snapshot-wins path as every worker counter.
+            worker_stats["pipeline_overlap_seconds"] = (
+                worker_stats.get("pipeline_overlap_seconds", 0.0)
+                + self._pipeline_overlap_total
+            )
         return {
             "op": "results",
             "results": results,
             "worker_stats": worker_stats,
             "workers": n_reporting,
+            "component_timings": component_timings,
         }
+
+    def _run_pipelined(
+        self, engine: str, tasks: list[dict], batched: bool, pipeline: dict
+    ) -> tuple[dict[int, EngineResult], list[tuple[int, float]]]:
+        """Execute one batch as a compile/execute pipeline.
+
+        Instead of the two-phase warm-then-main schedule, every worker
+        runs a pull loop over one shared work state: pending component
+        compiles (client's critical-path order) first, then whatever
+        stitch or sibling-group units became ready — so ``compile`` and
+        ``task``/``task_group`` ops interleave per worker and execution
+        streams while other shapes are still compiling.  A shape's
+        representative (its *stitch* job) is gated on its components;
+        its siblings are gated on the representative, exactly the
+        invariants of the barrier schedule, minus the barrier.
+
+        Dead workers: the failing pull thread requeues its unit and
+        exits; the outer loop respawns pull threads over the survivors
+        while work remains and fails the batch only when no workers
+        are left (each failing round discards at least one worker).
+        Compile *failures* (budget) are not retried — the owning
+        shape's stitch job compiles inline and reports per answer,
+        like the barrier schedule.
+
+        Returns the results plus ``(component index, seconds)`` for
+        every compile actually performed, which the client feeds to
+        its cost model.
+        """
+        components = pipeline.get("components") or []
+        needs = pipeline.get("needs") or {}
+        budget = pipeline.get("budget")
+
+        reps: dict[str, dict] = {}
+        tails: dict[str, list[dict]] = {}
+        order: list[str] = []
+        for task in tasks:
+            affinity = task.get("affinity") or f"task:{task['id']}"
+            if affinity not in reps:
+                reps[affinity] = task
+                order.append(affinity)
+            else:
+                tails.setdefault(affinity, []).append(task)
+
+        waiting: dict[str, set[int]] = {}
+        dependents: dict[int, list[str]] = {}
+        for affinity in order:
+            indexes = needs.get(affinity)
+            if not indexes:
+                continue
+            remaining = {
+                index for index in indexes if 0 <= index < len(components)
+            }
+            if not remaining:
+                continue
+            waiting[affinity] = remaining
+            for index in sorted(remaining):
+                dependents.setdefault(index, []).append(affinity)
+
+        state = threading.Condition()
+        compile_queue: deque[int] = deque(
+            index for index in range(len(components)) if index in dependents
+        )
+        ready: deque[tuple] = deque()
+        for affinity in order:
+            if affinity not in waiting:
+                ready.append(("rep", affinity, False))
+        results: dict[int, EngineResult] = {}
+        compile_spans: list[tuple[float, float]] = []
+        exec_spans: list[tuple[float, float]] = []
+        component_timings: list[tuple[int, float]] = []
+        inflight = [0]  # units a pull thread holds outside the queues
+        compiling = [0]  # of which, component compiles
+        compile_cap = [1]  # rebound per round to live workers - 1
+
+        def tail_units(affinity: str) -> list[tuple]:
+            siblings = tails.get(affinity, [])
+            if not siblings:
+                return []
+            if batched and len(siblings) > 1:
+                return [("group", affinity, siblings)]
+            return [("single", affinity, task) for task in siblings]
+
+        def execute(worker: _WorkerLink, unit: tuple) -> None:
+            """One unit round-trip plus its completion bookkeeping."""
+            kind = unit[0]
+            started = time.perf_counter()
+            if kind == "compile":
+                index = unit[1]
+                reply = worker.request({
+                    "op": "compile",
+                    "id": f"component:{index}",
+                    "key": components[index]["key"],
+                    "budget": budget,
+                })
+                finished = time.perf_counter()
+                if reply.get("op") != "compiled":
+                    raise ConnectionError(
+                        f"worker {worker.peer} answered out of protocol"
+                    )
+                with state:
+                    compile_spans.append((started, finished))
+                    if reply.get("compiled"):
+                        component_timings.append(
+                            (index, float(reply.get("seconds") or 0.0))
+                        )
+                    for affinity in dependents.get(index, ()):
+                        remaining = waiting.get(affinity)
+                        if remaining is None:
+                            continue
+                        remaining.discard(index)
+                        if not remaining:
+                            del waiting[affinity]
+                            ready.append(("rep", affinity, True))
+                return
+            if kind == "rep" or kind == "single":
+                gated = unit[2] is True if kind == "rep" else False
+                task = reps[unit[1]] if kind == "rep" else unit[2]
+                request = {
+                    "op": "task",
+                    "id": task["id"],
+                    "engine": engine,
+                    "circuit": task["circuit"],
+                    "players": task["players"],
+                    "options": task["options"],
+                }
+                if gated:
+                    request["stitch"] = True
+                reply = worker.request(request)
+                finished = time.perf_counter()
+                if (reply.get("op") != "result"
+                        or reply.get("id") != task["id"]):
+                    raise ConnectionError(
+                        f"worker {worker.peer} answered out of protocol"
+                    )
+                with state:
+                    exec_spans.append((started, finished))
+                    results[task["id"]] = reply["result"]
+                    if kind == "rep":
+                        ready.extend(tail_units(unit[1]))
+                return
+            # kind == "group"
+            group = unit[2]
+            reply = worker.request({
+                "op": "task_group",
+                "engine": engine,
+                "tasks": [
+                    {key: task[key] for key in
+                     ("id", "circuit", "players", "options")}
+                    for task in group
+                ],
+            })
+            finished = time.perf_counter()
+            replies = reply.get("results")
+            if (reply.get("op") != "result_group"
+                    or not isinstance(replies, dict)
+                    or set(replies) != {task["id"] for task in group}):
+                raise ConnectionError(
+                    f"worker {worker.peer} answered out of protocol"
+                )
+            with state:
+                exec_spans.append((started, finished))
+                results.update(replies)
+
+        def pull(worker: _WorkerLink) -> None:
+            while True:
+                with state:
+                    while True:
+                        # Compiles first (critical-path order), but
+                        # never with the whole fleet at once while
+                        # execution-ready units exist — otherwise a
+                        # compile backlog longer than the fleet turns
+                        # the pipeline back into a barrier.
+                        if compile_queue and (
+                                not ready or compiling[0] < compile_cap[0]):
+                            unit = ("compile", compile_queue.popleft())
+                            break
+                        if ready:
+                            unit = ready.popleft()
+                            break
+                        if inflight[0] == 0:
+                            return  # no work left anywhere: batch done
+                        state.wait()
+                    inflight[0] += 1
+                    if unit[0] == "compile":
+                        compiling[0] += 1
+                try:
+                    execute(worker, unit)
+                except Exception:
+                    # Requeue the unit for a survivor, then drop the
+                    # worker.  Order matters for the lock graph: the
+                    # state condition is never held across
+                    # _discard_worker (which takes self._cond).
+                    with state:
+                        if unit[0] == "compile":
+                            compile_queue.appendleft(unit[1])
+                            compiling[0] -= 1
+                        else:
+                            ready.appendleft(unit)
+                        inflight[0] -= 1
+                        state.notify_all()
+                    self._discard_worker(worker)
+                    return
+                with state:
+                    inflight[0] -= 1
+                    if unit[0] == "compile":
+                        compiling[0] -= 1
+                    state.notify_all()
+
+        while True:
+            with state:
+                if not compile_queue and not ready and inflight[0] == 0:
+                    break
+            with self._cond:
+                workers = [w for w in self._workers if w.alive]
+            if not workers:
+                with state:
+                    remaining = (len(compile_queue) + len(ready)
+                                 + inflight[0])
+                raise _BatchFailed(
+                    f"no live workers for {remaining} pipelined unit(s)"
+                )
+            with state:
+                compile_cap[0] = max(1, len(workers) - 1)
+            threads = [
+                threading.Thread(target=pull, args=(worker,), daemon=True)
+                for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        # Mutated under _batch_lock only (one batch at a time), so no
+        # extra lock is needed here.
+        self._pipeline_overlap_total += interval_overlap(
+            compile_spans, exec_spans
+        )
+        return results, component_timings
 
     def _dispatch(
         self,
@@ -519,9 +821,13 @@ class Coordinator:
                 return
             done += len(group)
 
-    def _collect_stats(self) -> tuple[dict[str, int], int]:
-        """Sum every live worker's cache counters (best-effort)."""
-        totals: dict[str, int] = {}
+    def _collect_stats(self) -> tuple[dict[str, float], int]:
+        """Sum every live worker's cache counters (best-effort).
+
+        Values are added as-is: integer counters stay integers, float
+        counters (``pipeline_overlap_seconds``) keep their fractional
+        part instead of being truncated."""
+        totals: dict[str, float] = {}
         reporting = 0
         with self._cond:
             workers = [w for w in self._workers if w.alive]
@@ -534,7 +840,7 @@ class Coordinator:
                 continue
             reporting += 1
             for key, value in stats.items():
-                totals[key] = totals.get(key, 0) + int(value)
+                totals[key] = totals.get(key, 0) + value
         return totals, reporting
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

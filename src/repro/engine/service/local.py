@@ -12,12 +12,14 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from ...circuits.circuit import Circuit
+from ...compiler.knowledge import compile_component
 from ..base import EngineOptions, EngineResult
 from ..cache import ArtifactCache
 from ..registry import get_engine
 from ..scheduler import BatchPlan, Job
 from ..store import PersistentArtifactStore
 from .base import Transport
+from .pipeline import PipelineOutcome, run_pipelined, timed_compile
 
 #: Per-process artifact cache of pool workers, keyed by store directory
 #: (None = no persistent store).  Lives for the worker's lifetime so
@@ -70,12 +72,48 @@ def _process_explain_group(
     return get_engine(engine_name).explain_batch(prepared)
 
 
+def _process_compile_component(
+    key, store_dir: str | None, budget
+) -> tuple[bool, float]:
+    """Top-level body of one pipelined component-compile task.
+
+    Runs in a pool worker over the shared store: a published component
+    lands in the ``.comp`` store tier, where every other worker's (and
+    the parent's) stitch jobs find it.  Returns ``(compiled,
+    seconds)``."""
+    cache = _worker_cache(store_dir)
+    return timed_compile(
+        lambda: compile_component(key, cache.component_memo(), budget=budget)
+    )
+
+
 def _explain_group(engine, jobs: list[Job]) -> list[EngineResult]:
     """In-process body of one batched group: engine.explain_batch over
     the group's jobs, results in job order."""
     return engine.explain_batch(
         [(job.circuit, job.players, job.options) for job in jobs]
     )
+
+
+def _plan_cache(plan: BatchPlan) -> ArtifactCache | None:
+    """The session cache a plan's jobs report through, if any."""
+    for job in plan.jobs:
+        handle = job.options.artifacts
+        if handle is not None:
+            return handle.cache
+        if job.options.cache is not None:
+            return job.options.cache
+    return None
+
+
+def _record_pipeline(plan: BatchPlan, outcome: PipelineOutcome) -> None:
+    cache = _plan_cache(plan)
+    if cache is not None:
+        cache.record_pipeline(
+            overlap_seconds=outcome.overlap_seconds,
+            compiles=outcome.compiles,
+            stitches=outcome.stitches,
+        )
 
 
 def _collect(
@@ -128,6 +166,35 @@ class InProcessTransport(Transport):
     def run_batch(self, plan: BatchPlan) -> dict[int, EngineResult]:
         engine = get_engine(plan.engine)
         pool = self._ensure_pool()
+        if plan.pipeline is not None:
+            cache = _plan_cache(plan)
+            if cache is not None:
+                memo = cache.component_memo()
+                budget = (
+                    plan.warm_wave[0].options.compilation_budget()
+                    if plan.warm_wave else None
+                )
+                outcome = run_pipelined(
+                    plan,
+                    submit_compile=lambda component: pool.submit(
+                        timed_compile,
+                        lambda key=component.key: compile_component(
+                            key, memo, budget=budget
+                        ),
+                    ),
+                    submit_job=lambda job: pool.submit(
+                        engine.explain_circuit,
+                        job.circuit, job.players, job.options,
+                    ),
+                    submit_group=lambda group: pool.submit(
+                        _explain_group, engine, group
+                    ),
+                    # Leave one pool slot for execution-ready work so
+                    # the compile backlog cannot monopolize the pool.
+                    max_inflight_compiles=pool._max_workers - 1,
+                )
+                _record_pipeline(plan, outcome)
+                return outcome.outcomes
         outcomes: dict[int, EngineResult] = {}
         # Warm wave first, then the rest: the barrier guarantees every
         # shape's representative populated the cache before its
@@ -192,6 +259,50 @@ class ProcessPoolTransport(Transport):
 
     def run_batch(self, plan: BatchPlan) -> dict[int, EngineResult]:
         engine = get_engine(plan.engine)
+        if plan.pipeline is not None and self.store_dir is not None:
+            # Pipelined cold batch: component compiles, stitches, and
+            # sibling groups all run in pool workers over the shared
+            # store (the store is what propagates compiled artifacts
+            # between workers, hence the store_dir guard above).
+            pool = self._ensure_pool()
+            budget = (
+                plan.warm_wave[0].options.compilation_budget()
+                if plan.warm_wave else None
+            )
+
+            def submit_job(job: Job) -> Future:
+                portable = job.portable()
+                return pool.submit(
+                    _process_explain, plan.engine, portable.circuit,
+                    portable.players, portable.options, self.store_dir,
+                )
+
+            def submit_group(group: list[Job]) -> Future:
+                portables = [job.portable() for job in group]
+                return pool.submit(
+                    _process_explain_group, plan.engine,
+                    [(p.circuit, p.players, p.options) for p in portables],
+                    self.store_dir,
+                )
+
+            try:
+                outcome = run_pipelined(
+                    plan,
+                    submit_compile=lambda component: pool.submit(
+                        _process_compile_component, component.key,
+                        self.store_dir, budget,
+                    ),
+                    submit_job=submit_job,
+                    submit_group=submit_group,
+                    # Leave one worker for execution-ready work so the
+                    # compile backlog cannot monopolize the pool.
+                    max_inflight_compiles=pool._max_workers - 1,
+                )
+            except BrokenProcessPool:
+                self._pool = None
+                raise
+            _record_pipeline(plan, outcome)
+            return outcome.outcomes
         outcomes: dict[int, EngineResult] = {}
         for job in plan.warm_wave:
             outcomes[job.index] = engine.explain_circuit(

@@ -32,6 +32,33 @@ def _task_payload(job: Job) -> dict:
     }
 
 
+def _pipeline_payload(plan: BatchPlan) -> dict | None:
+    """The wire form of the compile/execute pipeline DAG, or ``None``
+    for the classic warm-wave-barrier schedule.  Only plain data
+    crosses the wire: canonical component keys (tuples of literal
+    tuples), cost estimates, and affinity digests — never the
+    process-local cost model."""
+    pipeline = plan.pipeline
+    if pipeline is None:
+        return None
+    budget = (
+        plan.warm_wave[0].options.compilation_budget()
+        if plan.warm_wave else None
+    )
+    return {
+        "components": [
+            {"key": component.key, "cost": component.cost,
+             "shapes": list(component.shapes)}
+            for component in pipeline.components
+        ],
+        "needs": {
+            affinity: list(indexes)
+            for affinity, indexes in pipeline.needs.items()
+        },
+        "budget": budget,
+    }
+
+
 class SocketTransport(Transport):
     """Submits batches to a :class:`~.coordinator.Coordinator`.
 
@@ -90,6 +117,10 @@ class SocketTransport(Transport):
             # Batched plans let workers execute a same-shape run as one
             # task_group call instead of one round-trip per answer.
             "batched": plan.batched,
+            # Pipelined plans replace the coordinator's two-phase
+            # warm-then-main schedule with interleaved compile /
+            # stitch / task_group ops per worker.
+            "pipeline": _pipeline_payload(plan),
         })
         if reply.get("op") != "results":
             raise TransportError(
@@ -99,6 +130,16 @@ class SocketTransport(Transport):
         # by design); the session surfaces them under remote_* keys.
         self.remote_stats = dict(reply.get("worker_stats", {}))
         self.remote_workers = int(reply.get("workers", 0))
+        # Calibrate the session's compile cost model with the fleet's
+        # measured component-compile timings, so the next cold batch is
+        # scheduled critical-path-first with learned estimates.
+        pipeline = plan.pipeline
+        if pipeline is not None and pipeline.cost_model is not None:
+            for index, seconds in reply.get("component_timings", ()):
+                if 0 <= index < len(pipeline.components):
+                    pipeline.cost_model.observe(
+                        pipeline.components[index].key, seconds
+                    )
         return dict(reply["results"])
 
     def ping(self) -> int:
@@ -118,12 +159,35 @@ class SocketTransport(Transport):
         number of tasks queued.  Fire-and-forget: workers compile the
         shapes into the fleet's shared store off the request path; poll
         :meth:`warm_status` or block on :meth:`wait_warm` to observe the
-        drain."""
+        drain.
+
+        A pipelined plan additionally queues its fleet-deduplicated
+        component compiles *ahead* of the representatives, so shared
+        components compile exactly once across the fleet instead of
+        redundantly inside every concurrently-warming representative;
+        the returned count still covers representatives only."""
         tasks = [_task_payload(job) for job in plan.warm_wave]
         if not tasks:
             return 0
+        pipeline = _pipeline_payload(plan)
+        components = []
+        if pipeline is not None:
+            components = [
+                {
+                    "id": f"component:{index}",
+                    "key": component["key"],
+                    # Place each compile where its first owning shape's
+                    # representative will land, so that worker stitches
+                    # from its own memory.
+                    "affinity": (component["shapes"][0]
+                                 if component["shapes"] else f"c{index}"),
+                    "budget": pipeline["budget"],
+                }
+                for index, component in enumerate(pipeline["components"])
+            ]
         reply = self._roundtrip({
             "op": "warm", "engine": plan.engine, "tasks": tasks,
+            "components": components,
         })
         if reply.get("op") != "queued":
             raise TransportError(

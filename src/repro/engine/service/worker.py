@@ -16,8 +16,10 @@ explaining one circuit is returned as an ``EngineResult`` with
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable
 
+from ...compiler.knowledge import compile_component
 from ..base import EngineResult
 from ..cache import ArtifactCache
 from ..registry import get_engine
@@ -79,6 +81,16 @@ def run_worker(
                     "ok": _warm(cache, message),
                 })
                 executed += 1
+            elif op == "compile":
+                compiled, seconds, ok = _compile(cache, message)
+                send_msg(sock, {
+                    "op": "compiled",
+                    "id": message["id"],
+                    "ok": ok,
+                    "compiled": compiled,
+                    "seconds": seconds,
+                })
+                executed += 1
             elif op == "stats":
                 send_msg(sock, {"op": "stats", "stats": cache.stats_dict()})
             else:
@@ -112,6 +124,32 @@ def _warm(cache: ArtifactCache, message: dict) -> bool:
         return True
     except Exception:
         return False
+
+
+def _compile(cache: ArtifactCache, message: dict) -> tuple[bool, float, bool]:
+    """One pipelined component-compile op: ensure the canonical
+    component ``message["key"]`` is in this worker's memo (and, with a
+    shared store, in the fleet's ``.comp`` tier).
+
+    Returns ``(compiled, seconds, ok)``: ``compiled`` is ``False`` on a
+    memo/store hit — the fleet-wide compile-once case — and ``ok`` is
+    ``False`` on a failure (budget, corrupt input), which never kills
+    the worker: the owning shape's stitch job retries inline and
+    reports the real error per answer.
+    """
+    started = time.perf_counter()
+    try:
+        compiled = compile_component(
+            message["key"],
+            cache.component_memo(),
+            budget=message.get("budget"),
+        )
+        seconds = time.perf_counter() - started
+        if compiled:
+            cache.record_pipeline(compiles=1)
+        return compiled, seconds, True
+    except Exception:
+        return False, time.perf_counter() - started, False
 
 
 def _execute_group(cache: ArtifactCache, message: dict) -> dict:
@@ -152,6 +190,10 @@ def _execute(cache: ArtifactCache, message: dict) -> EngineResult:
     try:
         engine = get_engine(engine_name)
         options = message["options"].with_(cache=cache)
+        if message.get("stitch"):
+            # A pipelined shape representative: its components are
+            # already compiled, so this task is pure stitching.
+            cache.record_pipeline(stitches=1)
         return engine.explain_circuit(
             message["circuit"], message["players"], options
         )

@@ -49,10 +49,16 @@ from ..core.numerics import coefficients_cache_info
 from ..core.pipeline import QueryLike, to_plan
 from ..db.database import Database
 from ..db.evaluate import lineage
+from ..compiler.knowledge import compile_component
 from .base import EngineOptions, EngineResult, derive_answer_seed
 from .cache import ArtifactCache
 from .registry import get_engine
-from .scheduler import Job, plan_batch
+from .scheduler import (
+    CompileCostModel,
+    Job,
+    artifact_component_planner,
+    plan_batch,
+)
 from .service import (
     InProcessTransport,
     ProcessPoolTransport,
@@ -128,6 +134,10 @@ class ExplainSession:
         self.executor = executor
         self.coordinator = coordinator
         self.min_workers = min_workers
+        #: One calibrating compile cost model per session: the first
+        #: cold batch schedules with structural estimates, later ones
+        #: with scales learned from recorded compile timings.
+        self.cost_model = CompileCostModel(self.options.pipeline_cost_scale)
         self._transports: dict[str, Transport] = {}
         self._closed = False
         self._answers_explained = 0
@@ -234,6 +244,8 @@ class ExplainSession:
             self.engine.name, jobs, self.engine.uses_cache,
             batch=(self.engine.supports_batch
                    and self.options.batch_execution),
+            component_planner=self._component_planner(executor),
+            cost_model=self.cost_model,
         )
         transport = self._transport(executor)
         outcomes = transport.run_batch(plan)
@@ -270,9 +282,12 @@ class ExplainSession:
         :meth:`explain_many` of the same query then compiles nothing.
 
         Returns counters: ``shapes`` (distinct shapes planned),
-        ``queued``, ``completed``, ``failed``, and ``pending`` (tasks
+        ``queued``, ``completed``, ``failed``, ``pending`` (tasks
         still in flight — nonzero only with ``wait=False`` or on
-        timeout).
+        timeout), and ``component_tasks`` (distinct canonical
+        components the fleet-deduplicated one-pass compile phase
+        covered before any representative ran — zero when every shape
+        is warm or too small to memoize).
         """
         if self._closed:
             raise RuntimeError("session is closed")
@@ -282,11 +297,18 @@ class ExplainSession:
                 f"unknown executor {executor!r}; choose from {EXECUTORS}"
             )
         jobs = self._build_jobs(query, answers)
-        plan = plan_batch(self.engine.name, jobs, self.engine.uses_cache)
+        plan = plan_batch(
+            self.engine.name, jobs, self.engine.uses_cache,
+            component_planner=self._component_planner(executor),
+            cost_model=self.cost_model,
+        )
         if not plan.deduplicated:
             # Sampling engines never compile: nothing to warm.
             return {"shapes": 0, "queued": 0, "completed": 0,
-                    "failed": 0, "pending": 0}
+                    "failed": 0, "pending": 0, "component_tasks": 0}
+        component_tasks = (
+            len(plan.pipeline.components) if plan.pipeline is not None else 0
+        )
         if executor == "socket":
             transport = self._transport("socket")
             queued = transport.warm_batch(plan)
@@ -300,11 +322,39 @@ class ExplainSession:
                 "completed": int(status.get("completed", 0)),
                 "failed": int(status.get("failed", 0)),
                 "pending": int(status.get("pending", 0)),
+                "component_tasks": component_tasks,
             }
-        # Local executors: compile each representative through the
-        # session cache (with a store attached this also pre-warms
+        # Local executors: one-pass component phase first — each
+        # distinct canonical component across *all* cold shapes
+        # compiles exactly once (in parallel under ``compile_jobs``)
+        # instead of redundantly inside each representative — then
+        # each representative, now pure stitching, through the session
+        # cache (with a store attached this also pre-warms
         # process-pool workers, which reload from the same directory).
         budget = self.options.compilation_budget()
+        compiles = 0
+        if plan.pipeline is not None:
+            memo = self.cache.component_memo()
+
+            def warm_component(key) -> bool:
+                try:
+                    return compile_component(key, memo, budget=budget)
+                except Exception:
+                    # The owning representative retries inline below
+                    # and reports the real failure.
+                    return False
+
+            keys = [component.key for component in plan.pipeline.components]
+            jobs_width = self.options.compile_jobs or 1
+            if jobs_width > 1 and len(keys) > 1:
+                from concurrent.futures import ThreadPoolExecutor
+
+                with ThreadPoolExecutor(
+                    max_workers=min(jobs_width, len(keys))
+                ) as pool:
+                    compiles = sum(pool.map(warm_component, keys))
+            else:
+                compiles = sum(warm_component(key) for key in keys)
         completed = failed = 0
         for job in plan.warm_wave:
             handle = job.options.artifacts
@@ -316,8 +366,32 @@ class ExplainSession:
                 completed += 1
             except Exception:
                 failed += 1
+        if plan.pipeline is not None:
+            self.cache.record_pipeline(compiles=compiles)
         return {"shapes": plan.n_shapes, "queued": len(plan.warm_wave),
-                "completed": completed, "failed": failed, "pending": 0}
+                "completed": completed, "failed": failed, "pending": 0,
+                "component_tasks": component_tasks}
+
+    def _component_planner(self, executor: str):
+        """The pipeline's component planner, or ``None`` when this
+        batch must run the classic warm-wave-barrier schedule.
+
+        Pipelining is on for cache-using engines unless the session
+        disabled it (``options.pipeline_execution``); the ``"process"``
+        executor additionally needs a persistent store — without one,
+        pool workers could not see the parent's compiled components.
+        Warm batches cost nothing extra: the planner probes each
+        shape's artifacts and a batch with no cold shape gets
+        ``plan.pipeline = None``.
+        """
+        if not self.engine.uses_cache:
+            return None
+        if not self.options.pipeline_execution:
+            return None
+        if executor == "process" and self.cache.store is None:
+            return None
+        kind = "tape" if self.options.mode == "derivative" else "dnnf"
+        return artifact_component_planner(kind)
 
     def _build_jobs(
         self, query: QueryLike, answers: Sequence[tuple] | None

@@ -167,6 +167,67 @@ class TestCli:
         # cnf + dnnf + tape plus the shape's memoized .comp sub-circuits
         assert payload["store_artifacts"] >= 3
 
+    def test_bench_no_pipeline_matches_and_skips_the_pass(self, capsys):
+        import json
+
+        assert main(["bench", "--workload", "flights", "--json"]) == 0
+        piped = json.loads(capsys.readouterr().out)
+        assert main(["bench", "--workload", "flights", "--no-pipeline",
+                     "--json"]) == 0
+        barrier = json.loads(capsys.readouterr().out)
+        # identical Fractions either way; only the pipelined run
+        # performs the one-pass component phase
+        assert piped["fractions_digest"] == barrier["fractions_digest"]
+        assert barrier["stats"]["component_pass_compiles"] == 0
+        assert barrier["stats"]["stitch_jobs"] == 0
+
+    def test_bench_profile_reports_pipeline_stages(self, capsys):
+        assert main(["bench", "--workload", "flights", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline:" in out
+        assert "compile/execute overlap" in out
+
+    def test_bench_compare_identical_runs(self, tmp_path, capsys):
+        import json
+
+        for name in ("a", "b"):
+            assert main(["bench", "--workload", "flights", "--json"]) == 0
+            (tmp_path / f"{name}.json").write_text(capsys.readouterr().out)
+        assert main(["bench", "compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "fractions parity: identical" in out
+        assert main(["bench", "compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical_fractions"] is True
+        assert payload["outputs_match"] is True
+
+    def test_bench_compare_flags_divergent_fractions(self, tmp_path, capsys):
+        import json
+
+        assert main(["bench", "--workload", "flights", "--json"]) == 0
+        text = capsys.readouterr().out
+        (tmp_path / "a.json").write_text(text)
+        tampered = json.loads(text)
+        tampered["fractions_digest"] = "0" * 64
+        (tmp_path / "b.json").write_text(json.dumps(tampered))
+        assert main(["bench", "compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_bench_compare_unreadable_file(self, tmp_path, capsys):
+        assert main(["bench", "compare", str(tmp_path / "missing.json"),
+                     str(tmp_path / "also-missing.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_warm_reports_component_tasks(self, tmp_path, capsys):
+        store = str(tmp_path / "warmstore")
+        assert main(["cache", "warm", store, "--workload", "flights"]) == 0
+        out = capsys.readouterr().out
+        assert "one-pass component phase: 1 distinct components" in out
+
 
 class TestCliValidation:
     """Bad numeric flags die at argparse level (exit 2, a usage line)
@@ -280,6 +341,8 @@ class TestCliValidation:
             "tape_lower_seconds", "kernel_exec_seconds",
             "batch_exec_seconds", "tier_float64_seconds",
             "tier_int64_seconds", "tier_crt_seconds",
+            "pipeline_overlap_seconds", "component_pass_compiles",
+            "stitch_jobs",
         }
         assert all(value >= 0 for value in profile.values())
         # warm repeats serve the tape from cache: lowering stays cheaper

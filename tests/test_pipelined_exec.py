@@ -1,0 +1,388 @@
+"""Tests for pipelined cold-batch execution (PR 9).
+
+Covers the scheduler's dependency-DAG mode (fleet-wide component
+dedupe, critical-path-first ordering), the calibrating compile cost
+model, the union-interval overlap measure behind
+``pipeline_overlap_seconds``, the streaming compile/execute harness on
+the thread and process transports (byte-identical Fractions vs the
+warm-wave-barrier schedule), the session-level knobs
+(``pipeline_execution``, ``pipeline_cost_scale``), and the one-pass
+component phase of ``warm_ahead``.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import (
+    ArtifactCache,
+    EngineOptions,
+    ExplainSession,
+    PersistentArtifactStore,
+)
+from repro.engine.scheduler import (
+    CompileCostModel,
+    Job,
+    artifact_component_planner,
+    estimate_compile_cost,
+    plan_batch,
+    plan_pipeline,
+)
+from repro.engine.service.local import InProcessTransport, ProcessPoolTransport
+from repro.engine.service.pipeline import interval_overlap, merge_intervals
+from repro.workloads.synthetic import shared_block_circuits
+
+from .test_store import JOIN_QUERY, join_database
+
+#: Canonical-component-shaped keys (tuples of literal tuples) with
+#: strictly decreasing structural cost: BIG > MID > SMALL.
+BIG = ((1, 2, 3), (-1, 4), (2, 5), (-3, 6))
+MID = ((1, 2), (-2, 3), (3, 4))
+SMALL = ((7, 8),)
+
+
+def _jobs_with_planner(spec):
+    """Fake warm-wave jobs (one per affinity) plus a planner that
+    returns each shape's component keys from ``spec``."""
+    options = EngineOptions()
+    jobs = [
+        Job(index, (index,), None, [], options, affinity)
+        for index, affinity in enumerate(spec)
+    ]
+    return jobs, lambda job: spec[job.signature]
+
+
+def values_of(results):
+    return {key: result.values for key, result in results.items()}
+
+
+def build_jobs(circuits, cache, options=None):
+    """Hand-built session jobs: one answer per circuit, opened against
+    ``cache`` (mirrors ExplainSession._build_jobs)."""
+    base = (options if options is not None else EngineOptions()).with_(
+        cache=cache
+    )
+    jobs = []
+    for index, circuit in enumerate(circuits):
+        handle = cache.open(circuit)
+        jobs.append(Job(
+            index, (index,), circuit, sorted(handle.labels),
+            base.with_(artifacts=handle), handle.signature,
+        ))
+    return jobs
+
+
+class TestPlanPipeline:
+    def test_components_dedupe_across_shapes(self):
+        jobs, planner = _jobs_with_planner({
+            "s1": [BIG, SMALL], "s2": [SMALL, MID],
+        })
+        pipeline = plan_pipeline(jobs, planner)
+        keys = [component.key for component in pipeline.components]
+        assert sorted(map(str, keys)) == sorted(map(str, [BIG, MID, SMALL]))
+        # the shared component carries both owning shapes
+        shared = next(c for c in pipeline.components if c.key == SMALL)
+        assert set(shared.shapes) == {"s1", "s2"}
+
+    def test_critical_path_first_ordering(self):
+        # s1 owns the costliest total (BIG + MID); its components go
+        # first, largest first; the cheap shape's component comes last.
+        jobs, planner = _jobs_with_planner({
+            "s2": [SMALL], "s1": [BIG, MID],
+        })
+        pipeline = plan_pipeline(jobs, planner)
+        assert [c.key for c in pipeline.components] == [BIG, MID, SMALL]
+        assert pipeline.needs["s1"] == (0, 1)
+        assert pipeline.needs["s2"] == (2,)
+
+    def test_shared_component_takes_the_max_owner_cost(self):
+        # SMALL is owned by the expensive shape too, so it ranks with
+        # that shape's critical path, ahead of the lone MID shape.
+        jobs, planner = _jobs_with_planner({
+            "s1": [BIG, SMALL], "s2": [MID], "s3": [SMALL],
+        })
+        pipeline = plan_pipeline(jobs, planner)
+        assert [c.key for c in pipeline.components] == [BIG, SMALL, MID]
+
+    def test_no_components_means_no_pipeline(self):
+        jobs, planner = _jobs_with_planner({"s1": [], "s2": None})
+        assert plan_pipeline(jobs, planner) is None
+
+    def test_needs_are_sorted_index_tuples(self):
+        jobs, planner = _jobs_with_planner({"s1": [SMALL, BIG, MID]})
+        pipeline = plan_pipeline(jobs, planner)
+        assert pipeline.needs["s1"] == (0, 1, 2)
+
+    def test_estimates_rank_by_size(self):
+        assert estimate_compile_cost(BIG) > estimate_compile_cost(MID) \
+            > estimate_compile_cost(SMALL) > 0
+
+    def test_plan_batch_threads_the_pipeline_through(self):
+        jobs, planner = _jobs_with_planner({"s1": [BIG]})
+        with_pipeline = plan_batch(
+            "exact", jobs, True, component_planner=planner
+        )
+        assert with_pipeline.pipeline is not None
+        assert plan_batch("exact", jobs, True).pipeline is None
+
+
+class TestCompileCostModel:
+    def test_uncalibrated_estimate_is_the_raw_score(self):
+        model = CompileCostModel()
+        assert model.estimate(BIG) == estimate_compile_cost(BIG)
+
+    def test_first_observation_replaces_the_scale(self):
+        model = CompileCostModel()
+        raw = estimate_compile_cost(BIG)
+        model.observe(BIG, 2.0 * raw)
+        assert model.scale == pytest.approx(2.0)
+        assert model.estimate(MID) == pytest.approx(
+            2.0 * estimate_compile_cost(MID)
+        )
+
+    def test_later_observations_are_ewma_blended(self):
+        model = CompileCostModel()
+        raw = estimate_compile_cost(BIG)
+        model.observe(BIG, 1.0 * raw)
+        model.observe(BIG, 2.0 * raw)
+        expected = 1.0 + CompileCostModel.ALPHA * (2.0 - 1.0)
+        assert model.scale == pytest.approx(expected)
+
+    def test_explicit_scale_starts_calibrated(self):
+        model = CompileCostModel(scale=5.0)
+        assert model.scale == 5.0
+        raw = estimate_compile_cost(SMALL)
+        model.observe(SMALL, 1.0 * raw)
+        assert model.scale == pytest.approx(
+            5.0 + CompileCostModel.ALPHA * (1.0 - 5.0)
+        )
+
+    def test_degenerate_observations_are_ignored(self):
+        model = CompileCostModel()
+        model.observe((), 1.0)       # zero raw score
+        model.observe(BIG, -1.0)     # negative timing
+        assert model.scale == 1.0
+
+
+class TestIntervalOverlap:
+    def test_merge_unions_and_drops_empty_spans(self):
+        assert merge_intervals([(1.0, 3.0), (0.0, 2.0), (4.0, 4.0),
+                                (5.0, 6.0)]) == [(0.0, 3.0), (5.0, 6.0)]
+
+    def test_overlap_is_the_union_intersection(self):
+        assert interval_overlap([(0.0, 10.0)],
+                                [(2.0, 3.0), (4.0, 6.0)]) == 3.0
+        # overlapping spans on one side must not double count
+        assert interval_overlap([(0.0, 2.0), (1.0, 4.0)],
+                                [(3.0, 5.0)]) == 1.0
+
+    def test_disjoint_sides_overlap_zero(self):
+        assert interval_overlap([(0.0, 1.0)], [(2.0, 3.0)]) == 0.0
+        assert interval_overlap([], [(0.0, 1.0)]) == 0.0
+
+
+class TestThreadPipelinedExecution:
+    def test_shared_block_family_matches_the_barrier_schedule(self):
+        # The headline parity: the fig7-style shared-block family under
+        # the compile/execute pipeline returns Fractions byte-identical
+        # to the classic warm-wave barrier, while compiling each of the
+        # family's distinct components exactly once fleet-wide.
+        circuits = shared_block_circuits(4)
+
+        barrier_cache = ArtifactCache()
+        barrier_plan = plan_batch(
+            "exact", build_jobs(circuits, barrier_cache), True, batch=True,
+        )
+        assert barrier_plan.pipeline is None
+        transport = InProcessTransport(4)
+        try:
+            baseline = transport.run_batch(barrier_plan)
+        finally:
+            transport.close()
+
+        cache = ArtifactCache()
+        plan = plan_batch(
+            "exact", build_jobs(circuits, cache), True, batch=True,
+            component_planner=artifact_component_planner("tape"),
+        )
+        pipeline = plan.pipeline
+        assert pipeline is not None
+        owned = sum(len(indexes) for indexes in pipeline.needs.values())
+        distinct = len(pipeline.components)
+        assert distinct < owned  # the fleet-wide dedupe bought something
+        transport = InProcessTransport(4)
+        try:
+            results = transport.run_batch(plan)
+        finally:
+            transport.close()
+
+        assert values_of(results) == values_of(baseline)
+        for result in results.values():
+            assert result.ok
+            assert all(type(v) is Fraction for v in result.values.values())
+        stats = cache.stats
+        assert stats.component_pass_compiles == distinct
+        assert stats.component_compilations == distinct
+        assert stats.stitch_jobs == len(circuits)
+        assert stats.pipeline_overlap_seconds >= 0.0
+        assert stats.compile_calls == len(circuits)
+
+    def test_ungated_shapes_run_alongside_gated_ones(self):
+        # A mixed batch: one shape too small to plan components rides
+        # the same pipelined batch as a gated shared-block shape.
+        small_db_jobs = None  # built below from a tiny join
+        circuits = shared_block_circuits(2, n_blocks=2)
+        cache = ArtifactCache()
+        jobs = build_jobs(circuits, cache)
+        with ExplainSession(join_database(1, 2), method="exact",
+                            cache=cache) as session:
+            small_db_jobs = session._build_jobs(JOIN_QUERY, None)
+        for offset, job in enumerate(small_db_jobs):
+            job.index = len(jobs) + offset
+            jobs.append(job)
+        plan = plan_batch(
+            "exact", jobs, True, batch=True,
+            component_planner=artifact_component_planner("tape"),
+        )
+        assert plan.pipeline is not None
+        # the tiny join shape plans no components: it is ungated
+        gated = set(plan.pipeline.needs)
+        assert len(gated) < plan.n_shapes
+        transport = InProcessTransport(4)
+        try:
+            results = transport.run_batch(plan)
+        finally:
+            transport.close()
+        assert len(results) == len(jobs)
+        assert all(result.ok for result in results.values())
+
+
+class TestProcessPipelinedExecution:
+    def test_parity_over_a_shared_store(self, tmp_path):
+        circuits = shared_block_circuits(3, n_blocks=3)
+
+        barrier_cache = ArtifactCache()
+        barrier_plan = plan_batch(
+            "exact", build_jobs(circuits, barrier_cache), True, batch=True,
+        )
+        transport = InProcessTransport(3)
+        try:
+            baseline = transport.run_batch(barrier_plan)
+        finally:
+            transport.close()
+
+        store = PersistentArtifactStore(str(tmp_path / "store"))
+        cache = ArtifactCache(store=store)
+        plan = plan_batch(
+            "exact", build_jobs(circuits, cache), True, batch=True,
+            component_planner=artifact_component_planner("tape"),
+        )
+        assert plan.pipeline is not None
+        transport = ProcessPoolTransport(2, str(store.directory))
+        try:
+            results = transport.run_batch(plan)
+        finally:
+            transport.close()
+        assert values_of(results) == values_of(baseline)
+        for result in results.values():
+            assert all(type(v) is Fraction for v in result.values.values())
+        # pool workers did the compiles; the parent records the pass
+        stats = cache.stats
+        assert stats.component_pass_compiles == len(plan.pipeline.components)
+        assert stats.stitch_jobs == len(circuits)
+
+
+class TestSessionPipelineKnobs:
+    def test_pipeline_off_matches_and_reports_no_pipeline_stats(self):
+        db = join_database(6, 6)
+        baseline = ExplainSession(db, method="exact").explain_many(JOIN_QUERY)
+        with ExplainSession(
+            db, method="exact",
+            options=EngineOptions(pipeline_execution=False),
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert values_of(results) == values_of(baseline)
+        assert stats["component_pass_compiles"] == 0
+        assert stats["stitch_jobs"] == 0
+        assert stats["pipeline_overlap_seconds"] == 0.0
+
+    def test_pipelined_session_reports_counters(self):
+        db = join_database(6, 6)
+        with ExplainSession(db, method="exact") as session:
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert all(result.ok for result in results.values())
+        # one shape, one >=8-var component: one pass compile, one stitch
+        assert stats["component_pass_compiles"] == 1
+        assert stats["stitch_jobs"] == 1
+        assert stats["compile_calls"] == 1
+
+    def test_cost_scale_knob_seeds_the_model(self):
+        with ExplainSession(
+            join_database(2, 2), method="exact",
+            options=EngineOptions(pipeline_cost_scale=4.0),
+        ) as session:
+            assert session.cost_model.scale == 4.0
+
+    def test_process_executor_without_store_falls_back(self):
+        # No shared store: pool workers could not see the parent's
+        # components, so the session must not plan a pipeline.
+        db = join_database(4, 6)
+        with ExplainSession(db, method="exact", max_workers=2) as session:
+            assert session._component_planner("process") is None
+            assert session._component_planner("thread") is not None
+
+    def test_second_batch_is_warm_and_unpipelined(self):
+        db = join_database(6, 6)
+        with ExplainSession(db, method="exact") as session:
+            first = session.explain_many(JOIN_QUERY)
+            second = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert values_of(first) == values_of(second)
+        # the warm probe kept the second batch off the pipeline: no
+        # extra pass compiles, no extra stitches, one compile total
+        assert stats["component_pass_compiles"] == 1
+        assert stats["stitch_jobs"] == 1
+        assert stats["compile_calls"] == 1
+        assert stats["tape_compilations"] == 1
+
+
+class TestWarmAheadOnePass:
+    def test_warm_ahead_reports_and_runs_the_component_pass(self):
+        db = join_database(6, 6)
+        with ExplainSession(db, method="exact") as session:
+            status = session.warm_ahead(JOIN_QUERY)
+            assert status["component_tasks"] == 1
+            assert status["completed"] == 1 and status["failed"] == 0
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert all(result.ok for result in results.values())
+        assert stats["component_pass_compiles"] == 1
+        assert stats["compile_calls"] == 1  # the warm pass only
+
+    def test_warm_ahead_dedupes_components_across_shapes(self):
+        # Four shared-block shapes own 4 components each but only 5
+        # distinct structures (pool_size = n_blocks + n_circuits - 1):
+        # the one-pass phase compiles each distinct structure once.
+        circuits = shared_block_circuits(2, n_blocks=4)
+        cache = ArtifactCache()
+        jobs = build_jobs(circuits, cache)
+        plan = plan_batch(
+            "exact", jobs, True,
+            component_planner=artifact_component_planner("tape"),
+        )
+        pipeline = plan.pipeline
+        owned = sum(len(indexes) for indexes in pipeline.needs.values())
+        assert len(pipeline.components) < owned
+
+    def test_parallel_component_phase_with_compile_jobs(self):
+        db = join_database(4, 6)
+        with ExplainSession(
+            db, method="exact", options=EngineOptions(compile_jobs=2),
+        ) as session:
+            status = session.warm_ahead(JOIN_QUERY)
+            assert status["component_tasks"] == 1
+            assert status["completed"] == 1
+            stats = session.stats
+        assert stats["component_pass_compiles"] == 1

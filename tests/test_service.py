@@ -31,6 +31,24 @@ def values_of(results):
     return {answer: result.values for answer, result in results.items()}
 
 
+def mixed_fanout_database(n_answers, fanouts):
+    """Two (or more) distinct lineage shapes in one batch: answer ``i``
+    joins with ``fanouts[i % len(fanouts)]`` S rows.  Fanouts >= 4 give
+    each shape a >=8-var component, so the pipelined schedule gates
+    every shape on a component compile."""
+    from repro.db import Database, RelationSchema, Schema
+
+    schema = Schema.of(
+        RelationSchema.of("R", "a", "b"), RelationSchema.of("S", "b", "c")
+    )
+    db = Database(schema)
+    for i in range(n_answers):
+        db.add("R", f"x{i}", f"y{i}")
+        for j in range(fanouts[i % len(fanouts)]):
+            db.add("S", f"y{i}", f"z{i}_{j}")
+    return db
+
+
 @pytest.fixture
 def fleet(tmp_path):
     """A live coordinator with two in-thread workers sharing a store."""
@@ -99,6 +117,27 @@ class TestTransportParity:
         # worker; the store shares it with the other).
         assert stats["remote_workers"] == 2
         assert stats["remote_compile_calls"] == 1
+        assert stats["compile_calls"] == 0  # the client never compiles
+
+    def test_pipelined_socket_batch_matches_and_reports_counters(
+        self, fleet
+    ):
+        # A cold two-shape batch down the coordinator's interleaved
+        # compile/stitch/group schedule: Fractions identical to the
+        # local baseline, pipeline counters aggregated under remote_*.
+        db = mixed_fanout_database(6, (6, 7))
+        baseline = ExplainSession(db, method="exact").explain_many(JOIN_QUERY)
+        with ExplainSession(
+            db, method="exact", executor="socket",
+            coordinator=fleet.address, min_workers=2,
+        ) as session:
+            results = session.explain_many(JOIN_QUERY)
+            stats = session.stats
+        assert values_of(results) == values_of(baseline)
+        assert all(r.ok for r in results.values())
+        assert stats["remote_component_pass_compiles"] == 2
+        assert stats["remote_stitch_jobs"] == 2
+        assert stats["remote_pipeline_overlap_seconds"] >= 0.0
         assert stats["compile_calls"] == 0  # the client never compiles
 
 
@@ -265,6 +304,54 @@ class TestCoordinator:
             ).explain_many(JOIN_QUERY)
             assert values_of(results) == values_of(baseline)
 
+    def test_death_during_component_compile_is_redistributed(
+        self, tmp_path
+    ):
+        # The pipelined variant of the traitor test: both shapes of a
+        # mixed-fanout batch are gated on a component compile, so each
+        # worker's *first* op is deterministically a pipelined
+        # ``compile`` — the traitor dies holding one, the coordinator
+        # requeues it, and the survivor finishes the whole DAG with
+        # Fractions identical to the local baseline.
+        db = mixed_fanout_database(4, (6, 7))
+        with Coordinator() as coordinator:
+            died = threading.Event()
+
+            def traitor():
+                sock = socket.create_connection(coordinator.address, timeout=5)
+                send_msg(sock, {"op": "hello", "role": "worker", "pid": -1})
+                recv_msg(sock)  # our component-compile op arrives...
+                sock.close()    # ...and we die without answering
+                died.set()
+
+            threading.Thread(target=traitor, daemon=True).start()
+            coordinator.wait_for_workers(1, timeout=10)
+            survivor = threading.Thread(
+                target=run_worker,
+                args=(coordinator.address,),
+                kwargs={"cache_dir": str(tmp_path / "store")},
+                daemon=True,
+            )
+            survivor.start()
+            coordinator.wait_for_workers(2, timeout=10)
+
+            with ExplainSession(
+                db, method="exact", executor="socket",
+                coordinator=coordinator.address,
+            ) as session:
+                results = session.explain_many(JOIN_QUERY)
+                stats = session.stats
+            assert died.wait(timeout=10)
+            assert len(results) == 4
+            assert all(r.ok for r in results.values())
+            baseline = ExplainSession(
+                db, method="exact"
+            ).explain_many(JOIN_QUERY)
+            assert values_of(results) == values_of(baseline)
+            # the survivor ran the whole one-pass component phase
+            assert stats["remote_component_pass_compiles"] == 2
+            assert stats["remote_stitch_jobs"] == 2
+
     def test_worker_survives_engine_errors(self, fleet):
         from repro.engine.base import Engine
         from repro.engine.registry import register_engine
@@ -311,7 +398,7 @@ class TestCompileAhead:
         ) as session:
             status = session.warm_ahead(JOIN_QUERY)
             assert status == {"shapes": 1, "queued": 1, "completed": 1,
-                              "failed": 0, "pending": 0}
+                              "failed": 0, "pending": 0, "component_tasks": 0}
             results = session.explain_many(JOIN_QUERY)
             stats = session.stats
         assert values_of(results) == values_of(baseline)
@@ -325,6 +412,7 @@ class TestCompileAhead:
         assert transport.warm_status() == {
             "queued": 0, "in_flight": 0, "pending": 0,
             "completed": 0, "failed": 0,
+            "component_completed": 0, "component_failed": 0,
         }
 
     def test_warm_ahead_local_executor_warms_inline(self):
@@ -345,7 +433,7 @@ class TestCompileAhead:
         ) as session:
             status = session.warm_ahead(JOIN_QUERY)
         assert status == {"shapes": 0, "queued": 0, "completed": 0,
-                          "failed": 0, "pending": 0}
+                          "failed": 0, "pending": 0, "component_tasks": 0}
 
     def test_warm_failures_are_counted_not_fatal(self, fleet):
         db = join_database(6, 2)
