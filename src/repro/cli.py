@@ -255,9 +255,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit("--jobs-mode socket needs --coordinator host:port")
     if args.jobs_mode != "socket" and (
         args.coordinator is not None or args.min_workers is not None
+        or args.degrade is not None or args.op_timeout is not None
     ):
         raise SystemExit(
-            "--coordinator/--min-workers only apply to --jobs-mode socket"
+            "--coordinator/--min-workers/--degrade/--op-timeout "
+            "only apply to --jobs-mode socket"
         )
     db = _build_db(args)
     query = _resolve_query(args, db)
@@ -283,6 +285,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         executor=args.jobs_mode,
         coordinator=args.coordinator,
         min_workers=args.min_workers,
+        op_timeout=(args.op_timeout if args.op_timeout is not None else 30.0),
+        degrade=args.degrade,
+        # --op-timeout also bounds the dial-retry budget, so a bench
+        # against an unreachable coordinator degrades (or fails) within
+        # the deadline the caller asked for instead of the 10s default.
+        connect_retry_for=(min(10.0, args.op_timeout)
+                           if args.op_timeout is not None else 10.0),
     ) as session:
         warmed = args.repeats > 1
         if warmed:
@@ -523,7 +532,14 @@ def _stage_profile(results) -> dict[str, float]:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    coordinator = Coordinator(args.host, args.port)
+    coordinator = Coordinator(
+        args.host,
+        args.port,
+        heartbeat_interval=args.heartbeat_interval or None,
+        heartbeat_miss_threshold=args.heartbeat_misses,
+        op_timeout=args.op_timeout or None,
+        max_queue=args.max_queue,
+    )
     host, port = coordinator.address
     print(f"coordinator listening on {host}:{port} "
           f"(connect workers with: repro worker --connect {host}:{port})",
@@ -548,6 +564,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
             (host, port),
             cache_dir=args.cache_dir,
             max_store_bytes=args.max_store_bytes,
+            reconnect_for=args.reconnect_for,
         )
     except OSError as error:
         print(f"error: cannot reach coordinator at {host}:{port}: {error}",
@@ -807,6 +824,16 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="HOST:PORT",
                    help="coordinator address for --jobs-mode socket "
                         "(started with 'repro serve')")
+    b.add_argument("--degrade", choices=("local",), default=None,
+                   metavar="POLICY",
+                   help="with --jobs-mode socket: fall back to in-process "
+                        "execution (byte-identical results) when the "
+                        "coordinator is unreachable, instead of failing; "
+                        "counted under degraded_batches")
+    b.add_argument("--op-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="with --jobs-mode socket: per-leg deadline on "
+                        "coordinator roundtrips (default 30)")
     b.add_argument("--min-workers", type=_positive_int, default=None,
                    help="socket mode: wait until this many workers joined")
     b.add_argument("--no-cache", action="store_true",
@@ -879,6 +906,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "wire protocol is pickle)")
     s.add_argument("--port", type=int, default=7341,
                    help="port to bind (0 picks a free port)")
+    s.add_argument("--heartbeat-interval", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="probe idle workers this often (0 disables "
+                        "heartbeats; default 5)")
+    s.add_argument("--heartbeat-misses", type=_positive_int, default=3,
+                   help="consecutive missed heartbeats before a worker "
+                        "is discarded (default 3)")
+    s.add_argument("--op-timeout", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="base per-leg deadline on worker roundtrips; "
+                        "compile and group ops stretch it by the batch's "
+                        "budget and size (0 disables; default 120)")
+    s.add_argument("--max-queue", type=_positive_int, default=None,
+                   help="admission bound: batches queued+running beyond "
+                        "this are rejected with an explicit busy reply "
+                        "(default: unbounded)")
     s.set_defaults(func=cmd_serve)
 
     w = sub.add_parser(
@@ -895,6 +938,12 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--max-store-bytes", type=_byte_size, default=None,
                    help="byte budget of --cache-dir (suffixes k/m/g); "
                         "this worker's writes evict LRU artifacts past it")
+    w.add_argument("--reconnect-for", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="after losing the coordinator, redial with "
+                        "jittered backoff for up to this long and "
+                        "re-register (0 restores die-on-disconnect; "
+                        "default 60)")
     w.set_defaults(func=cmd_worker)
 
     c = sub.add_parser(

@@ -36,7 +36,12 @@ from .store import GcReport, PersistentArtifactStore, StoreEntry, StoreStats
 from .registry import available_engines, get_engine, register_engine
 from .scheduler import BatchPlan, Job, assign_shards, plan_batch
 from .service import (
+    Backoff,
     Coordinator,
+    FaultPlan,
+    FaultRule,
+    FleetBusy,
+    FleetUnavailable,
     InProcessTransport,
     ProcessPoolTransport,
     SocketTransport,
@@ -60,8 +65,10 @@ __all__ = [
     "PersistentArtifactStore", "StoreStats", "StoreEntry", "GcReport",
     "available_engines", "get_engine", "register_engine",
     "BatchPlan", "Job", "assign_shards", "plan_batch",
-    "Transport", "TransportError", "InProcessTransport",
+    "Transport", "TransportError", "FleetBusy", "FleetUnavailable",
+    "InProcessTransport",
     "ProcessPoolTransport", "SocketTransport", "Coordinator", "run_worker",
+    "Backoff", "FaultPlan", "FaultRule",
     "CnfProxyEngine", "ExactEngine", "HybridEngine",
     "KernelShapEngine", "MonteCarloEngine",
     "ExplainSession",

@@ -23,16 +23,19 @@ equal values for equal seeds (per-answer seeds are derived before the
 plan ever reaches a transport).
 """
 
-from .base import Transport, TransportError
+from .base import FleetBusy, FleetUnavailable, Transport, TransportError
 from .coordinator import Coordinator
+from .faults import Backoff, FaultPlan, FaultRule
 from .local import InProcessTransport, ProcessPoolTransport
-from .protocol import format_address, parse_address
+from .protocol import DeadlineExceeded, ProtocolError, format_address, parse_address
 from .remote import SocketTransport
 from .worker import run_worker
 
 __all__ = [
-    "Transport", "TransportError",
+    "Transport", "TransportError", "FleetBusy", "FleetUnavailable",
     "InProcessTransport", "ProcessPoolTransport", "SocketTransport",
     "Coordinator", "run_worker",
+    "Backoff", "FaultPlan", "FaultRule",
+    "DeadlineExceeded", "ProtocolError",
     "parse_address", "format_address",
 ]

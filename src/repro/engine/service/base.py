@@ -24,6 +24,20 @@ class TransportError(RuntimeError):
     errors — they come back as per-job ``EngineResult`` statuses."""
 
 
+class FleetUnavailable(TransportError):
+    """The coordinator could not be reached (connect failed, link died
+    mid-request, or every retry was exhausted).  This is the trigger
+    for the ``degrade="local"`` fallback: the fleet is *gone*, not
+    merely busy."""
+
+
+class FleetBusy(TransportError):
+    """The coordinator's admission queue is full and it rejected the
+    request with an explicit ``busy`` reply.  Retryable by design —
+    the fleet is alive, just saturated; clients back off rather than
+    degrade."""
+
+
 class Transport(ABC):
     """Executes :class:`~repro.engine.scheduler.BatchPlan` objects.
 
@@ -42,8 +56,20 @@ class Transport(ABC):
     #: transport only; local transports leave it empty).
     remote_stats: dict[str, int]
 
+    #: Client-side resilience counters, cumulative over the transport's
+    #: life (``retries``, ``reconnects``, ``degraded_batches``,
+    #: ``busy_rejections``, ``pool_restarts`` — whichever apply).  The
+    #: session merges them into ``session.stats`` so ``bench --json``
+    #: reports them next to the ``remote_*`` fleet counters.
+    service_stats: dict[str, int]
+
     def __init__(self) -> None:
         self.remote_stats = {}
+        self.service_stats = {}
+
+    def _count(self, key: str, n: int = 1) -> None:
+        """Bump one :attr:`service_stats` counter."""
+        self.service_stats[key] = self.service_stats.get(key, 0) + n
 
     @abstractmethod
     def run_batch(self, plan: "BatchPlan") -> dict[int, "EngineResult"]:

@@ -28,12 +28,13 @@ import select
 import socket
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 
 from ..base import EngineResult
 from ..scheduler import assign_shards
-from .pipeline import interval_overlap
-from .protocol import recv_msg, send_msg
+from .faults import FaultPlan
+from .pipeline import deadline_for, interval_overlap
+from .protocol import ProtocolError, enable_keepalive, recv_msg, send_msg
 
 
 def _idle_link_dead(sock: socket.socket) -> bool:
@@ -55,17 +56,32 @@ def _idle_link_dead(sock: socket.socket) -> bool:
 class _WorkerLink:
     """One registered worker connection, used synchronously."""
 
-    def __init__(self, sock: socket.socket, peer: str) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        peer: str,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self.sock = sock
         self.peer = peer
         self.lock = threading.Lock()
         self.alive = True
+        self.faults = faults
+        #: Consecutive failed heartbeats (reset by any successful pong).
+        self.misses = 0
 
-    def request(self, message: dict) -> dict:
-        """Send one request and read its reply (serialized per link)."""
+    def request(self, message: dict, timeout: float | None = None) -> dict:
+        """Send one request and read its reply (serialized per link).
+
+        ``timeout`` bounds *each leg* of the round-trip — a hung worker
+        trips :class:`~.protocol.DeadlineExceeded` here and flows into
+        the dispatcher's existing dead-worker requeue paths instead of
+        stalling the batch forever."""
         with self.lock:
-            send_msg(self.sock, message)
-            reply = recv_msg(self.sock)
+            send_msg(self.sock, message, timeout=timeout,
+                     faults=self.faults, role="coordinator")
+            reply = recv_msg(self.sock, timeout=timeout,
+                             faults=self.faults, role="coordinator")
         if reply is None:
             raise ConnectionError(f"worker {self.peer} closed the connection")
         return reply
@@ -80,6 +96,16 @@ class _WorkerLink:
 
 class _BatchFailed(RuntimeError):
     """No live workers remained for part of a batch."""
+
+
+def _budget_seconds(budget) -> float | None:
+    """The numeric seconds of a compilation budget (objects carry it
+    as ``max_seconds``); ``None`` when unbudgeted or non-numeric."""
+    seconds = getattr(budget, "max_seconds", budget)
+    try:
+        return float(seconds) if seconds is not None else None
+    except (TypeError, ValueError):
+        return None
 
 
 def _affinity_runs(shard: list[dict]) -> list[list[dict]]:
@@ -109,7 +135,16 @@ class Coordinator:
     shape-affinity assumptions.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval: float | None = 5.0,
+        heartbeat_miss_threshold: int = 3,
+        op_timeout: float | None = 120.0,
+        max_queue: int | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self._listener = socket.create_server((host, port), reuse_port=False)
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self._workers: list[_WorkerLink] = []
@@ -117,6 +152,39 @@ class Coordinator:
         self._batch_lock = threading.Lock()
         self._stop = threading.Event()
         self._accept_thread: threading.Thread | None = None
+        #: Liveness probing of *idle* worker links (busy links are the
+        #: dispatchers' problem — their per-op deadlines catch hangs).
+        #: ``None`` disables the prober.
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_miss_threshold = max(1, heartbeat_miss_threshold)
+        #: Base per-leg deadline of every worker round-trip; compile and
+        #: group ops stretch it via :func:`~.pipeline.deadline_for`.
+        self.op_timeout = op_timeout
+        #: Admission bound: batches queued + running.  ``None`` admits
+        #: everything (pre-resilience behaviour).
+        self.max_queue = max_queue
+        #: How long a *resubmitted* batch id waits for the original
+        #: submission to finish before giving up with an error.
+        self.resubmit_wait = 600.0
+        self._faults = faults
+        self._heartbeat_thread: threading.Thread | None = None
+        # Resilience accounting.  _health_lock is a leaf lock: nothing
+        # that takes another lock ever runs while it is held.
+        self._health_lock = threading.Lock()
+        self._counters: dict[str, int] = {
+            "heartbeat_misses": 0,
+            "rejected_batches": 0,
+            "protocol_errors": 0,
+            "batches_resubmitted": 0,
+        }
+        self._queue_depth = 0
+        # Client-generated batch-id dedupe: replies of recent batches
+        # (bounded) plus an Event per in-flight id, so a client that
+        # lost the reply to a partition can resubmit without the fleet
+        # doing the work twice.
+        self._batch_replies: OrderedDict[str, dict] = OrderedDict()
+        self._batch_replies_max = 8
+        self._batch_inflight: dict[str, threading.Event] = {}
         # Compile-ahead queue: shapes submitted via the "warm" op are
         # compiled by workers off the request path (see _warm_loop).
         self._warm_queue: deque[dict] = deque()
@@ -149,6 +217,13 @@ class Coordinator:
                 target=self._accept_loop, name="repro-coordinator", daemon=True
             )
             self._accept_thread.start()
+        if self._heartbeat_thread is None and self.heartbeat_interval:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
         return self
 
     def serve_forever(self) -> None:
@@ -170,9 +245,9 @@ class Coordinator:
         for link in workers:
             try:
                 with link.lock:
-                    send_msg(link.sock, {"op": "shutdown"})
-            except OSError:
-                pass
+                    send_msg(link.sock, {"op": "shutdown"}, timeout=1.0)
+            except Exception:
+                pass  # a dead or hung worker cannot block shutdown
             link.close()
 
     def __enter__(self) -> "Coordinator":
@@ -231,6 +306,59 @@ class Coordinator:
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._health_lock:
+            self._counters[key] = self._counters.get(key, 0) + n
+
+    def _heartbeat_loop(self) -> None:
+        """Probe *idle* worker links every ``heartbeat_interval``.
+
+        A link busy in a batch is skipped (non-blocking acquire): its
+        dispatcher's per-op deadline owns failure detection there, and
+        interleaving a ping into an in-flight request would corrupt the
+        request/reply pairing.  A probe that fails (deadline, EOF,
+        garbage) counts one miss; ``heartbeat_miss_threshold``
+        consecutive misses discard the worker — batches started after
+        that never see it, and the compile-ahead queue stops routing
+        to it.  A slow-but-alive worker whose pong arrives after the
+        deadline is self-healing: the stale pong makes the *next*
+        exchange fail out-of-protocol, which discards the link, and
+        the worker's reconnect loop re-registers it fresh.
+        """
+        while not self._stop.wait(self.heartbeat_interval):
+            with self._cond:
+                links = list(self._workers)
+            for link in links:
+                if self._stop.is_set():
+                    return
+                if not link.alive:
+                    continue
+                if not link.lock.acquire(blocking=False):
+                    continue  # mid-request: dispatcher owns detection
+                try:
+                    send_msg(link.sock, {"op": "ping"},
+                             timeout=self.heartbeat_interval,
+                             faults=self._faults, role="coordinator")
+                    reply = recv_msg(link.sock,
+                                     timeout=self.heartbeat_interval,
+                                     faults=self._faults, role="coordinator")
+                    ok = isinstance(reply, dict) and reply.get("op") == "pong"
+                except Exception:
+                    ok = False
+                finally:
+                    link.lock.release()
+                if ok:
+                    link.misses = 0
+                    continue
+                link.misses += 1
+                self._count("heartbeat_misses")
+                if link.misses >= self.heartbeat_miss_threshold:
+                    self._discard_worker(link)
+
+    # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
 
@@ -248,18 +376,25 @@ class Coordinator:
             ).start()
 
     def _handle_connection(self, conn: socket.socket, peer: str) -> None:
+        enable_keepalive(conn)
         try:
             hello = recv_msg(conn)
+        except ProtocolError:
+            self._count("protocol_errors")
+            conn.close()
+            return
         except Exception:
             conn.close()
             return
         if not isinstance(hello, dict) or hello.get("op") != "hello":
+            if hello is not None:
+                self._count("protocol_errors")
             conn.close()
             return
         if hello.get("role") == "worker":
             # Registration is all this thread does: the link is driven
             # synchronously by batch dispatchers from here on.
-            self._register_worker(_WorkerLink(conn, peer))
+            self._register_worker(_WorkerLink(conn, peer, self._faults))
             return
         self._serve_client(conn)
 
@@ -267,10 +402,21 @@ class Coordinator:
         try:
             while True:
                 try:
-                    message = recv_msg(conn)
+                    message = recv_msg(conn, faults=self._faults,
+                                       role="coordinator")
+                except ProtocolError:
+                    # Malformed/truncated frame: the stream cannot be
+                    # resynchronized, so the connection is dropped —
+                    # but counted, so operators can see a misbehaving
+                    # (or merely mis-versioned) client.
+                    self._count("protocol_errors")
+                    return
                 except Exception:
                     return
                 if message is None:
+                    return
+                if not isinstance(message, dict):
+                    self._count("protocol_errors")
                     return
                 op = message.get("op")
                 if op == "ping":
@@ -280,16 +426,7 @@ class Coordinator:
                     self.shutdown()
                     return
                 elif op == "batch":
-                    try:
-                        reply = self._run_batch(message)
-                    except _BatchFailed as error:
-                        reply = {"op": "error", "message": str(error)}
-                    except Exception as error:  # defensive: report, don't die
-                        reply = {
-                            "op": "error",
-                            "message": f"{type(error).__name__}: {error}",
-                        }
-                    send_msg(conn, reply)
+                    send_msg(conn, self._admit_batch(message))
                 elif op == "warm":
                     send_msg(conn, self._enqueue_warm(message))
                 elif op == "warm_status":
@@ -300,6 +437,80 @@ class Coordinator:
                     )
         finally:
             conn.close()
+
+    # ------------------------------------------------------------------
+    # Admission and dedupe
+    # ------------------------------------------------------------------
+
+    def _admit_batch(self, message: dict) -> dict:
+        """Admission control plus batch-id dedupe around one batch.
+
+        Resubmits (same client-generated ``batch_id``) are answered
+        from the bounded reply cache, or — when the original submission
+        is still running — by waiting for it; neither re-runs the work
+        or consumes an admission slot.  Fresh batches are rejected with
+        an explicit ``busy`` reply once ``max_queue`` batches are
+        queued or running; the client backs off and retries.  Error
+        replies are *not* cached, so a retry after a transient fleet
+        failure genuinely re-runs."""
+        batch_id = message.get("batch_id")
+        while True:
+            wait_event = None
+            with self._health_lock:
+                if batch_id is not None:
+                    cached = self._batch_replies.get(batch_id)
+                    if cached is not None:
+                        self._counters["batches_resubmitted"] += 1
+                        return cached
+                    wait_event = self._batch_inflight.get(batch_id)
+                    if wait_event is not None:
+                        self._counters["batches_resubmitted"] += 1
+                if wait_event is None:
+                    if (self.max_queue is not None
+                            and self._queue_depth >= self.max_queue):
+                        self._counters["rejected_batches"] += 1
+                        return {
+                            "op": "busy",
+                            "message": (
+                                f"admission queue full "
+                                f"(max_queue={self.max_queue})"
+                            ),
+                        }
+                    self._queue_depth += 1
+                    if batch_id is not None:
+                        self._batch_inflight[batch_id] = threading.Event()
+            if wait_event is None:
+                break
+            if not wait_event.wait(self.resubmit_wait):
+                return {
+                    "op": "error",
+                    "message": f"batch {batch_id} still running after "
+                               f"{self.resubmit_wait}s",
+                }
+            # The original finished: loop to read its cached reply (or
+            # run afresh if it errored and was deliberately not cached).
+        reply = {"op": "error", "message": "batch aborted"}
+        try:
+            reply = self._run_batch(message)
+        except _BatchFailed as error:
+            reply = {"op": "error", "message": str(error)}
+        except Exception as error:  # defensive: report, don't die
+            reply = {
+                "op": "error",
+                "message": f"{type(error).__name__}: {error}",
+            }
+        finally:
+            with self._health_lock:
+                self._queue_depth -= 1
+                if batch_id is not None:
+                    if reply.get("op") == "results":
+                        self._batch_replies[batch_id] = reply
+                        while len(self._batch_replies) > self._batch_replies_max:
+                            self._batch_replies.popitem(last=False)
+                    event = self._batch_inflight.pop(batch_id, None)
+                    if event is not None:
+                        event.set()
+        return reply
 
     # ------------------------------------------------------------------
     # Compile-ahead queue
@@ -424,10 +635,18 @@ class Coordinator:
                 "options": task["options"],
             }
             expected = "warmed"
+        try:
+            budget = _budget_seconds(task["options"].compilation_budget())
+        except Exception:
+            budget = _budget_seconds(task.get("budget"))
         for offset in range(len(workers)):
             worker = workers[(start + offset) % len(workers)]
             try:
-                reply = worker.request(request)
+                reply = worker.request(
+                    request,
+                    timeout=deadline_for(self.op_timeout,
+                                         budget_seconds=budget),
+                )
             except Exception:
                 self._discard_worker(worker)
                 continue
@@ -440,6 +659,17 @@ class Coordinator:
     # Batch execution
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _batch_budget(tasks: list[dict]) -> float | None:
+        """The batch's compilation budget, used to stretch per-op
+        deadlines for ops that may legitimately compile that long."""
+        for task in tasks:
+            try:
+                return _budget_seconds(task["options"].compilation_budget())
+            except Exception:
+                continue
+        return None
+
     def _run_batch(self, message: dict) -> dict:
         engine = message["engine"]
         tasks = message["tasks"]
@@ -447,6 +677,7 @@ class Coordinator:
         wait_timeout = message.get("wait_timeout", 60.0)
         batched = bool(message.get("batched"))
         pipeline = message.get("pipeline")
+        budget = self._batch_budget(tasks)
         component_timings: list[tuple[int, float]] = []
         with self._batch_lock:
             if self.wait_for_workers(min_workers, wait_timeout) < min_workers:
@@ -456,7 +687,7 @@ class Coordinator:
                 )
             if pipeline:
                 results, component_timings = self._run_pipelined(
-                    engine, tasks, batched, pipeline
+                    engine, tasks, batched, pipeline, budget
                 )
             else:
                 results = {}
@@ -475,7 +706,7 @@ class Coordinator:
                             f"no live workers for {len(pending)} task(s)"
                         )
                     pending = self._dispatch(
-                        engine, pending, workers, results, batched
+                        engine, pending, workers, results, batched, budget
                     )
             worker_stats, n_reporting = self._collect_stats()
             # The overlap is a coordinator-side observation (workers
@@ -486,6 +717,14 @@ class Coordinator:
                 worker_stats.get("pipeline_overlap_seconds", 0.0)
                 + self._pipeline_overlap_total
             )
+            # Resilience counters are coordinator-side observations
+            # too; same fold, same remote_* surfacing on the client.
+            with self._health_lock:
+                for key, value in self._counters.items():
+                    worker_stats[key] = worker_stats.get(key, 0) + value
+                worker_stats["queue_depth"] = (
+                    worker_stats.get("queue_depth", 0) + self._queue_depth
+                )
         return {
             "op": "results",
             "results": results,
@@ -495,7 +734,12 @@ class Coordinator:
         }
 
     def _run_pipelined(
-        self, engine: str, tasks: list[dict], batched: bool, pipeline: dict
+        self,
+        engine: str,
+        tasks: list[dict],
+        batched: bool,
+        pipeline: dict,
+        batch_budget: float | None = None,
     ) -> tuple[dict[int, EngineResult], list[tuple[int, float]]]:
         """Execute one batch as a compile/execute pipeline.
 
@@ -524,6 +768,15 @@ class Coordinator:
         components = pipeline.get("components") or []
         needs = pipeline.get("needs") or {}
         budget = pipeline.get("budget")
+        # Per-op deadlines: compiles may run for the whole budget, and
+        # stitch ops may compile inline after a failed component — both
+        # get the stretched deadline.  A hung worker trips the deadline
+        # and flows into the requeue path below like any other death
+        # (the "heartbeat-detected death mid-stitch" case: the idle
+        # prober cannot see a busy link, so the dispatcher's deadline
+        # is what detects it).
+        op_deadline = deadline_for(self.op_timeout,
+                                   budget_seconds=batch_budget)
 
         reps: dict[str, dict] = {}
         tails: dict[str, list[dict]] = {}
@@ -586,7 +839,9 @@ class Coordinator:
                     "id": f"component:{index}",
                     "key": components[index]["key"],
                     "budget": budget,
-                })
+                }, timeout=deadline_for(self.op_timeout,
+                                        budget_seconds=_budget_seconds(budget))
+                   if budget is not None else op_deadline)
                 finished = time.perf_counter()
                 if reply.get("op") != "compiled":
                     raise ConnectionError(
@@ -620,7 +875,7 @@ class Coordinator:
                 }
                 if gated:
                     request["stitch"] = True
-                reply = worker.request(request)
+                reply = worker.request(request, timeout=op_deadline)
                 finished = time.perf_counter()
                 if (reply.get("op") != "result"
                         or reply.get("id") != task["id"]):
@@ -643,7 +898,9 @@ class Coordinator:
                      ("id", "circuit", "players", "options")}
                     for task in group
                 ],
-            })
+            }, timeout=deadline_for(self.op_timeout,
+                                    budget_seconds=batch_budget,
+                                    items=len(group)))
             finished = time.perf_counter()
             replies = reply.get("results")
             if (reply.get("op") != "result_group"
@@ -739,6 +996,7 @@ class Coordinator:
         workers: list[_WorkerLink],
         results: dict[int, EngineResult],
         batched: bool = False,
+        budget: float | None = None,
     ) -> list[dict]:
         """Run one placement round; returns the tasks that failed on a
         dead worker (distinct result keys make the shared dict safe)."""
@@ -752,7 +1010,8 @@ class Coordinator:
                 continue
             thread = threading.Thread(
                 target=self._run_shard,
-                args=(engine, worker, shard, results, failed, batched),
+                args=(engine, worker, shard, results, failed, batched,
+                      budget),
                 daemon=True,
             )
             thread.start()
@@ -769,6 +1028,7 @@ class Coordinator:
         results: dict[int, EngineResult],
         failed: list[dict],
         batched: bool = False,
+        budget: float | None = None,
     ) -> None:
         # With a batched plan each consecutive same-affinity run ships
         # as one task_group call (singletons stay plain tasks, keeping
@@ -789,7 +1049,8 @@ class Coordinator:
                         "circuit": task["circuit"],
                         "players": task["players"],
                         "options": task["options"],
-                    })
+                    }, timeout=deadline_for(self.op_timeout,
+                                            budget_seconds=budget))
                     if (reply.get("op") != "result"
                             or reply.get("id") != task["id"]):
                         raise ConnectionError(
@@ -805,7 +1066,9 @@ class Coordinator:
                              ("id", "circuit", "players", "options")}
                             for task in group
                         ],
-                    })
+                    }, timeout=deadline_for(self.op_timeout,
+                                            budget_seconds=budget,
+                                            items=len(group)))
                     replies = reply.get("results")
                     if (reply.get("op") != "result_group"
                             or not isinstance(replies, dict)
@@ -833,7 +1096,8 @@ class Coordinator:
             workers = [w for w in self._workers if w.alive]
         for worker in workers:
             try:
-                reply = worker.request({"op": "stats"})
+                reply = worker.request({"op": "stats"},
+                                       timeout=self.op_timeout)
                 stats = reply.get("stats", {})
             except Exception:
                 self._discard_worker(worker)

@@ -258,6 +258,21 @@ class ProcessPoolTransport(Transport):
         return self._pool
 
     def run_batch(self, plan: BatchPlan) -> dict[int, EngineResult]:
+        """One batch, resilient to a single pool death.
+
+        A worker process dying (OOM kill, segfault in a native dep)
+        poisons the whole executor; the inner handlers already drop the
+        poisoned pool, so one retry re-runs the batch on a fresh pool —
+        correct because jobs are pure reads over the shared store plus
+        idempotent publishes.  A second death in the same batch
+        propagates: that is a machine problem, not a transient."""
+        try:
+            return self._run_batch_once(plan)
+        except BrokenProcessPool:
+            self._count("pool_restarts")
+            return self._run_batch_once(plan)
+
+    def _run_batch_once(self, plan: BatchPlan) -> dict[int, EngineResult]:
         engine = get_engine(plan.engine)
         if plan.pipeline is not None and self.store_dir is not None:
             # Pipelined cold batch: component compiles, stitches, and

@@ -89,6 +89,28 @@ def interval_overlap(a: Sequence[Span], b: Sequence[Span]) -> float:
     return total
 
 
+def deadline_for(
+    base: float | None,
+    budget_seconds: float | None = None,
+    items: int = 1,
+) -> float | None:
+    """Scale a per-op deadline to the work an op actually covers.
+
+    ``base`` is the fleet's single-op deadline (``None`` = no deadline,
+    which passes through).  Compile ops may legitimately run for their
+    whole compilation ``budget_seconds``, and a ``task_group`` covers
+    ``items`` answers in one round-trip — a flat deadline would declare
+    healthy-but-busy workers dead.  The result is never below ``base``:
+    the deadline exists to catch *hung* links, not slow work.
+    """
+    if base is None:
+        return None
+    deadline = base * max(1, items)
+    if budget_seconds is not None and budget_seconds > 0:
+        deadline = max(deadline, base + budget_seconds)
+    return max(base, deadline)
+
+
 def timed_compile(compile_fn: Callable[[], bool]) -> tuple[bool, float]:
     """Run one component compile and measure it: ``(compiled,
     seconds)``.  The standard body of a pipeline compile task."""

@@ -108,6 +108,12 @@ class ExplainSession:
     min_workers:
         Socket executor only: have the coordinator hold each batch
         until at least this many workers registered.
+    op_timeout / batch_timeout / retries / degrade / connect_retry_for:
+        Socket executor resilience knobs, passed through to
+        :class:`~repro.engine.service.SocketTransport`: per-leg and
+        per-batch deadlines, bounded retry with jittered backoff, and
+        the ``degrade="local"`` fallback that runs a batch in-process
+        (byte-identical Fractions) when the fleet is unreachable.
     """
 
     def __init__(
@@ -120,6 +126,11 @@ class ExplainSession:
         executor: str = "thread",
         coordinator: str | tuple[str, int] | None = None,
         min_workers: int | None = None,
+        op_timeout: float | None = 30.0,
+        batch_timeout: float | None = 600.0,
+        retries: int = 2,
+        degrade: str | None = None,
+        connect_retry_for: float = 10.0,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -134,6 +145,11 @@ class ExplainSession:
         self.executor = executor
         self.coordinator = coordinator
         self.min_workers = min_workers
+        self.op_timeout = op_timeout
+        self.batch_timeout = batch_timeout
+        self.retries = retries
+        self.degrade = degrade
+        self.connect_retry_for = connect_retry_for
         #: One calibrating compile cost model per session: the first
         #: cold batch schedules with structural estimates, later ones
         #: with scales learned from recorded compile timings.
@@ -205,7 +221,13 @@ class ExplainSession:
                     "executor='socket' needs coordinator='host:port'"
                 )
             transport = SocketTransport(
-                self.coordinator, min_workers=self.min_workers
+                self.coordinator,
+                min_workers=self.min_workers,
+                op_timeout=self.op_timeout,
+                batch_timeout=self.batch_timeout,
+                retries=self.retries,
+                degrade=self.degrade,
+                connect_retry_for=self.connect_retry_for,
             )
         self._transports[kind] = transport
         return transport
@@ -471,6 +493,12 @@ class ExplainSession:
             merged["remote_workers"] = self._remote_workers
             for key, value in self._remote_stats.items():
                 merged[f"remote_{key}"] = value
+        # Client-side resilience counters (retries, busy_rejections,
+        # degraded_batches, pool_restarts) live on the transports;
+        # cumulative over the session like everything else here.
+        for transport in self._transports.values():
+            for key, value in transport.service_stats.items():
+                merged[key] = merged.get(key, 0) + value
         return merged
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -294,6 +294,37 @@ class TestRep004LockOrder:
         assert "PersistentArtifactStore._lock" in graph.nodes
         assert [f for f in findings if f.rule == "REP004"] == []
 
+    def test_resilience_layer_locks_are_analyzed_and_acyclic(self):
+        # The fleet-resilience locks (health counters, backoff RNG,
+        # fault-plan counters, per-link request serialization) must all
+        # be visible to REP004, the documented ordering edges must be
+        # present, and the whole real graph must stay acyclic.
+        findings, graph = lint_paths([SRC_DIR])
+        for node in ("Coordinator._health_lock", "Backoff._lock",
+                     "FaultPlan._lock", "_WorkerLink.lock"):
+            assert node in graph.nodes
+        # counters fold into worker_stats while the batch lock is held
+        assert ("Coordinator._batch_lock",
+                "Coordinator._health_lock") in graph.edges
+        # dispatch holds the batch lock while serializing on a link
+        assert ("Coordinator._batch_lock",
+                "_WorkerLink.lock") in graph.edges
+        # _health_lock is a leaf by design: nothing is taken under it
+        assert not any(src == "Coordinator._health_lock"
+                       for src, _ in graph.edges)
+        # no REP004 cycle findings, and independently: a topological
+        # order of the full edge set exists
+        assert [f for f in findings if f.rule == "REP004"] == []
+        remaining = set(graph.edges)
+        nodes = set(graph.nodes)
+        while nodes:
+            sinks = {n for n in nodes
+                     if not any(src == n for src, _ in remaining)}
+            assert sinks, f"lock graph has a cycle among {sorted(nodes)}"
+            nodes -= sinks
+            remaining = {(s, d) for s, d in remaining
+                         if s not in sinks and d not in sinks}
+
 
 class TestDriver:
     def test_full_source_tree_is_clean(self):
